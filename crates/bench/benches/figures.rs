@@ -1,0 +1,34 @@
+//! `cargo bench --bench figures` — regenerates every table and figure of
+//! the paper's evaluation (see DESIGN.md's per-experiment index).
+//!
+//! Environment knobs:
+//! * `PRODIGY_SCALE` — data-set scale divisor (default 8; smaller = bigger
+//!   inputs = closer to the paper, slower).
+//! * `PRODIGY_ONLY` — comma-separated experiment-name substrings to run
+//!   (e.g. `PRODIGY_ONLY=fig14,fig17`).
+
+use prodigy_bench::experiments::{run_all, Ctx};
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore harness-style args.
+    let scale: u32 = std::env::var("PRODIGY_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let filters: Vec<String> = std::env::var("PRODIGY_ONLY")
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.trim().to_string())
+                .filter(|x| !x.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let ctx = Ctx::new(scale);
+    println!(
+        "Prodigy reproduction — paper evaluation (data-set scale 1/{scale}, {} cores, caches scaled 1/{})\n",
+        ctx.sys.cores, ctx.sys.scale
+    );
+    let t0 = std::time::Instant::now();
+    run_all(&ctx, &filters);
+    println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the performance-critical structures: the
+//! PFHR file, the cache array, DIG programming, branch prediction, and
+//! end-to-end simulator throughput (instructions simulated per second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use prodigy::{Dig, DigProgram, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpec};
+use prodigy::dig::NodeId;
+use prodigy_sim::core::{Gshare, StreamBuilder};
+use prodigy_sim::mem::cache::{demand_line, Cache};
+use prodigy_sim::mem::coherence::Mesi;
+use prodigy_sim::{CacheConfig, ServedBy, System, SystemConfig};
+
+fn bench_pfhr(c: &mut Criterion) {
+    c.bench_function("pfhr/allocate_take", |b| {
+        b.iter_batched(
+            || PfhrFile::new(16),
+            |mut f| {
+                for i in 0..16u64 {
+                    f.allocate(NodeId(1), i, i * 64, 4);
+                }
+                for i in 0..16u64 {
+                    f.take(i * 64);
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig {
+        capacity: 32 * 1024,
+        ways: 4,
+        data_latency: 2,
+        tag_latency: 1,
+    };
+    c.bench_function("cache/insert_lookup", |b| {
+        b.iter_batched(
+            || Cache::new(&cfg),
+            |mut cache| {
+                for i in 0..512u64 {
+                    cache.insert(demand_line(i * 64, Mesi::Exclusive, 0, ServedBy::Dram));
+                }
+                let mut hits = 0;
+                for i in 0..512u64 {
+                    hits += cache.lookup(i * 64).is_some() as u32;
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dig_programming(c: &mut Criterion) {
+    let mut dig = Dig::new();
+    let a = dig.node(0x1000, 1000, 4);
+    let b_ = dig.node(0x4000, 1001, 4);
+    let c_ = dig.node(0x8000, 4000, 4);
+    let d = dig.node(0x20000, 1000, 4);
+    dig.edge(a, b_, EdgeKind::SingleValued);
+    dig.edge(b_, c_, EdgeKind::Ranged);
+    dig.edge(c_, d, EdgeKind::SingleValued);
+    dig.trigger(a, TriggerSpec::default());
+    let program = DigProgram::from_dig(&dig);
+    c.bench_function("prodigy/program_dig", |b| {
+        b.iter_batched(
+            ProdigyPrefetcher::default,
+            |mut pf| {
+                program.apply(&mut pf);
+                pf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    c.bench_function("core/gshare_1k_branches", |b| {
+        let mut p = Gshare::new(12);
+        let mut x = 1u32;
+        b.iter(|| {
+            let mut correct = 0u32;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(48271);
+                correct += p.predict_and_update(x & 63, x & 4096 != 0) as u32;
+            }
+            correct
+        })
+    });
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("run_100k_insns", |b| {
+        b.iter_batched(
+            || {
+                let sys = System::new(SystemConfig::scaled(32).with_cores(1));
+                let mut sb = StreamBuilder::new();
+                let mut xs = 0x1234u64;
+                for _ in 0..N / 4 {
+                    xs = xs.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let addr = (xs >> 20) % (8 << 20);
+                    let l = sb.load_at(1, addr, 4, &[]);
+                    sb.compute(1, &[l]);
+                    sb.compute(1, &[]);
+                    sb.branch(2, xs & 1 == 0, &[l]);
+                }
+                (sys, sb.finish())
+            },
+            |(mut sys, stream)| {
+                sys.run_phase(vec![stream]);
+                sys
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pfhr,
+    bench_cache,
+    bench_dig_programming,
+    bench_bpred,
+    bench_simulator_throughput
+);
+criterion_main!(benches);

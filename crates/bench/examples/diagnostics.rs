@@ -1,0 +1,95 @@
+//! Prefetcher diagnostics: deep per-prefetcher counters for one workload —
+//! the tool used to calibrate the reproduction (cache behaviour, prefetch
+//! usefulness, Prodigy's internal sequence statistics).
+//!
+//! ```text
+//! cargo run --release -p prodigy-bench --example diagnostics [alg] [dataset] [scale]
+//! ```
+
+use prodigy::ProdigyConfig;
+use prodigy_bench::workload_set::WorkloadSpec;
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+use prodigy_sim::SystemConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let alg = args.next().unwrap_or_else(|| "bfs".into());
+    let dataset = args.next().unwrap_or_else(|| "lj".into());
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let algs = ["bc", "bfs", "cc", "pr", "sssp"];
+    let spec = if algs.contains(&alg.as_str()) {
+        WorkloadSpec::graph(algs.iter().find(|a| **a == alg).unwrap(), match dataset.as_str() {
+            "po" => "po",
+            "or" => "or",
+            "sk" => "sk",
+            "wb" => "wb",
+            _ => "lj",
+        }, scale)
+    } else {
+        WorkloadSpec::plain(
+            ["spmv", "symgs", "cg", "is"]
+                .iter()
+                .find(|a| **a == alg)
+                .copied()
+                .expect("alg must be one of bc/bfs/cc/pr/sssp/spmv/symgs/cg/is"),
+            scale,
+        )
+    };
+    println!("workload {} (scale 1/{scale})\n", spec.name);
+
+    let mut base_cycles = 0u64;
+    for kind in PrefetcherKind::ALL {
+        if kind.graph_specific() && !spec.is_graph() {
+            continue;
+        }
+        let mut kernel = spec.instantiate();
+        let out = run_workload(
+            kernel.as_mut(),
+            &RunConfig {
+                sys: SystemConfig::bench(),
+                prefetcher: kind,
+                prodigy: ProdigyConfig::default(),
+                classify_llc: false,
+            },
+        );
+        let s = &out.summary.stats;
+        if kind == PrefetcherKind::None {
+            base_cycles = s.cycles;
+        }
+        let n = s.cpi.normalized();
+        println!(
+            "{:<16} {:>12} cycles  speedup {:>5.2}x  ipc {:>5.2}  dram-stall {:>4.1}%",
+            kind.name(),
+            s.cycles,
+            base_cycles as f64 / s.cycles.max(1) as f64,
+            s.ipc(),
+            n.dram * 100.0,
+        );
+        println!(
+            "  L1 miss {:>9}  LLC miss {:>9}  pf issued {:>9}  redundant {:>9}  accuracy {:>4.0}%  use L1/L2/L3/evicted {}/{}/{}/{}",
+            s.l1d.misses,
+            s.l3.misses,
+            s.prefetches_issued,
+            s.prefetches_redundant,
+            s.prefetch_use.accuracy() * 100.0,
+            s.prefetch_use.hit_l1,
+            s.prefetch_use.hit_l2,
+            s.prefetch_use.hit_l3,
+            s.prefetch_use.evicted_unused,
+        );
+        if let Some(p) = out.prodigy {
+            println!(
+                "  prodigy: sequences {} (dropped {})  trigger/ranged/single prefetches {}/{}/{}  inline advances {}  PFHR drops {}  ranged share {:.0}%",
+                p.sequences_initiated,
+                p.sequences_dropped,
+                p.trigger_prefetches,
+                p.ranged_prefetches,
+                p.single_prefetches,
+                p.inline_advances,
+                p.pfhr_drops,
+                p.ranged_share() * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `prodigy-eval` — standalone evaluation driver (same experiments as
+//! `cargo bench --bench figures`, usable as a plain binary with arguments
+//! instead of environment variables).
+//!
+//! ```text
+//! cargo run --release -p prodigy-bench --bin prodigy-eval -- \
+//!     [--scale N] [--cores N] [--out report.txt] [experiment substrings...]
+//! ```
+//!
+//! With no experiment names, everything runs. The report is printed and,
+//! with `--out`, also written to a file.
+
+use prodigy_bench::experiments::{run_all, Ctx};
+
+fn main() {
+    let mut scale = 8u32;
+    let mut cores: Option<u32> = None;
+    let mut out: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--cores" => {
+                cores = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--cores needs a number")),
+                );
+            }
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => filters.push(other.to_string()),
+        }
+    }
+
+    let mut ctx = Ctx::new(scale);
+    if let Some(c) = cores {
+        ctx.sys = ctx.sys.with_cores(c);
+    }
+    println!(
+        "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}\n",
+        ctx.sys.cores, ctx.sys.scale
+    );
+    let report = run_all(&ctx, &filters);
+    if let Some(path) = out {
+        std::fs::write(&path, &report).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("report written to {path}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: prodigy-eval [--scale N] [--cores N] [--out FILE] [experiments...]\n\
+         experiments: table1 table2 fig02 fig04 fig12 fig13 fig14 fig15 fig16 \
+         fig17 table3 fig18 fig19 ranged swpf storage scalability limits_tc \
+         ext_dobfs ext_throttle"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,993 @@
+//! One function per paper table/figure. Each returns the rendered text it
+//! also prints, so integration tests can assert on the series.
+
+use crate::report::{geomean, mean, pct, x, Table};
+use crate::workload_set::{all_29, per_algorithm, WorkloadSpec};
+use parking_lot::Mutex;
+use prodigy::{ProdigyConfig, ProdigyPrefetcher};
+use prodigy_sim::prefetch::Prefetcher;
+use prodigy_sim::SystemConfig;
+use prodigy_workloads::kernels::PageRank;
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One simulation cell: workload × prefetcher × hardware knobs.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload to run.
+    pub spec: WorkloadSpec,
+    /// Prefetcher attached.
+    pub kind: PrefetcherKind,
+    /// Prodigy PFHR registers.
+    pub pfhr: usize,
+    /// Install the LLC-miss classifier.
+    pub classify: bool,
+    /// Core count (0 = context default).
+    pub cores: u32,
+}
+
+impl Cell {
+    fn new(spec: WorkloadSpec, kind: PrefetcherKind) -> Self {
+        Cell {
+            spec,
+            kind,
+            pfhr: 16,
+            classify: false,
+            cores: 0,
+        }
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.spec.name,
+            self.spec.reorder,
+            self.kind.name(),
+            self.pfhr,
+            self.classify,
+            self.cores
+        )
+    }
+}
+
+/// Shared experiment context: machine configuration, data-set scale, and a
+/// memoising run cache so figures reuse each other's simulations.
+pub struct Ctx {
+    /// Data-set scale divisor (bigger = smaller inputs = faster).
+    pub scale: u32,
+    /// Machine configuration (cache sizes already scaled to match).
+    pub sys: SystemConfig,
+    cache: Mutex<HashMap<String, Arc<RunOutcome>>>,
+}
+
+impl Ctx {
+    /// Standard context: the differential-scaled bench machine
+    /// ([`SystemConfig::bench`]), data sets scaled by `scale`.
+    pub fn new(scale: u32) -> Self {
+        Ctx {
+            scale,
+            sys: SystemConfig::bench(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn execute(&self, cell: &Cell) -> RunOutcome {
+        let mut kernel = cell.spec.instantiate();
+        let sys = if cell.cores == 0 {
+            self.sys
+        } else {
+            self.sys.with_cores(cell.cores)
+        };
+        let cfg = RunConfig {
+            sys,
+            prefetcher: cell.kind,
+            prodigy: ProdigyConfig {
+                pfhr_entries: cell.pfhr,
+                ..ProdigyConfig::default()
+            },
+            classify_llc: cell.classify,
+        };
+        run_workload(kernel.as_mut(), &cfg)
+    }
+
+    /// Runs one cell (memoised).
+    pub fn run(&self, cell: &Cell) -> Arc<RunOutcome> {
+        let key = cell.key();
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let out = Arc::new(self.execute(cell));
+        self.cache.lock().insert(key, Arc::clone(&out));
+        out
+    }
+
+    /// Warms the cache for many cells in parallel.
+    pub fn warm(&self, cells: Vec<Cell>) {
+        // Deduplicate; skip already-cached.
+        let mut todo: Vec<Cell> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            let mut seen = std::collections::HashSet::new();
+            for c in cells {
+                let k = c.key();
+                if !cache.contains_key(&k) && seen.insert(k) {
+                    todo.push(c);
+                }
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(todo.len());
+        let work = Mutex::new(todo);
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let Some(cell) = work.lock().pop() else { break };
+                    let out = Arc::new(self.execute(&cell));
+                    self.cache.lock().insert(cell.key(), out);
+                });
+            }
+        })
+        .expect("worker panicked");
+    }
+}
+
+fn speedup(base: &RunOutcome, v: &RunOutcome) -> f64 {
+    assert_eq!(
+        base.checksum, v.checksum,
+        "prefetching changed program output!"
+    );
+    base.summary.stats.cycles as f64 / v.summary.stats.cycles.max(1) as f64
+}
+
+// ---------------------------------------------------------------- Table I
+
+/// Table I: the modelled system configuration.
+pub fn table1(ctx: &Ctx) -> String {
+    let p = SystemConfig::paper();
+    let s = ctx.sys;
+    let mut t = Table::new(&["component", "paper", "this run (scaled)"]);
+    t.row(vec![
+        "cores".into(),
+        format!("{} OoO, {}-wide, ROB {}", p.cores, p.core.width, p.core.rob),
+        format!("{} OoO, {}-wide, ROB {}", s.cores, s.core.width, s.core.rob),
+    ]);
+    t.row(vec![
+        "L1D".into(),
+        format!("{} KB, {}-way, lat {}", p.l1d.capacity / 1024, p.l1d.ways, p.l1d.data_latency),
+        format!("{} B, {}-way, lat {}", s.l1d.capacity, s.l1d.ways, s.l1d.data_latency),
+    ]);
+    t.row(vec![
+        "L2".into(),
+        format!("{} KB, {}-way, lat {}", p.l2.capacity / 1024, p.l2.ways, p.l2.data_latency),
+        format!("{} B, {}-way, lat {}", s.l2.capacity, s.l2.ways, s.l2.data_latency),
+    ]);
+    t.row(vec![
+        "L3/slice".into(),
+        format!("{} MB, {}-way, lat {}", p.l3.capacity / (1024 * 1024), p.l3.ways, p.l3.data_latency),
+        format!("{} B, {}-way, lat {}", s.l3.capacity, s.l3.ways, s.l3.data_latency),
+    ]);
+    t.row(vec![
+        "DRAM".into(),
+        format!("lat {} + queueing", p.dram.access_latency),
+        format!("lat {} + queueing", s.dram.access_latency),
+    ]);
+    format!("Table I — system configuration\n{}", t.render())
+}
+
+// ---------------------------------------------------------------- Table II
+
+/// Table II: data-set stand-ins with footprint-to-LLC ratios.
+pub fn table2(ctx: &Ctx) -> String {
+    let mut t = Table::new(&["graph", "stands for", "vertices", "edges", "size/LLC"]);
+    let llc = ctx.sys.llc_capacity() as f64;
+    for d in &prodigy_workloads::graph::datasets::DATASETS {
+        let g = crate::workload_set::dataset_graph(d.name, ctx.scale, false);
+        t.row(vec![
+            d.name.into(),
+            d.stands_for.into(),
+            format!("{}", g.n()),
+            format!("{}", g.m()),
+            format!("{:.1}x", g.footprint_bytes() as f64 / llc),
+        ]);
+    }
+    format!("Table II — data sets (scale 1/{})\n{}", ctx.scale, t.render())
+}
+
+// ---------------------------------------------------------------- Fig. 2
+
+/// Fig. 2: DRAM-stall reduction and speedup highlight (pr on lj).
+pub fn fig02(ctx: &Ctx) -> String {
+    let spec = WorkloadSpec::graph("pr", "lj", ctx.scale);
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::Prodigy,
+    ];
+    ctx.warm(kinds.iter().map(|&k| Cell::new(spec.clone(), k)).collect());
+    let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+    let base_dram = base.summary.stats.cpi.dram.max(1e-9);
+    let mut t = Table::new(&["prefetcher", "DRAM-stall (norm)", "speedup"]);
+    for k in kinds {
+        let out = ctx.run(&Cell::new(spec.clone(), k));
+        t.row(vec![
+            k.name().into(),
+            format!("{:.3}", out.summary.stats.cpi.dram / base_dram),
+            x(speedup(&base, &out)),
+        ]);
+    }
+    format!("Fig. 2 — pr-lj highlight (paper: 8.2x stall reduction, 2.9x speedup)\n{}", t.render())
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// Fig. 4: baseline (no-prefetch) execution-time breakdown for all 29
+/// workloads.
+pub fn fig04(ctx: &Ctx) -> String {
+    let roster = all_29(ctx.scale);
+    ctx.warm(
+        roster
+            .iter()
+            .map(|s| Cell::new(s.clone(), PrefetcherKind::None))
+            .collect(),
+    );
+    let mut t = Table::new(&[
+        "workload", "no-stall", "dram", "cache", "branch", "dep", "other", "stack",
+    ]);
+    let mut dram_fracs = Vec::new();
+    for spec in &roster {
+        let out = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+        let n = out.summary.stats.cpi.normalized();
+        dram_fracs.push(n.dram);
+        t.row(vec![
+            spec.name.clone(),
+            pct(n.no_stall),
+            pct(n.dram),
+            pct(n.cache),
+            pct(n.branch),
+            pct(n.dependency),
+            pct(n.other),
+            crate::report::cpi_bar(&out.summary.stats.cpi, 32),
+        ]);
+    }
+    format!(
+        "Fig. 4 — baseline CPI stacks (paper: DRAM stalls >50% on average; measured mean {})\n{}",
+        pct(mean(&dram_fracs)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+/// Fig. 12: PFHR file-size design-space exploration (normalised to 4).
+pub fn fig12(ctx: &Ctx) -> String {
+    let algs = per_algorithm(ctx.scale);
+    let sizes = [4usize, 8, 16, 32];
+    let mut cells = Vec::new();
+    for spec in &algs {
+        for &pf in &sizes {
+            let mut c = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
+            c.pfhr = pf;
+            cells.push(c);
+        }
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&["workload", "4", "8", "16", "32"]);
+    for spec in &algs {
+        let get = |pf: usize| {
+            let mut c = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
+            c.pfhr = pf;
+            ctx.run(&c).summary.stats.cycles as f64
+        };
+        let base = get(4);
+        t.row(vec![
+            spec.alg.to_string(),
+            "1.00".into(),
+            format!("{:.2}", base / get(8)),
+            format!("{:.2}", base / get(16)),
+            format!("{:.2}", base / get(32)),
+        ]);
+    }
+    format!("Fig. 12 — PFHR size sweep, speedup normalised to 4 registers (paper picks 16)\n{}", t.render())
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+/// Fig. 13: fraction of baseline LLC misses inside DIG-annotated structures.
+pub fn fig13(ctx: &Ctx) -> String {
+    let algs = per_algorithm(ctx.scale);
+    let cells: Vec<Cell> = algs
+        .iter()
+        .map(|s| {
+            let mut c = Cell::new(s.clone(), PrefetcherKind::None);
+            c.classify = true;
+            c
+        })
+        .collect();
+    ctx.warm(cells.clone());
+    let mut t = Table::new(&["workload", "prefetchable", "non-prefetchable"]);
+    let mut fracs = Vec::new();
+    for c in &cells {
+        let out = ctx.run(c);
+        let s = &out.summary.stats;
+        let total = (s.llc_misses_prefetchable + s.llc_misses_other).max(1);
+        let f = s.llc_misses_prefetchable as f64 / total as f64;
+        fracs.push(f);
+        t.row(vec![c.spec.alg.to_string(), pct(f), pct(1.0 - f)]);
+    }
+    format!(
+        "Fig. 13 — prefetchable LLC misses (paper avg 96.4%; measured avg {})\n{}",
+        pct(mean(&fracs)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 14
+
+/// Fig. 14: CPI stacks and speedup of Prodigy vs the non-prefetching
+/// baseline over all 29 workloads.
+pub fn fig14(ctx: &Ctx) -> String {
+    let roster = all_29(ctx.scale);
+    let mut cells = Vec::new();
+    for s in &roster {
+        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
+        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&[
+        "workload", "base dram%", "prodigy CPI (norm)", "dram cut", "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    let mut dram_cuts = Vec::new();
+    for spec in &roster {
+        let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+        let pro = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
+        let sp = speedup(&base, &pro);
+        speedups.push(sp);
+        let bn = base.summary.stats.cpi.normalized();
+        let cut = 1.0
+            - (pro.summary.stats.cpi.dram / base.summary.stats.cpi.dram.max(1e-9)).min(1.0);
+        dram_cuts.push(cut);
+        t.row(vec![
+            spec.name.clone(),
+            pct(bn.dram),
+            format!(
+                "{:.2}",
+                pro.summary.stats.cycles as f64 / base.summary.stats.cycles.max(1) as f64
+            ),
+            pct(cut),
+            x(sp),
+        ]);
+    }
+    format!(
+        "Fig. 14 — Prodigy vs baseline (paper: 2.6x mean speedup, 80.3% DRAM-stall cut; measured geomean {} / mean DRAM cut {})\n{}",
+        x(geomean(&speedups)),
+        pct(mean(&dram_cuts)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 15
+
+/// Fig. 15: where prefetched data is when demanded.
+pub fn fig15(ctx: &Ctx) -> String {
+    let algs = per_algorithm(ctx.scale);
+    ctx.warm(
+        algs.iter()
+            .map(|s| Cell::new(s.clone(), PrefetcherKind::Prodigy))
+            .collect(),
+    );
+    let mut t = Table::new(&["workload", "L1 hit", "L2 hit", "L3 hit", "evicted unused"]);
+    let mut accs = Vec::new();
+    for spec in &algs {
+        let out = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
+        let u = out.summary.stats.prefetch_use;
+        let total = u.resolved().max(1) as f64;
+        accs.push(u.accuracy());
+        t.row(vec![
+            spec.alg.to_string(),
+            pct(u.hit_l1 as f64 / total),
+            pct(u.hit_l2 as f64 / total),
+            pct(u.hit_l3 as f64 / total),
+            pct(u.evicted_unused as f64 / total),
+        ]);
+    }
+    format!(
+        "Fig. 15 — prefetch usefulness (paper avg accuracy 62.7%; measured avg {})\n{}",
+        pct(mean(&accs)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 16
+
+/// Fig. 16: percentage of prefetchable LLC misses converted into hits.
+pub fn fig16(ctx: &Ctx) -> String {
+    let algs = per_algorithm(ctx.scale);
+    let mut cells = Vec::new();
+    for s in &algs {
+        for k in [PrefetcherKind::None, PrefetcherKind::Prodigy] {
+            let mut c = Cell::new(s.clone(), k);
+            c.classify = true;
+            cells.push(c);
+        }
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&["workload", "converted"]);
+    let mut fr = Vec::new();
+    for spec in &algs {
+        let get = |k| {
+            let mut c = Cell::new(spec.clone(), k);
+            c.classify = true;
+            ctx.run(&c)
+        };
+        let base = get(PrefetcherKind::None);
+        let pro = get(PrefetcherKind::Prodigy);
+        let b = base.summary.stats.llc_misses_prefetchable.max(1) as f64;
+        let p = pro.summary.stats.llc_misses_prefetchable as f64;
+        let conv = (1.0 - p / b).max(0.0);
+        fr.push(conv);
+        t.row(vec![spec.alg.to_string(), pct(conv)]);
+    }
+    format!(
+        "Fig. 16 — prefetchable misses converted to hits (paper avg 85.1%; measured avg {})\n{}",
+        pct(mean(&fr)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 17
+
+/// Fig. 17: Prodigy vs Ainsworth & Jones, DROPLET and IMP.
+pub fn fig17(ctx: &Ctx) -> String {
+    let algs = per_algorithm(ctx.scale);
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::AinsworthJones,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::Imp,
+        PrefetcherKind::Prodigy,
+    ];
+    let mut cells = Vec::new();
+    for s in &algs {
+        for &k in &kinds {
+            if k.graph_specific() && !s.is_graph() {
+                continue;
+            }
+            cells.push(Cell::new(s.clone(), k));
+        }
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&["workload", "A&J", "DROPLET", "IMP", "prodigy"]);
+    let mut collect: HashMap<&str, Vec<f64>> = HashMap::new();
+    for spec in &algs {
+        let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+        let sp = |k: PrefetcherKind| -> Option<f64> {
+            if k.graph_specific() && !spec.is_graph() {
+                return None;
+            }
+            Some(speedup(&base, &ctx.run(&Cell::new(spec.clone(), k))))
+        };
+        let aj = sp(PrefetcherKind::AinsworthJones);
+        let dr = sp(PrefetcherKind::Droplet);
+        let im = sp(PrefetcherKind::Imp);
+        let pr = sp(PrefetcherKind::Prodigy);
+        for (name, v) in [("aj", aj), ("droplet", dr), ("imp", im), ("prodigy", pr)] {
+            if let Some(v) = v {
+                collect.entry(name).or_default().push(v);
+            }
+        }
+        let f = |v: Option<f64>| v.map(x).unwrap_or_else(|| "-".into());
+        t.row(vec![spec.alg.to_string(), f(aj), f(dr), f(im), f(pr)]);
+    }
+    let g = |n: &str| geomean(collect.get(n).map(|v| v.as_slice()).unwrap_or(&[]));
+    format!(
+        "Fig. 17 — speedup over no-prefetching (paper: Prodigy beats A&J 1.5x, DROPLET 1.6x, IMP 2.3x)\n{}\ngeomean: A&J {}  DROPLET {}  IMP {}  prodigy {}\n",
+        t.render(),
+        x(g("aj")),
+        x(g("droplet")),
+        x(g("imp")),
+        x(g("prodigy")),
+    )
+}
+
+// ---------------------------------------------------------------- Table III
+
+/// Table III: best-reported speedup comparison against prior work.
+pub fn table3(ctx: &Ctx) -> String {
+    // Reuses the Fig. 14 roster cache: best data set per algorithm.
+    let roster = all_29(ctx.scale);
+    let mut cells = Vec::new();
+    for s in &roster {
+        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
+        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
+    }
+    ctx.warm(cells);
+    let best = |alg: &str| -> f64 {
+        roster
+            .iter()
+            .filter(|s| s.alg == alg)
+            .map(|s| {
+                let b = ctx.run(&Cell::new(s.clone(), PrefetcherKind::None));
+                let p = ctx.run(&Cell::new(s.clone(), PrefetcherKind::Prodigy));
+                speedup(&b, &p)
+            })
+            .fold(0.0, f64::max)
+    };
+    let rows: [(&str, &[&str], f64); 3] = [
+        ("Ainsworth & Jones [6]", &["bc", "bfs", "cc", "pr"], 2.4),
+        ("DROPLET [15]", &["bc", "bfs", "cc", "pr", "sssp"], 1.9),
+        ("IMP [99]", &["bfs", "pr", "spmv", "symgs"], 1.8),
+    ];
+    let mut t = Table::new(&["prior work", "algorithms", "their best", "prodigy (measured)"]);
+    for (name, algs, theirs) in rows {
+        let ours = geomean(&algs.iter().map(|a| best(a)).collect::<Vec<_>>());
+        t.row(vec![
+            name.into(),
+            algs.join(","),
+            x(theirs),
+            x(ours),
+        ]);
+    }
+    format!(
+        "Table III — best-reported speedups over no-prefetching (paper's Prodigy column: 2.8x / 2.9x / 4.6x)\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 18
+
+/// Fig. 18: Prodigy on HubSort-reordered graphs.
+pub fn fig18(ctx: &Ctx) -> String {
+    let datasets = ["lj", "po"];
+    let mut cells = Vec::new();
+    for alg in crate::workload_set::GRAPH_ALGS {
+        for d in datasets {
+            let spec = WorkloadSpec::graph(alg, d, ctx.scale).reordered();
+            cells.push(Cell::new(spec.clone(), PrefetcherKind::None));
+            cells.push(Cell::new(spec, PrefetcherKind::Prodigy));
+        }
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&["algorithm", "speedup (reordered graphs)"]);
+    let mut all = Vec::new();
+    for alg in crate::workload_set::GRAPH_ALGS {
+        let mut sps = Vec::new();
+        for d in datasets {
+            let spec = WorkloadSpec::graph(alg, d, ctx.scale).reordered();
+            let b = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+            let p = ctx.run(&Cell::new(spec, PrefetcherKind::Prodigy));
+            sps.push(speedup(&b, &p));
+        }
+        let gm = geomean(&sps);
+        all.push(gm);
+        t.row(vec![alg.into(), x(gm)]);
+    }
+    format!(
+        "Fig. 18 — Prodigy on HubSort-reordered graphs (paper geomean 2.3x; measured {})\n{}",
+        x(geomean(&all)),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 19
+
+/// Fig. 19: energy of Prodigy normalised to the baseline.
+pub fn fig19(ctx: &Ctx) -> String {
+    let roster = all_29(ctx.scale);
+    let mut cells = Vec::new();
+    for s in &roster {
+        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
+        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
+    }
+    ctx.warm(cells);
+    let mut t = Table::new(&["workload", "core", "cache", "dram", "other", "total (norm)"]);
+    let mut savings = Vec::new();
+    for spec in &roster {
+        let b = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+        let p = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
+        let bt = b.summary.energy.total().max(1e-18);
+        let pe = &p.summary.energy;
+        savings.push(bt / pe.total().max(1e-18));
+        t.row(vec![
+            spec.name.clone(),
+            format!("{:.3}", pe.core / bt),
+            format!("{:.3}", pe.cache / bt),
+            format!("{:.3}", pe.dram / bt),
+            format!("{:.3}", pe.other / bt),
+            format!("{:.3}", pe.total() / bt),
+        ]);
+    }
+    format!(
+        "Fig. 19 — Prodigy energy normalised to baseline (paper: 1.6x average savings; measured mean {})\n{}",
+        x(mean(&savings)),
+        t.render()
+    )
+}
+
+// ------------------------------------------------------- §VI-C statistics
+
+/// §VI-C: share of Prodigy's indirection prefetches issued through ranged
+/// edges (paper: 35.4–75.9%, mean 55.3% on graph algorithms).
+pub fn stat_ranged_share(ctx: &Ctx) -> String {
+    let algs: Vec<WorkloadSpec> = per_algorithm(ctx.scale)
+        .into_iter()
+        .filter(|s| s.is_graph())
+        .collect();
+    ctx.warm(
+        algs.iter()
+            .map(|s| Cell::new(s.clone(), PrefetcherKind::Prodigy))
+            .collect(),
+    );
+    let mut t = Table::new(&["workload", "ranged share"]);
+    let mut shares = Vec::new();
+    for spec in &algs {
+        let out = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
+        let share = out.prodigy.map(|p| p.ranged_share()).unwrap_or(0.0);
+        shares.push(share);
+        t.row(vec![spec.name.clone(), pct(share)]);
+    }
+    format!(
+        "§VI-C — ranged-indirection share of prefetches (paper mean 55.3%; measured mean {})\n{}",
+        pct(mean(&shares)),
+        t.render()
+    )
+}
+
+/// §VI-C: software prefetching vs Prodigy on PageRank.
+pub fn stat_software_prefetch(ctx: &Ctx) -> String {
+    let spec = WorkloadSpec::graph("pr", "lj", ctx.scale);
+    ctx.warm(vec![
+        Cell::new(spec.clone(), PrefetcherKind::None),
+        Cell::new(spec.clone(), PrefetcherKind::Prodigy),
+    ]);
+    let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+    let pro = ctx.run(&Cell::new(spec, PrefetcherKind::Prodigy));
+    // Software-prefetch variant: same graph, instrumented kernel, no
+    // hardware prefetcher.
+    let g = crate::workload_set::dataset_graph("lj", ctx.scale, false);
+    let mut k = PageRank::new((*g).clone(), 3)
+        .with_software_prefetch(prodigy_workloads::swpf::SwPrefetchSpec::default().distance);
+    let sw = run_workload(
+        &mut k,
+        &RunConfig {
+            sys: ctx.sys,
+            prefetcher: PrefetcherKind::None,
+            ..RunConfig::default()
+        },
+    );
+    let mut t = Table::new(&["variant", "speedup over baseline"]);
+    t.row(vec!["software prefetching".into(), x(speedup(&base, &sw))]);
+    t.row(vec!["prodigy".into(), x(speedup(&base, &pro))]);
+    format!(
+        "§VI-C — software prefetching on pr (paper: +7.6% for software vs ~2x for Prodigy)\n{}",
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------ §VI-E storage
+
+/// §VI-E: hardware storage comparison.
+pub fn table_storage(_ctx: &Ctx) -> String {
+    let prodigy_bits = prodigy::storage::total_bits(&ProdigyConfig::default());
+    let mut t = Table::new(&["prefetcher", "storage", "vs prodigy"]);
+    let mut add = |name: &str, bits: u64| {
+        t.row(vec![
+            name.into(),
+            format!("{:.2} KB", bits as f64 / 8192.0),
+            format!("{:.1}x", bits as f64 / prodigy_bits as f64),
+        ]);
+    };
+    add("prodigy (this work)", prodigy_bits);
+    let pp = ProdigyPrefetcher::default();
+    debug_assert_eq!(pp.storage_bits(), prodigy_bits);
+    add(
+        "stride",
+        prodigy_prefetchers::StridePrefetcher::default().storage_bits(),
+    );
+    add(
+        "ghb g/dc",
+        prodigy_prefetchers::GhbGdcPrefetcher::default().storage_bits(),
+    );
+    add(
+        "imp (paper: 1.4x)",
+        prodigy_prefetchers::ImpPrefetcher::default().storage_bits(),
+    );
+    // A&J / DROPLET need a layout hint; any valid one reports the design's
+    // storage.
+    let mut dig = prodigy::Dig::new();
+    let a = dig.node(0x1000, 16, 4);
+    let b = dig.node(0x2000, 17, 4);
+    let c = dig.node(0x3000, 64, 4);
+    let d = dig.node(0x4000, 16, 4);
+    dig.edge(a, b, prodigy::EdgeKind::SingleValued);
+    dig.edge(b, c, prodigy::EdgeKind::Ranged);
+    dig.edge(c, d, prodigy::EdgeKind::SingleValued);
+    dig.trigger(a, prodigy::TriggerSpec::default());
+    add(
+        "ainsworth&jones (paper: 2x)",
+        prodigy_prefetchers::AinsworthJonesPrefetcher::from_dig(&dig)
+            .expect("valid dig")
+            .storage_bits(),
+    );
+    add(
+        "droplet (paper: 9.7x)",
+        prodigy_prefetchers::DropletPrefetcher::from_dig(&dig)
+            .expect("valid dig")
+            .storage_bits(),
+    );
+    format!(
+        "§VI-E — storage overhead (paper: Prodigy 0.8 KB = 0.53 KB DIG + 0.26 KB PFHR)\n{}",
+        Table::render(&t)
+    )
+}
+
+// ---------------------------------------------------------- §VI-F scaling
+
+/// §VI-F: core-count scaling of the baseline vs 8-core Prodigy.
+pub fn scalability(ctx: &Ctx) -> String {
+    let spec = WorkloadSpec::graph("pr", "lj", ctx.scale);
+    let counts = [1u32, 2, 4, 8, 16, 32, 40];
+    let mut cells: Vec<Cell> = counts
+        .iter()
+        .map(|&c| {
+            let mut cell = Cell::new(spec.clone(), PrefetcherKind::None);
+            cell.cores = c;
+            cell
+        })
+        .collect();
+    let mut pcell = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
+    pcell.cores = 8;
+    cells.push(pcell.clone());
+    ctx.warm(cells);
+    let one = {
+        let mut c = Cell::new(spec.clone(), PrefetcherKind::None);
+        c.cores = 1;
+        ctx.run(&c).summary.stats.cycles as f64
+    };
+    let mut t = Table::new(&["config", "speedup vs 1 core", "DRAM BW util"]);
+    let peak = prodigy_sim::MemorySystem::new(ctx.sys).peak_dram_bytes_per_cycle();
+    for &c in &counts {
+        let mut cell = Cell::new(spec.clone(), PrefetcherKind::None);
+        cell.cores = c;
+        let out = ctx.run(&cell);
+        let s = &out.summary.stats;
+        let bw = (s.dram_reads + s.dram_writes) as f64 * 64.0 / s.cycles.max(1) as f64;
+        t.row(vec![
+            format!("baseline {c} cores"),
+            x(one / s.cycles.max(1) as f64),
+            pct(bw / peak),
+        ]);
+    }
+    let out = ctx.run(&pcell);
+    let s = &out.summary.stats;
+    let bw = (s.dram_reads + s.dram_writes) as f64 * 64.0 / s.cycles.max(1) as f64;
+    t.row(vec![
+        "prodigy 8 cores".into(),
+        x(one / s.cycles.max(1) as f64),
+        pct(bw / peak),
+    ]);
+    format!(
+        "§VI-F — scalability (paper: 8-core Prodigy ≈ 40-core baseline at 5x less area)\n{}",
+        t.render()
+    )
+}
+
+// ------------------------------------------------------------- extensions
+
+/// Extension (paper §V-B footnote 3): direction-optimizing BFS with
+/// runtime DIG reconfiguration at each direction switch.
+pub fn ext_dobfs(ctx: &Ctx) -> String {
+    use prodigy_workloads::kernels::DoBfs;
+    let g = crate::workload_set::dataset_graph("lj", ctx.scale, false);
+    let src = crate::workload_set::best_source(&g);
+    let mut rows = Vec::new();
+    let mut base_cycles = 0u64;
+    for kind in [PrefetcherKind::None, PrefetcherKind::Prodigy] {
+        let mut k = DoBfs::new((*g).clone(), src, 15);
+        let out = run_workload(
+            &mut k,
+            &RunConfig {
+                sys: ctx.sys,
+                prefetcher: kind,
+                ..RunConfig::default()
+            },
+        );
+        let c = out.summary.stats.cycles;
+        if kind == PrefetcherKind::None {
+            base_cycles = c;
+        }
+        rows.push((
+            kind.name(),
+            c,
+            base_cycles as f64 / c.max(1) as f64,
+            k.switches,
+            k.bottom_up_levels,
+        ));
+    }
+    let mut t = Table::new(&["prefetcher", "cycles", "speedup", "dir switches", "bottom-up levels"]);
+    for (n, c, s, sw, bu) in rows {
+        t.row(vec![n.into(), c.to_string(), x(s), sw.to_string(), bu.to_string()]);
+    }
+    format!(
+        "Extension — direction-optimizing BFS with runtime DIG reconfiguration (§V-B fn.3, §IV-F)\n{}",
+        t.render()
+    )
+}
+
+/// §VI-G limitations case study: triangle counting's branch-dependent
+/// loads defeat Prodigy's control-flow-blind prefetching.
+pub fn limits_tc(ctx: &Ctx) -> String {
+    use prodigy_workloads::kernels::{Bfs, Tc};
+    // Triangle counting touches Θ(Σ deg²) edge pairs; run it on a smaller
+    // instance of the same graph family than the streaming kernels use.
+    let g = crate::workload_set::dataset_graph("po", ctx.scale.saturating_mul(8).max(8), false);
+    let src = crate::workload_set::best_source(&g);
+    let mut t = Table::new(&["workload", "prodigy speedup", "prefetch accuracy"]);
+    // Contrast against bfs on the same input.
+    let mut rows = Vec::new();
+    {
+        let base = {
+            let mut k = Bfs::new((*g).clone(), src);
+            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::None, ..RunConfig::default() })
+        };
+        let pro = {
+            let mut k = Bfs::new((*g).clone(), src);
+            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::Prodigy, ..RunConfig::default() })
+        };
+        rows.push(("bfs (control)", speedup(&base, &pro), pro.summary.stats.prefetch_use.accuracy()));
+    }
+    {
+        let base = {
+            let mut k = Tc::new((*g).clone());
+            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::None, ..RunConfig::default() })
+        };
+        let pro = {
+            let mut k = Tc::new((*g).clone());
+            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::Prodigy, ..RunConfig::default() })
+        };
+        rows.push(("tc (branch-dependent)", speedup(&base, &pro), pro.summary.stats.prefetch_use.accuracy()));
+    }
+    for (name, sp, acc) in rows {
+        t.row(vec![name.into(), x(sp), pct(acc)]);
+    }
+    format!(
+        "§VI-G — limitations: tc's ID-pruned traversal gives Prodigy less to win (paper predicts muted gains)\n{}",
+        t.render()
+    )
+}
+
+/// Extension (paper §IV-G future work): feedback-directed throttling.
+pub fn ext_throttle(ctx: &Ctx) -> String {
+    use prodigy::throttle::ThrottleSpec;
+    let spec = WorkloadSpec::graph("cc", "lj", ctx.scale);
+    let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
+    let plain = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
+    // Throttled run (not cached: distinct config).
+    let mut k = spec.instantiate();
+    let throttled = run_workload(
+        k.as_mut(),
+        &RunConfig {
+            sys: ctx.sys,
+            prefetcher: PrefetcherKind::Prodigy,
+            prodigy: ProdigyConfig {
+                throttle: Some(ThrottleSpec::default()),
+                ..ProdigyConfig::default()
+            },
+            classify_llc: false,
+        },
+    );
+    let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);
+    let acc = |o: &RunOutcome| pct(o.summary.stats.prefetch_use.accuracy());
+    t.row(vec![
+        "prodigy".into(),
+        x(speedup(&base, &plain)),
+        acc(&plain),
+    ]);
+    t.row(vec![
+        "prodigy + FDP throttle".into(),
+        x(speedup(&base, &throttled)),
+        acc(&throttled),
+    ]);
+    format!(
+        "Extension — feedback-directed throttling (§IV-G future work) on cc-lj\n{}",
+        t.render()
+    )
+}
+
+/// Runs every experiment whose name contains one of `filters` (all when
+/// empty), printing and returning the combined report.
+pub fn run_all(ctx: &Ctx, filters: &[String]) -> String {
+    let experiments: Vec<(&str, fn(&Ctx) -> String)> = vec![
+        ("table1", table1),
+        ("table2", table2),
+        ("fig02", fig02),
+        ("fig04", fig04),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("table3", table3),
+        ("fig18", fig18),
+        ("fig19", fig19),
+        ("ranged", stat_ranged_share),
+        ("swpf", stat_software_prefetch),
+        ("storage", table_storage),
+        ("scalability", scalability),
+        ("limits_tc", limits_tc),
+        ("ext_dobfs", ext_dobfs),
+        ("ext_throttle", ext_throttle),
+    ];
+    let mut out = String::new();
+    for (name, f) in experiments {
+        if !filters.is_empty() && !filters.iter().any(|x| name.contains(x.as_str())) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let text = f(ctx);
+        println!("{text}");
+        println!("[{name}: {:.1}s]\n", t0.elapsed().as_secs_f64());
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ctx() -> Ctx {
+        // Very small inputs; machine scaled accordingly.
+        let mut ctx = Ctx::new(64);
+        ctx.sys = SystemConfig::scaled(64).with_cores(2);
+        ctx
+    }
+
+    #[test]
+    fn cells_are_memoised() {
+        let ctx = quick_ctx();
+        let c = Cell::new(WorkloadSpec::plain("is", 256), PrefetcherKind::None);
+        let a = ctx.run(&c);
+        let b = ctx.run(&c);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn warm_populates_cache_in_parallel() {
+        let ctx = quick_ctx();
+        let cells: Vec<Cell> = [PrefetcherKind::None, PrefetcherKind::Prodigy]
+            .into_iter()
+            .map(|k| Cell::new(WorkloadSpec::plain("is", 256), k))
+            .collect();
+        ctx.warm(cells.clone());
+        for c in &cells {
+            assert!(ctx.cache.lock().contains_key(&c.key()));
+        }
+    }
+
+    #[test]
+    fn fig02_reports_four_prefetchers() {
+        let ctx = quick_ctx();
+        let text = fig02(&ctx);
+        for needle in ["none", "ghb-gdc", "droplet", "prodigy", "speedup"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn storage_table_shows_prodigy_smallest_of_graph_designs() {
+        let ctx = quick_ctx();
+        let text = table_storage(&ctx);
+        assert!(text.contains("0.8"));
+        assert!(text.contains("droplet"));
+    }
+}

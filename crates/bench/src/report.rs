@@ -1,0 +1,171 @@
+//! Small table-formatting and statistics helpers for experiment output.
+
+/// Geometric mean (ignores non-positive values; 0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .take(cols)
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Renders a CPI stack as a fixed-width ASCII bar, one glyph class per
+/// bucket (`.` no-stall, `D` DRAM, `c` cache, `b` branch, `d` dependency,
+/// `o` other) — a terminal stand-in for the paper's stacked-bar figures.
+pub fn cpi_bar(stack: &prodigy_sim::CpiStack, width: usize) -> String {
+    let n = stack.normalized();
+    let mut out = String::with_capacity(width);
+    let parts = [
+        (n.no_stall, '.'),
+        (n.dram, 'D'),
+        (n.cache, 'c'),
+        (n.branch, 'b'),
+        (n.dependency, 'd'),
+        (n.other, 'o'),
+    ];
+    let mut emitted = 0usize;
+    for (i, &(frac, ch)) in parts.iter().enumerate() {
+        let mut k = (frac * width as f64).round() as usize;
+        if i == parts.len() - 1 {
+            k = width.saturating_sub(emitted);
+        }
+        let k = k.min(width - emitted);
+        out.extend(std::iter::repeat_n(ch, k));
+        emitted += k;
+    }
+    out
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[0.0, 3.0]) - 3.0).abs() < 1e-12, "zeros skipped");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(x(2.556), "2.56x");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod bar_tests {
+    use super::*;
+    use prodigy_sim::CpiStack;
+
+    #[test]
+    fn cpi_bar_has_exact_width_and_reflects_shares() {
+        let stack = CpiStack {
+            no_stall: 25.0,
+            dram: 50.0,
+            cache: 0.0,
+            branch: 25.0,
+            dependency: 0.0,
+            other: 0.0,
+        };
+        let bar = cpi_bar(&stack, 32);
+        assert_eq!(bar.len(), 32);
+        let dram = bar.chars().filter(|&c| c == 'D').count();
+        assert!((15..=17).contains(&dram), "DRAM half of the bar: {bar}");
+        assert!(bar.starts_with("........"), "{bar}");
+    }
+
+    #[test]
+    fn empty_stack_renders_all_other() {
+        let bar = cpi_bar(&CpiStack::default(), 10);
+        assert_eq!(bar.len(), 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! The paper's 29-workload roster (§V-B): five GAP graph algorithms × five
+//! Table II data sets, plus spmv, symgs, cg and is.
+
+use parking_lot::Mutex;
+use prodigy_workloads::graph::csr::{Csr, WeightedCsr};
+use prodigy_workloads::graph::datasets::Dataset;
+use prodigy_workloads::graph::generators;
+use prodigy_workloads::kernels::{Bc, Bfs, Cc, Cg, IntSort, Kernel, PageRank, Spmv, Sssp, Symgs};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The five GAP algorithms, in the paper's order.
+pub const GRAPH_ALGS: [&str; 5] = ["bc", "bfs", "cc", "pr", "sssp"];
+/// The HPCG and NAS kernels.
+pub const NON_GRAPH_ALGS: [&str; 4] = ["spmv", "symgs", "cg", "is"];
+
+/// A buildable workload instance: algorithm plus input.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Figure label ("bfs-lj", "spmv", ...).
+    pub name: String,
+    /// Algorithm ("bfs", ...).
+    pub alg: &'static str,
+    /// Data set short name for graph algorithms.
+    pub dataset: Option<&'static str>,
+    /// Scale divisor (larger = smaller input).
+    pub scale: u32,
+    /// Whether to HubSort-reorder the input graph (Fig. 18).
+    pub reorder: bool,
+}
+
+fn graph_cache() -> &'static Mutex<HashMap<(String, u32, bool), Arc<Csr>>> {
+    static CACHE: OnceLock<Mutex<HashMap<(String, u32, bool), Arc<Csr>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Instantiates (and caches) a Table II graph at the given scale.
+pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
+    let key = (name.to_string(), scale, reorder);
+    if let Some(g) = graph_cache().lock().get(&key) {
+        return Arc::clone(g);
+    }
+    let d = Dataset::by_name(name).expect("unknown dataset");
+    let mut g = d.instantiate(scale);
+    if reorder {
+        let r = prodigy_workloads::graph::reorder::hubsort(&g);
+        g = prodigy_workloads::graph::reorder::apply(&g, &r);
+    }
+    let arc = Arc::new(g);
+    graph_cache().lock().insert(key, Arc::clone(&arc));
+    arc
+}
+
+/// Vertex with the highest out-degree — the traversal source, so BFS-family
+/// runs cover most of the graph.
+pub fn best_source(g: &Csr) -> u32 {
+    (0..g.n()).max_by_key(|&v| g.degree(v)).unwrap_or(0)
+}
+
+impl WorkloadSpec {
+    /// Graph-algorithm instance.
+    pub fn graph(alg: &'static str, dataset: &'static str, scale: u32) -> Self {
+        WorkloadSpec {
+            name: format!("{alg}-{dataset}"),
+            alg,
+            dataset: Some(dataset),
+            scale,
+            reorder: false,
+        }
+    }
+
+    /// Non-graph instance.
+    pub fn plain(alg: &'static str, scale: u32) -> Self {
+        WorkloadSpec {
+            name: alg.to_string(),
+            alg,
+            dataset: None,
+            scale,
+            reorder: false,
+        }
+    }
+
+    /// Returns a copy operating on the HubSort-reordered input.
+    pub fn reordered(mut self) -> Self {
+        self.reorder = true;
+        self
+    }
+
+    /// Builds a fresh kernel instance.
+    ///
+    /// # Panics
+    /// Panics on an unknown algorithm name.
+    pub fn instantiate(&self) -> Box<dyn Kernel + Send> {
+        match self.alg {
+            "bc" | "bfs" | "cc" | "pr" | "sssp" => {
+                let g = dataset_graph(self.dataset.expect("graph alg"), self.scale, self.reorder);
+                let src = best_source(&g);
+                match self.alg {
+                    "bc" => Box::new(Bc::new((*g).clone(), src)),
+                    "bfs" => Box::new(Bfs::new((*g).clone(), src)),
+                    "cc" => Box::new(Cc::new((*g).clone(), 6)),
+                    "pr" => Box::new(PageRank::new((*g).clone(), 3)),
+                    "sssp" => {
+                        Box::new(Sssp::new(WeightedCsr::from_csr((*g).clone(), 71, 64), src, 24))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "spmv" | "symgs" => {
+                // HPCG 27-point stencil problem, dimension scaled.
+                let s = ((40.0 / (self.scale as f64).cbrt()).round() as u32).max(8);
+                let m = generators::stencil27(s, s, s);
+                if self.alg == "spmv" {
+                    Box::new(Spmv::new(m, 0xC0FFEE))
+                } else {
+                    Box::new(Symgs::new(m, 0xC0FFEE))
+                }
+            }
+            "cg" => {
+                // NAS CG: random sparse SPD system (75k rows in the paper).
+                let n = (75_000 / self.scale).max(256);
+                let pattern = generators::uniform(n, n as u64 * 6, 0xCAFE);
+                Box::new(Cg::new(&pattern, 4, 0xCAFE))
+            }
+            "is" => {
+                // NAS IS: 33M keys in the paper, scaled down.
+                let keys = (2_000_000 / self.scale as u64).max(4096);
+                Box::new(IntSort::new(keys, (keys / 4).max(64) as u32, 0xBEEF))
+            }
+            other => panic!("unknown algorithm {other}"),
+        }
+    }
+
+    /// Whether this is a graph workload (A&J/DROPLET applicable).
+    pub fn is_graph(&self) -> bool {
+        self.dataset.is_some()
+    }
+}
+
+/// The full 29-workload roster of Figs. 4/14/19.
+pub fn all_29(scale: u32) -> Vec<WorkloadSpec> {
+    let mut v = Vec::with_capacity(29);
+    for alg in GRAPH_ALGS {
+        for d in &prodigy_workloads::graph::datasets::DATASETS {
+            v.push(WorkloadSpec::graph(alg, d.name, scale));
+        }
+    }
+    for alg in NON_GRAPH_ALGS {
+        v.push(WorkloadSpec::plain(alg, scale));
+    }
+    v
+}
+
+/// One workload per algorithm (9 entries, Figs. 12/13/15/16/17): graph
+/// algorithms use the `lj` stand-in, matching the paper's per-algorithm
+/// aggregation.
+pub fn per_algorithm(scale: u32) -> Vec<WorkloadSpec> {
+    let mut v: Vec<WorkloadSpec> = GRAPH_ALGS
+        .iter()
+        .map(|&a| WorkloadSpec::graph(a, "lj", scale))
+        .collect();
+    v.extend(NON_GRAPH_ALGS.iter().map(|&a| WorkloadSpec::plain(a, scale)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prodigy_workloads::kernels::FunctionalRunner;
+    use prodigy_workloads::PhaseRunner;
+
+    #[test]
+    fn roster_has_29_workloads() {
+        let r = all_29(16);
+        assert_eq!(r.len(), 29);
+        assert_eq!(r.iter().filter(|w| w.is_graph()).count(), 25);
+    }
+
+    #[test]
+    fn per_algorithm_has_nine() {
+        assert_eq!(per_algorithm(16).len(), 9);
+    }
+
+    #[test]
+    fn every_workload_instantiates_and_validates_its_dig() {
+        for spec in per_algorithm(64) {
+            let mut k = spec.instantiate();
+            let mut r = FunctionalRunner::new(2);
+            let dig = k.prepare(r.space_mut());
+            dig.validate()
+                .unwrap_or_else(|e| panic!("{}: invalid DIG: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn graph_cache_returns_same_instance() {
+        let a = dataset_graph("po", 64, false);
+        let b = dataset_graph("po", 64, false);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = dataset_graph("po", 64, true);
+        assert!(!Arc::ptr_eq(&a, &c), "reordered graph is distinct");
+    }
+
+    #[test]
+    fn best_source_picks_max_degree() {
+        let g = Csr::from_edges(4, &[(2, 0), (2, 1), (2, 3), (0, 1)]);
+        assert_eq!(best_source(&g), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Code generation: turning the symbolic pass output into the concrete
+//! registration prologue of an "instrumented binary" (Fig. 7c).
+//!
+//! The LLVM pass inserts API calls whose pointer arguments are SSA values;
+//! the concrete addresses only exist at run time. [`bind`] performs that
+//! run-time step: given the address (and, for parameters, the element
+//! count) each pointer value ends up with, it produces the
+//! [`prodigy::DigProgram`] the run-time library would execute.
+
+use crate::analysis::{default_trigger_spec, Instrumentation, SymCall};
+use crate::ir::{Inst, Module, ValueId};
+use prodigy::api::ApiCall;
+use prodigy::DigProgram;
+use std::collections::BTreeMap;
+
+/// Runtime binding of one pointer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The IR pointer value.
+    pub ptr: ValueId,
+    /// Its runtime base address.
+    pub base: u64,
+    /// Element count (overrides the static allocation size; required for
+    /// parameters whose size the pass cannot see).
+    pub elems: u64,
+    /// Element size in bytes.
+    pub elem_size: u8,
+}
+
+/// Binds an [`Instrumentation`] to runtime addresses, yielding the concrete
+/// registration prologue. Calls whose pointers have no binding are skipped
+/// — mirroring the runtime's behaviour of ignoring unresolvable
+/// registrations (Fig. 8d only registers edges whose nodes resolved).
+pub fn bind(inst: &Instrumentation, bindings: &[Binding]) -> DigProgram {
+    let by_ptr: BTreeMap<ValueId, &Binding> = bindings.iter().map(|b| (b.ptr, b)).collect();
+    let mut prog = DigProgram::new();
+    let mut next_id = 0u8;
+    for call in inst.calls() {
+        match *call {
+            SymCall::Node { ptr, elems, elem_size } => {
+                let Some(b) = by_ptr.get(&ptr) else { continue };
+                let elems = if b.elems != 0 { b.elems } else { elems };
+                prog.push(ApiCall::RegisterNode {
+                    base: b.base,
+                    elems,
+                    elem_size: if b.elem_size != 0 { b.elem_size } else { elem_size },
+                    id: next_id,
+                });
+                next_id = next_id.wrapping_add(1);
+            }
+            SymCall::TravEdge { src, dst, kind } => {
+                let (Some(s), Some(d)) = (by_ptr.get(&src), by_ptr.get(&dst)) else {
+                    continue;
+                };
+                prog.push(ApiCall::RegisterTravEdge {
+                    src_addr: s.base,
+                    dst_addr: d.base,
+                    kind,
+                });
+            }
+            SymCall::TrigEdge { ptr, direction } => {
+                let Some(b) = by_ptr.get(&ptr) else { continue };
+                prog.push(ApiCall::RegisterTrigEdge {
+                    addr: b.base,
+                    spec: default_trigger_spec(direction),
+                });
+            }
+        }
+    }
+    prog
+}
+
+/// Renders a module with its instrumentation as pseudo-IR text (the shape
+/// of Fig. 7c), for documentation and debugging.
+pub fn render(m: &Module, inst: &Instrumentation) -> String {
+    let mut out = String::new();
+    for c in inst.calls() {
+        match c {
+            SymCall::Node { ptr, elems, elem_size } => out.push_str(&format!(
+                "  call @registerNode(ptr %{}, i64 {}, i32 {})\n",
+                ptr.0, elems, elem_size
+            )),
+            SymCall::TravEdge { src, dst, kind } => out.push_str(&format!(
+                "  call @registerTravEdge(ptr %{}, ptr %{}, {:?})\n",
+                src.0, dst.0, kind
+            )),
+            SymCall::TrigEdge { ptr, .. } => out.push_str(&format!(
+                "  call @registerTrigEdge(ptr %{}, w2)\n",
+                ptr.0
+            )),
+        }
+    }
+    for f in &m.functions {
+        out.push_str(&format!("define @{}(", f.name));
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("ptr %{}", p.0));
+        }
+        out.push_str(") {\n");
+        render_insts(&f.body, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn render_insts(insts: &[Inst], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for i in insts {
+        match i {
+            Inst::Alloc { dst, elems, elem_size } => {
+                out.push_str(&format!("{pad}%{} = alloc {} x i{}\n", dst.0, elems, elem_size * 8));
+            }
+            Inst::Gep { dst, base, index, scale } => {
+                out.push_str(&format!(
+                    "{pad}%{} = gep %{}, {:?}, x{}\n",
+                    dst.0, base.0, index, scale
+                ));
+            }
+            Inst::Load { dst, addr, size } => {
+                out.push_str(&format!("{pad}%{} = load i{}, %{}\n", dst.0, size * 8, addr.0));
+            }
+            Inst::Store { addr, value, size } => {
+                out.push_str(&format!("{pad}store i{}, {:?} -> %{}\n", size * 8, value, addr.0));
+            }
+            Inst::Add { dst, a, b } => {
+                out.push_str(&format!("{pad}%{} = add %{}, {:?}\n", dst.0, a.0, b));
+            }
+            Inst::Loop { iv, lo, hi, reverse, body } => {
+                out.push_str(&format!(
+                    "{pad}for %{} in {:?}..{:?}{} {{\n",
+                    iv.0,
+                    lo,
+                    hi,
+                    if *reverse { " rev" } else { "" }
+                ));
+                render_insts(body, depth + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Inst::Call { name, args } => {
+                out.push_str(&format!("{pad}call @{}({:?})\n", name, args));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::ir::{FnBuilder, Operand};
+    use prodigy::{EdgeKind, ProdigyPrefetcher};
+    use prodigy_sim::prefetch::Prefetcher;
+
+    fn simple() -> (Module, ValueId, ValueId) {
+        let mut f = FnBuilder::new("kernel");
+        let a = f.alloc(100, 4);
+        let b = f.alloc(100, 4);
+        f.loop_(Operand::Imm(0), Operand::Imm(100), false, |f, i| {
+            let pa = f.gep(a, Operand::Value(i), 4);
+            let v = f.load(pa, 4);
+            let pb = f.gep(b, Operand::Value(v), 4);
+            f.load(pb, 4);
+        });
+        (f.finish().into_module(), a, b)
+    }
+
+    #[test]
+    fn bind_produces_a_working_dig_program() {
+        let (m, a, b) = simple();
+        let inst = analyze(&m);
+        let prog = bind(
+            &inst,
+            &[
+                Binding { ptr: a, base: 0x1000, elems: 100, elem_size: 4 },
+                Binding { ptr: b, base: 0x2000, elems: 100, elem_size: 4 },
+            ],
+        );
+        let mut pf = ProdigyPrefetcher::default();
+        prog.apply(&mut pf);
+        assert_eq!(pf.node_table().rows().len(), 2);
+        assert_eq!(pf.edge_table().rows().len(), 1);
+        assert_eq!(pf.edge_table().rows()[0].kind, EdgeKind::SingleValued);
+        let (trig, _) = pf.node_table().trigger().expect("trigger set");
+        assert_eq!(trig.base, 0x1000);
+        let _ = pf.name();
+    }
+
+    #[test]
+    fn unbound_pointers_are_skipped() {
+        let (m, a, _) = simple();
+        let inst = analyze(&m);
+        let prog = bind(
+            &inst,
+            &[Binding { ptr: a, base: 0x1000, elems: 100, elem_size: 4 }],
+        );
+        // Node for `a` registers; the edge (needs b) and nothing else.
+        let nodes = prog
+            .calls()
+            .iter()
+            .filter(|c| matches!(c, ApiCall::RegisterNode { .. }))
+            .count();
+        let edges = prog
+            .calls()
+            .iter()
+            .filter(|c| matches!(c, ApiCall::RegisterTravEdge { .. }))
+            .count();
+        assert_eq!((nodes, edges), (1, 0));
+    }
+
+    #[test]
+    fn render_mentions_all_api_calls() {
+        let (m, _, _) = simple();
+        let inst = analyze(&m);
+        let text = render(&m, &inst);
+        assert!(text.contains("registerNode"));
+        assert!(text.contains("registerTravEdge"));
+        assert!(text.contains("registerTrigEdge"));
+        assert!(text.contains("define @kernel"));
+    }
+}

@@ -1,0 +1,339 @@
+//! A compact SSA-style mini-IR, the analysis substrate standing in for
+//! LLVM IR (Fig. 7c shows the original's shape).
+//!
+//! The IR is deliberately small: allocations, constants, address
+//! calculations (`gep`), loads/stores, integer adds, and *structured counted
+//! loops* (the only control flow irregular kernels need for indirection
+//! analysis). Values are SSA: each instruction defines at most one value,
+//! and loops introduce an induction-variable value.
+
+use serde::{Deserialize, Serialize};
+
+/// An SSA value id, unique within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+/// An operand: a value or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// An SSA value.
+    Value(ValueId),
+    /// A constant.
+    Imm(u64),
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = malloc(elems × elem_size)` — allocation of an array.
+    Alloc {
+        /// Defined pointer value.
+        dst: ValueId,
+        /// Number of elements.
+        elems: u64,
+        /// Element size in bytes.
+        elem_size: u8,
+    },
+    /// `dst = base + index × scale` — address calculation
+    /// (`getelementptr`).
+    Gep {
+        /// Defined address value.
+        dst: ValueId,
+        /// Base pointer.
+        base: ValueId,
+        /// Element index.
+        index: Operand,
+        /// Element size in bytes.
+        scale: u8,
+    },
+    /// `dst = load size, addr`.
+    Load {
+        /// Defined loaded value.
+        dst: ValueId,
+        /// Address (usually a `Gep` result).
+        addr: ValueId,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// `store value, addr`.
+    Store {
+        /// Address.
+        addr: ValueId,
+        /// Stored operand.
+        value: Operand,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// `dst = a + b`.
+    Add {
+        /// Defined value.
+        dst: ValueId,
+        /// Left operand.
+        a: ValueId,
+        /// Right operand.
+        b: Operand,
+    },
+    /// A counted loop `for iv in lo..hi { body }` (descending when
+    /// `reverse`).
+    Loop {
+        /// Induction variable defined by the loop.
+        iv: ValueId,
+        /// Lower bound.
+        lo: Operand,
+        /// Upper bound.
+        hi: Operand,
+        /// Iterate high-to-low when set (e.g. symgs' backward sweep).
+        reverse: bool,
+        /// Loop body.
+        body: Vec<Inst>,
+    },
+    /// An opaque call (compute we don't analyse).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+/// A function: parameters (incoming pointers) plus a body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter values (pointer arguments).
+    pub params: Vec<ValueId>,
+    /// Body instructions.
+    pub body: Vec<Inst>,
+}
+
+/// A module: one or more functions sharing a value-id space.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// The functions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Visits every instruction in every function, depth-first through loop
+    /// bodies, with the stack of enclosing loops passed along.
+    pub fn visit<'a>(&'a self, mut f: impl FnMut(&'a Inst, &[&'a Inst])) {
+        fn walk<'a>(
+            insts: &'a [Inst],
+            loops: &mut Vec<&'a Inst>,
+            f: &mut impl FnMut(&'a Inst, &[&'a Inst]),
+        ) {
+            for i in insts {
+                f(i, loops);
+                if let Inst::Loop { body, .. } = i {
+                    loops.push(i);
+                    walk(body, loops, f);
+                    loops.pop();
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for func in &self.functions {
+            walk(&func.body, &mut loops, &mut f);
+        }
+    }
+}
+
+/// Incremental builder for a [`Function`]. Each emitting method returns the
+/// defined [`ValueId`].
+#[derive(Debug)]
+pub struct FnBuilder {
+    name: String,
+    params: Vec<ValueId>,
+    stack: Vec<Vec<Inst>>,
+    next: u32,
+}
+
+impl FnBuilder {
+    /// Starts a function.
+    pub fn new(name: impl Into<String>) -> Self {
+        FnBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            stack: vec![Vec::new()],
+            next: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let v = ValueId(self.next);
+        self.next += 1;
+        v
+    }
+
+    fn emit(&mut self, i: Inst) {
+        self.stack.last_mut().expect("builder has a frame").push(i);
+    }
+
+    /// Declares a pointer parameter.
+    pub fn param(&mut self) -> ValueId {
+        let v = self.fresh();
+        self.params.push(v);
+        v
+    }
+
+    /// Emits an allocation.
+    pub fn alloc(&mut self, elems: u64, elem_size: u8) -> ValueId {
+        let dst = self.fresh();
+        self.emit(Inst::Alloc {
+            dst,
+            elems,
+            elem_size,
+        });
+        dst
+    }
+
+    /// Emits an address calculation.
+    pub fn gep(&mut self, base: ValueId, index: Operand, scale: u8) -> ValueId {
+        let dst = self.fresh();
+        self.emit(Inst::Gep {
+            dst,
+            base,
+            index,
+            scale,
+        });
+        dst
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, addr: ValueId, size: u8) -> ValueId {
+        let dst = self.fresh();
+        self.emit(Inst::Load { dst, addr, size });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, addr: ValueId, value: Operand, size: u8) {
+        self.emit(Inst::Store { addr, value, size });
+    }
+
+    /// Emits an add.
+    pub fn add(&mut self, a: ValueId, b: Operand) -> ValueId {
+        let dst = self.fresh();
+        self.emit(Inst::Add { dst, a, b });
+        dst
+    }
+
+    /// Emits an opaque call.
+    pub fn call(&mut self, name: impl Into<String>, args: Vec<Operand>) {
+        self.emit(Inst::Call {
+            name: name.into(),
+            args,
+        });
+    }
+
+    /// Emits a counted loop; `body` receives the builder and the induction
+    /// variable.
+    pub fn loop_(
+        &mut self,
+        lo: Operand,
+        hi: Operand,
+        reverse: bool,
+        body: impl FnOnce(&mut Self, ValueId),
+    ) -> ValueId {
+        let iv = self.fresh();
+        self.stack.push(Vec::new());
+        body(self, iv);
+        let b = self.stack.pop().expect("loop frame");
+        self.emit(Inst::Loop {
+            iv,
+            lo,
+            hi,
+            reverse,
+            body: b,
+        });
+        iv
+    }
+
+    /// Finalises the function.
+    ///
+    /// # Panics
+    /// Panics if a loop frame was left open (builder misuse).
+    pub fn finish(mut self) -> Function {
+        assert_eq!(self.stack.len(), 1, "unbalanced loop frames");
+        Function {
+            name: self.name,
+            params: self.params,
+            body: self.stack.pop().expect("root frame"),
+        }
+    }
+}
+
+impl Function {
+    /// Wraps the function in a single-function module.
+    pub fn into_module(self) -> Module {
+        Module {
+            functions: vec![self],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_nested_loops() {
+        let mut f = FnBuilder::new("k");
+        let a = f.alloc(10, 4);
+        f.loop_(Operand::Imm(0), Operand::Imm(10), false, |f, i| {
+            let p = f.gep(a, Operand::Value(i), 4);
+            let v = f.load(p, 4);
+            f.loop_(Operand::Imm(0), Operand::Value(v), false, |f, j| {
+                let q = f.gep(a, Operand::Value(j), 4);
+                f.load(q, 4);
+            });
+        });
+        let func = f.finish();
+        assert_eq!(func.body.len(), 2); // alloc + outer loop
+        let Inst::Loop { body, .. } = &func.body[1] else {
+            panic!("expected loop");
+        };
+        assert!(matches!(body[2], Inst::Loop { .. }));
+    }
+
+    #[test]
+    fn visit_reports_loop_context() {
+        let mut f = FnBuilder::new("k");
+        let a = f.alloc(4, 4);
+        f.loop_(Operand::Imm(0), Operand::Imm(4), false, |f, i| {
+            let p = f.gep(a, Operand::Value(i), 4);
+            f.load(p, 4);
+        });
+        let m = f.finish().into_module();
+        let mut depths = Vec::new();
+        m.visit(|i, loops| {
+            if matches!(i, Inst::Load { .. }) {
+                depths.push(loops.len());
+            }
+        });
+        assert_eq!(depths, vec![1]);
+    }
+
+    #[test]
+    fn values_are_unique() {
+        let mut f = FnBuilder::new("k");
+        let a = f.param();
+        let b = f.alloc(1, 4);
+        let c = f.gep(a, Operand::Imm(0), 4);
+        let d = f.load(c, 4);
+        let ids = [a, b, c, d];
+        let mut sorted = ids.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_frames_panic() {
+        let mut f = FnBuilder::new("k");
+        f.stack.push(Vec::new()); // simulate misuse
+        f.finish();
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based robustness of the compiler pass: arbitrary small IR
+//! modules must never panic the analyses, and every reported edge must be
+//! between registered/registerable pointers.
+
+use proptest::prelude::*;
+use prodigy_compiler::analysis::{analyze, SymCall};
+use prodigy_compiler::codegen::{bind, Binding};
+use prodigy_compiler::ir::{FnBuilder, Operand, ValueId};
+
+/// A tiny random-program generator: a straight-line prologue of allocs,
+/// then a loop performing a random chain of geps/loads/adds/stores.
+fn build_random(ops: &[(u8, u8, u8)], allocs: u8) -> (prodigy_compiler::ir::Module, Vec<ValueId>) {
+    let mut f = FnBuilder::new("fuzz");
+    let bases: Vec<ValueId> = (0..allocs.max(1)).map(|i| f.alloc(64 + i as u64, 4)).collect();
+    let bases2 = bases.clone();
+    f.loop_(Operand::Imm(0), Operand::Imm(64), false, |f, iv| {
+        let mut vals: Vec<ValueId> = vec![iv];
+        for &(op, a, b) in ops {
+            match op % 5 {
+                0 => {
+                    let base = bases2[a as usize % bases2.len()];
+                    let idx = vals[b as usize % vals.len()];
+                    let g = f.gep(base, Operand::Value(idx), 4);
+                    vals.push(g);
+                }
+                1 => {
+                    let addr = vals[a as usize % vals.len()];
+                    let v = f.load(addr, 4);
+                    vals.push(v);
+                }
+                2 => {
+                    let x = vals[a as usize % vals.len()];
+                    let v = f.add(x, Operand::Imm(b as u64 % 3));
+                    vals.push(v);
+                }
+                3 => {
+                    let addr = vals[a as usize % vals.len()];
+                    let v = vals[b as usize % vals.len()];
+                    f.store(addr, Operand::Value(v), 4);
+                }
+                _ => {
+                    let lo = vals[a as usize % vals.len()];
+                    let hi = vals[b as usize % vals.len()];
+                    f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, j| {
+                        let base = bases2[0];
+                        let g = f.gep(base, Operand::Value(j), 4);
+                        f.load(g, 4);
+                    });
+                }
+            }
+        }
+    });
+    (f.finish().into_module(), bases)
+}
+
+proptest! {
+    #[test]
+    fn analysis_never_panics_and_edges_reference_allocs(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..24),
+        allocs in 1u8..6,
+    ) {
+        let (module, bases) = build_random(&ops, allocs);
+        let inst = analyze(&module);
+        for c in inst.trav_edges() {
+            if let SymCall::TravEdge { src, dst, .. } = c {
+                prop_assert!(bases.contains(src), "edge src must be an alloc");
+                prop_assert!(bases.contains(dst), "edge dst must be an alloc");
+            }
+        }
+        // Binding every alloc produces a program that applies cleanly.
+        let bindings: Vec<Binding> = bases
+            .iter()
+            .enumerate()
+            .map(|(i, &ptr)| Binding {
+                ptr,
+                base: 0x10_000 + i as u64 * 0x10_000,
+                elems: 64,
+                elem_size: 4,
+            })
+            .collect();
+        let prog = bind(&inst, &bindings);
+        let mut pf = prodigy::ProdigyPrefetcher::default();
+        prog.apply(&mut pf); // must not panic
+    }
+
+    #[test]
+    fn binding_subsets_never_panics(
+        keep in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        // The canonical BFS module, with only a subset of pointers bound —
+        // unresolved calls are skipped (Fig. 8d behaviour).
+        let mut f = FnBuilder::new("bfs");
+        let wq = f.alloc(100, 4);
+        let off = f.alloc(101, 4);
+        let edg = f.alloc(400, 4);
+        let vis = f.alloc(100, 4);
+        f.loop_(Operand::Imm(0), Operand::Imm(100), false, |f, i| {
+            let pu = f.gep(wq, Operand::Value(i), 4);
+            let u = f.load(pu, 4);
+            let plo = f.gep(off, Operand::Value(u), 4);
+            let lo = f.load(plo, 4);
+            let u1 = f.add(u, Operand::Imm(1));
+            let phi = f.gep(off, Operand::Value(u1), 4);
+            let hi = f.load(phi, 4);
+            f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, w| {
+                let pe = f.gep(edg, Operand::Value(w), 4);
+                let v = f.load(pe, 4);
+                let pv = f.gep(vis, Operand::Value(v), 4);
+                f.load(pv, 4);
+            });
+        });
+        let module = f.finish().into_module();
+        let inst = analyze(&module);
+        let ptrs = [wq, off, edg, vis];
+        let bindings: Vec<Binding> = ptrs
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .enumerate()
+            .map(|(i, (&ptr, _))| Binding {
+                ptr,
+                base: 0x1000 * (i as u64 + 1) * 0x100,
+                elems: 500,
+                elem_size: 4,
+            })
+            .collect();
+        let prog = bind(&inst, &bindings);
+        let mut pf = prodigy::ProdigyPrefetcher::default();
+        prog.apply(&mut pf);
+        prop_assert!(pf.node_table().rows().len() <= bindings.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! OS integration (paper §IV-F): saving and restoring the prefetcher's
+//! *architectural* state across context switches.
+//!
+//! When the thread using Prodigy is descheduled, prefetching pauses but the
+//! DIG tables remain; if another Prodigy-using thread is scheduled, the
+//! tables must be saved and restored. Only the programmed state (node
+//! table, edge table, trigger) is architectural — PFHRs and live-sequence
+//! tracking are transient microarchitectural state that is simply dropped,
+//! like in-flight MSHRs on a context switch.
+
+use crate::dig::{EdgeKind, TriggerSpec};
+use crate::prefetcher::ProdigyPrefetcher;
+use serde::{Deserialize, Serialize};
+
+/// A saved prefetcher context: everything software programmed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProdigyContext {
+    nodes: Vec<(u8, u64, u64, u8)>, // (id, base, bound, elem_size)
+    edges: Vec<(u64, u64, EdgeKind)>, // (src base, dst base, kind)
+    trigger: Option<(u64, TriggerSpec)>,
+}
+
+impl ProdigyPrefetcher {
+    /// Captures the programmed DIG state (§IV-F context save).
+    pub fn save_context(&self) -> ProdigyContext {
+        let nodes = self
+            .node_table()
+            .rows()
+            .iter()
+            .map(|r| (r.id.0, r.base, r.bound, r.data_size))
+            .collect();
+        let by_id = |id| self.node_table().by_id(id).map(|r| r.base).unwrap_or(0);
+        let edges = self
+            .edge_table()
+            .rows()
+            .iter()
+            .map(|e| (by_id(e.src), by_id(e.dst), e.kind))
+            .collect();
+        let trigger = self
+            .node_table()
+            .trigger()
+            .map(|(r, spec)| (r.base, spec));
+        ProdigyContext {
+            nodes,
+            edges,
+            trigger,
+        }
+    }
+
+    /// Restores a saved context (§IV-F context restore). Transient state
+    /// (PFHRs, live sequences) starts empty, as after a real context
+    /// switch.
+    pub fn restore_context(&mut self, ctx: &ProdigyContext) {
+        self.reset_tables();
+        for &(id, base, bound, elem_size) in &ctx.nodes {
+            let elems = (bound - base) / elem_size as u64;
+            self.register_node(base, elems, elem_size, id);
+        }
+        for &(src, dst, kind) in &ctx.edges {
+            self.register_trav_edge(src, dst, kind);
+        }
+        if let Some((addr, spec)) = ctx.trigger {
+            self.register_trig_edge(addr, spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dig::{Dig, EdgeKind};
+
+    fn sample() -> ProdigyPrefetcher {
+        let mut dig = Dig::new();
+        let a = dig.node(0x1000, 64, 4);
+        let b = dig.node(0x2000, 65, 4);
+        let c = dig.node(0x3000, 256, 8);
+        dig.edge(a, b, EdgeKind::SingleValued);
+        dig.edge(b, c, EdgeKind::Ranged);
+        dig.trigger(a, TriggerSpec::default());
+        let mut pf = ProdigyPrefetcher::default();
+        pf.program(&dig).unwrap();
+        pf
+    }
+
+    #[test]
+    fn save_restore_roundtrips_programmed_state() {
+        let original = sample();
+        let ctx = original.save_context();
+        let mut other = ProdigyPrefetcher::default();
+        other.restore_context(&ctx);
+        assert_eq!(original.node_table().rows(), other.node_table().rows());
+        assert_eq!(original.edge_table().rows(), other.edge_table().rows());
+        assert_eq!(
+            original.node_table().trigger().map(|(r, _)| r.base),
+            other.node_table().trigger().map(|(r, _)| r.base)
+        );
+    }
+
+    #[test]
+    fn restore_replaces_previous_context() {
+        let mut pf = sample();
+        let first = pf.save_context();
+        // Program a different DIG (another thread's context).
+        let mut dig2 = Dig::new();
+        let x = dig2.node(0x9000, 16, 4);
+        let y = dig2.node(0xa000, 16, 4);
+        dig2.edge(x, y, EdgeKind::SingleValued);
+        dig2.trigger(x, TriggerSpec::default());
+        pf.program(&dig2).unwrap();
+        assert_eq!(pf.node_table().rows().len(), 2);
+        // Switch back.
+        pf.restore_context(&first);
+        assert_eq!(pf.node_table().rows().len(), 3);
+        assert!(pf.node_table().containing(0x1000).is_some());
+        assert!(pf.node_table().containing(0x9000).is_none());
+    }
+
+    #[test]
+    fn empty_context_restores_to_empty_tables() {
+        let mut pf = sample();
+        pf.restore_context(&ProdigyContext::default());
+        assert!(pf.node_table().rows().is_empty());
+        assert!(pf.edge_table().rows().is_empty());
+        assert!(pf.node_table().trigger().is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! The PreFetch status Handling Register (PFHR) file (paper §IV-B, Fig. 9d).
+//!
+//! PFHRs are to the prefetcher what MSHRs are to a non-blocking cache, with
+//! one extra job: they remember *where in a prefetch sequence* an
+//! outstanding request sits, so a fill can be continued through the DIG.
+//! Each entry tracks one outstanding cache line: the DIG node it belongs to,
+//! the *trigger address* of the sequence that spawned it (used to drop
+//! sequences the core caught up with), and a bitmap of element offsets
+//! within the line that still need processing on fill.
+//!
+//! The file is fixed-size; when it is full new prefetches are dropped — the
+//! structural hazard the Fig. 12 design-space exploration measures.
+
+use crate::dig::NodeId;
+
+/// Continuation state for a streaming ranged indirection: the fill of the
+/// entry carrying this issues the next window of lines, so long ranges
+/// (power-law hub vertices) stream through a bounded register file instead
+/// of needing one register per line up front. Ranged indirection
+/// "summarises a streaming access through a portion of memory" (§IV-C2);
+/// this is the hardware state that keeps the stream going (+56 bits/entry
+/// over the paper's field list; see `storage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeCont {
+    /// First line of the not-yet-issued remainder of the range.
+    pub next_line: u64,
+    /// Address of the last element of the range.
+    pub last_elem: u64,
+}
+
+/// One PFHR row (Fig. 9d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfhrEntry {
+    /// DIG node of the outstanding prefetch.
+    pub node: NodeId,
+    /// Trigger-structure element address the sequence started from.
+    pub trigger_addr: u64,
+    /// Line-aligned outstanding prefetch address (the CAM key).
+    pub line_addr: u64,
+    /// Bitmap of pending element slots within the line (slot = byte offset /
+    /// element size).
+    pub offset_bitmap: u64,
+    /// Element size of the node, cached to decode the bitmap.
+    pub elem_size: u8,
+    /// Pending range continuation, carried by the last entry of a window.
+    pub cont: Option<RangeCont>,
+}
+
+impl PfhrEntry {
+    /// Iterates over pending element addresses encoded in the bitmap.
+    pub fn pending_elems(&self) -> impl Iterator<Item = u64> + '_ {
+        let line = self.line_addr;
+        let sz = self.elem_size as u64;
+        (0..64u32)
+            .filter(move |b| self.offset_bitmap & (1 << b) != 0)
+            .map(move |b| line + b as u64 * sz)
+    }
+}
+
+/// The PFHR file: a small fully-associative array with CAM lookup by line
+/// address.
+#[derive(Debug, Clone)]
+pub struct PfhrFile {
+    entries: Vec<Option<PfhrEntry>>,
+    /// Prefetches dropped because the file was full (structural hazard).
+    pub structural_drops: u64,
+}
+
+impl PfhrFile {
+    /// Creates a file with `entries` registers (paper default: 16).
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "PFHR file needs at least one register");
+        PfhrFile {
+            entries: vec![None; entries],
+            structural_drops: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of occupied registers.
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Allocates (or merges into) an entry tracking `elem_addr` of `node`.
+    /// Returns `true` on success, `false` when the file is full (the caller
+    /// should still issue or drop the prefetch per its policy; the paper
+    /// drops it).
+    pub fn allocate(
+        &mut self,
+        node: NodeId,
+        trigger_addr: u64,
+        elem_addr: u64,
+        elem_size: u8,
+    ) -> bool {
+        self.allocate_with(node, trigger_addr, elem_addr, elem_size, None)
+    }
+
+    /// [`PfhrFile::allocate`] carrying a range continuation. A `Some`
+    /// continuation overwrites any on a merged entry.
+    pub fn allocate_with(
+        &mut self,
+        node: NodeId,
+        trigger_addr: u64,
+        elem_addr: u64,
+        elem_size: u8,
+        cont: Option<RangeCont>,
+    ) -> bool {
+        let line = elem_addr & !(prodigy_sim::LINE_BYTES - 1);
+        let slot = ((elem_addr - line) / elem_size as u64).min(63);
+        // Merge with an existing entry for the same line + node.
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line_addr == line && e.node == node)
+        {
+            e.offset_bitmap |= 1 << slot;
+            if cont.is_some() {
+                e.cont = cont;
+            }
+            return true;
+        }
+        match self.entries.iter_mut().find(|e| e.is_none()) {
+            Some(free) => {
+                *free = Some(PfhrEntry {
+                    node,
+                    trigger_addr,
+                    line_addr: line,
+                    offset_bitmap: 1 << slot,
+                    elem_size,
+                    cont,
+                });
+                true
+            }
+            None => {
+                self.structural_drops += 1;
+                false
+            }
+        }
+    }
+
+    /// CAM lookup by line address; removes and returns the entry (a fill
+    /// retires the register).
+    pub fn take(&mut self, line_addr: u64) -> Option<PfhrEntry> {
+        self.entries
+            .iter_mut()
+            .find(|e| e.map(|e| e.line_addr == line_addr).unwrap_or(false))
+            .and_then(|e| e.take())
+    }
+
+    /// Drops every entry belonging to the sequence with `trigger_addr`
+    /// (§IV-C1's selective sequence drop). Returns how many were freed.
+    pub fn drop_sequence(&mut self, trigger_addr: u64) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.map(|e| e.trigger_addr == trigger_addr).unwrap_or(false) {
+                *e = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Clears all registers.
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Whether a live entry tracks `line_addr`.
+    pub fn contains_line(&self, line_addr: u64) -> bool {
+        self.entries
+            .iter()
+            .flatten()
+            .any(|e| e.line_addr == line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_take_roundtrip() {
+        let mut f = PfhrFile::new(4);
+        assert!(f.allocate(NodeId(1), 0x100, 0x2008, 4));
+        assert_eq!(f.occupied(), 1);
+        let e = f.take(0x2000).expect("CAM hit");
+        assert_eq!(e.node, NodeId(1));
+        assert_eq!(e.pending_elems().collect::<Vec<_>>(), vec![0x2008]);
+        assert_eq!(f.occupied(), 0);
+        assert!(f.take(0x2000).is_none(), "entry retired");
+    }
+
+    #[test]
+    fn same_line_merges_bitmap() {
+        let mut f = PfhrFile::new(2);
+        assert!(f.allocate(NodeId(0), 0x1, 0x3000, 4));
+        assert!(f.allocate(NodeId(0), 0x1, 0x300c, 4));
+        assert_eq!(f.occupied(), 1, "merged into one register");
+        let e = f.take(0x3000).unwrap();
+        assert_eq!(e.pending_elems().collect::<Vec<_>>(), vec![0x3000, 0x300c]);
+    }
+
+    #[test]
+    fn full_file_drops_and_counts() {
+        let mut f = PfhrFile::new(2);
+        assert!(f.allocate(NodeId(0), 0, 0x0, 4));
+        assert!(f.allocate(NodeId(0), 0, 0x40, 4));
+        assert!(!f.allocate(NodeId(0), 0, 0x80, 4));
+        assert_eq!(f.structural_drops, 1);
+    }
+
+    #[test]
+    fn drop_sequence_frees_only_matching_trigger() {
+        let mut f = PfhrFile::new(4);
+        f.allocate(NodeId(0), 0xAAA, 0x0, 4);
+        f.allocate(NodeId(1), 0xAAA, 0x40, 4);
+        f.allocate(NodeId(2), 0xBBB, 0x80, 4);
+        assert_eq!(f.drop_sequence(0xAAA), 2);
+        assert_eq!(f.occupied(), 1);
+        assert!(f.contains_line(0x80));
+    }
+
+    #[test]
+    fn eight_byte_elements_use_coarser_slots() {
+        let mut f = PfhrFile::new(2);
+        f.allocate(NodeId(0), 0, 0x1038, 8); // slot 7 of an 8B-element line
+        let e = f.take(0x1000).unwrap();
+        assert_eq!(e.pending_elems().collect::<Vec<_>>(), vec![0x1038]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_rejected() {
+        PfhrFile::new(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Feedback-directed prefetch throttling — the paper's explicit future
+//! work (§IV-G: "We envision Prodigy to be used alongside a prefetch
+//! throttling mechanism similar to [Srinath et al., HPCA'07] that can
+//! identify and prevent prefetch-induced cache pollution").
+//!
+//! The mechanism implemented here follows that FDP shape: the prefetcher
+//! periodically samples its own accuracy (the fraction of resolved
+//! prefetches that were demanded before eviction, which the cache
+//! hierarchy already tracks) and modulates aggressiveness — the number of
+//! sequences initialised per trigger — between 1 and the software-requested
+//! value. Disabled by default, matching the paper's evaluated design;
+//! `examples/design_space.rs` and the ablation bench exercise it.
+
+use prodigy_sim::stats::PrefetchUse;
+use serde::{Deserialize, Serialize};
+
+/// Throttle parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleSpec {
+    /// Re-evaluate after this many newly resolved prefetches.
+    pub window: u64,
+    /// Below this accuracy, halve aggressiveness.
+    pub low_accuracy: f64,
+    /// Above this accuracy, restore aggressiveness one step.
+    pub high_accuracy: f64,
+}
+
+impl Default for ThrottleSpec {
+    fn default() -> Self {
+        ThrottleSpec {
+            window: 2048,
+            low_accuracy: 0.40,
+            high_accuracy: 0.75,
+        }
+    }
+}
+
+/// Runtime state of the feedback loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackThrottle {
+    spec: ThrottleSpec,
+    last_resolved: u64,
+    last_useful: u64,
+    level: u32,
+    /// Times aggressiveness was reduced (for ablation reporting).
+    pub reductions: u64,
+}
+
+impl FeedbackThrottle {
+    /// Creates a throttle starting at `max_level` sequences per trigger.
+    pub fn new(spec: ThrottleSpec, max_level: u32) -> Self {
+        FeedbackThrottle {
+            spec,
+            last_resolved: 0,
+            last_useful: 0,
+            level: max_level.max(1),
+            reductions: 0,
+        }
+    }
+
+    /// Returns the sequences-per-trigger to use right now, given the
+    /// requested maximum and the hierarchy's cumulative usefulness
+    /// counters; adapts once per window of resolved prefetches.
+    pub fn sequences(&mut self, requested: u32, usefulness: &PrefetchUse) -> u32 {
+        let resolved = usefulness.resolved();
+        let useful = usefulness.hit_l1 + usefulness.hit_l2 + usefulness.hit_l3;
+        if resolved.saturating_sub(self.last_resolved) >= self.spec.window {
+            let dr = (resolved - self.last_resolved) as f64;
+            let du = useful.saturating_sub(self.last_useful) as f64;
+            let acc = if dr > 0.0 { du / dr } else { 1.0 };
+            if acc < self.spec.low_accuracy && self.level > 1 {
+                self.level = (self.level / 2).max(1);
+                self.reductions += 1;
+            } else if acc > self.spec.high_accuracy && self.level < requested.max(1) {
+                self.level += 1;
+            }
+            self.last_resolved = resolved;
+            self.last_useful = useful;
+        }
+        self.level.min(requested.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn use_counts(useful: u64, evicted: u64) -> PrefetchUse {
+        PrefetchUse {
+            hit_l1: useful,
+            hit_l2: 0,
+            hit_l3: 0,
+            evicted_unused: evicted,
+        }
+    }
+
+    #[test]
+    fn low_accuracy_halves_aggressiveness() {
+        let mut t = FeedbackThrottle::new(
+            ThrottleSpec {
+                window: 100,
+                ..ThrottleSpec::default()
+            },
+            4,
+        );
+        assert_eq!(t.sequences(4, &use_counts(0, 0)), 4);
+        // 100 resolved, 10 useful → 10% accuracy → halve.
+        assert_eq!(t.sequences(4, &use_counts(10, 90)), 2);
+        // Another bad window → 1, and it floors there.
+        assert_eq!(t.sequences(4, &use_counts(15, 185)), 1);
+        assert_eq!(t.sequences(4, &use_counts(20, 290)), 1);
+        assert_eq!(t.reductions, 2);
+    }
+
+    #[test]
+    fn high_accuracy_restores_stepwise() {
+        let mut t = FeedbackThrottle::new(
+            ThrottleSpec {
+                window: 100,
+                ..ThrottleSpec::default()
+            },
+            4,
+        );
+        t.sequences(4, &use_counts(5, 95)); // drop to 2
+        assert_eq!(t.sequences(4, &use_counts(105, 95)), 3); // 100% window
+        assert_eq!(t.sequences(4, &use_counts(205, 95)), 4);
+        assert_eq!(t.sequences(4, &use_counts(305, 95)), 4, "capped at requested");
+    }
+
+    #[test]
+    fn no_adaptation_inside_a_window() {
+        let mut t = FeedbackThrottle::new(ThrottleSpec::default(), 4);
+        for i in 0..10 {
+            assert_eq!(t.sequences(4, &use_counts(i, i)), 4);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # prodigy-prefetchers — baseline data prefetchers
+//!
+//! The prefetchers the paper compares Prodigy against (§V-C, §VI-C), each
+//! implemented against the same [`prodigy_sim::Prefetcher`] L1D-snoop
+//! interface so every comparison shares the identical memory system:
+//!
+//! * [`StridePrefetcher`] — classic per-PC stride detection (the
+//!   "traditional prefetcher" family).
+//! * [`GhbGdcPrefetcher`] — GHB-based global/delta-correlation
+//!   (Nesbit & Smith, HPCA'04), the paper's conventional-prefetcher
+//!   comparison point.
+//! * [`ImpPrefetcher`] — the Indirect Memory Prefetcher (Yu et al.,
+//!   MICRO'15): learns `A[B[i]]` coefficients from stream/miss correlation;
+//!   no ranged indirection, at most two levels.
+//! * [`AinsworthJonesPrefetcher`] — the graph prefetcher of Ainsworth &
+//!   Jones (ICS'16): hardwired BFS-style CSR traversal FSM, configured with
+//!   the graph arrays' bounds; single sequence per trigger, no catch-up drop.
+//! * [`DropletPrefetcher`] — DROPLET (Basak et al., HPCA'19): prefetches
+//!   only edge-list and property arrays, and chains indirect prefetches only
+//!   off DRAM-serviced fills.
+//!
+//! Graph-specific prefetchers are configured through a [`GraphLayoutHint`],
+//! which can be derived mechanically from a Prodigy DIG — modelling the
+//! "data structure knowledge at hardware" those proposals assume.
+//!
+//! Software prefetching (Ainsworth & Jones, CGO'17) is not a hardware
+//! prefetcher; it is modelled in `prodigy-workloads` as an instruction-stream
+//! transformation that inserts explicit prefetch loads at a static distance.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ainsworth;
+pub mod droplet;
+pub mod ghb;
+pub mod hint;
+pub mod imp;
+pub mod stream;
+pub mod stride;
+
+pub use ainsworth::AinsworthJonesPrefetcher;
+pub use droplet::DropletPrefetcher;
+pub use ghb::GhbGdcPrefetcher;
+pub use hint::{ArrayRef, GraphLayoutHint};
+pub use imp::ImpPrefetcher;
+pub use stream::StreamPrefetcher;
+pub use stride::StridePrefetcher;
+
+#[cfg(test)]
+pub(crate) mod testutil;

@@ -1,0 +1,240 @@
+//! Instruction representation and stream builder.
+//!
+//! Workload kernels compile their algorithms into streams of these abstract
+//! instructions. Dependencies are expressed as *relative back-references*
+//! (distance to the producing instruction), which keeps instructions compact
+//! and lets the timing model use a small completion-time ring buffer: any
+//! producer further back than the ROB has necessarily retired.
+
+/// Operation performed by one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A demand load of `size` bytes at `addr`; `pc` identifies the static
+    /// access site for PC-indexed prefetchers.
+    Load {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Static site id (PC stand-in).
+        pc: u32,
+    },
+    /// A store (write-allocate).
+    Store {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Static site id.
+        pc: u32,
+    },
+    /// An arithmetic instruction with the given execution latency.
+    Compute {
+        /// Execution latency in cycles (1 for ALU, ~4 for FP mul/add).
+        latency: u8,
+    },
+    /// A conditional branch with its actual outcome; the core's branch
+    /// predictor decides whether it was mispredicted.
+    Branch {
+        /// Static site id.
+        pc: u32,
+        /// Actual direction.
+        taken: bool,
+    },
+    /// A software prefetch instruction (x86 `prefetcht0`): non-binding,
+    /// retires in one cycle, brings the line toward the L1D. Used by the
+    /// software-prefetching comparison (§VI-C).
+    Prefetch {
+        /// Virtual address to prefetch.
+        addr: u64,
+    },
+}
+
+/// One instruction: an operation plus up to two producer back-references
+/// (`0` = no dependency; otherwise "the instruction `depN` slots earlier").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Insn {
+    /// The operation.
+    pub op: Op,
+    /// First producer distance (0 = none).
+    pub dep1: u16,
+    /// Second producer distance (0 = none).
+    pub dep2: u16,
+}
+
+/// An immutable instruction stream for one core in one phase.
+#[derive(Debug, Clone, Default)]
+pub struct InsnStream {
+    insns: Vec<Insn>,
+}
+
+impl InsnStream {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Insn> {
+        self.insns.iter()
+    }
+
+    /// Borrow the instructions as a slice.
+    pub fn as_slice(&self) -> &[Insn] {
+        &self.insns
+    }
+}
+
+impl FromIterator<Insn> for InsnStream {
+    fn from_iter<T: IntoIterator<Item = Insn>>(iter: T) -> Self {
+        InsnStream {
+            insns: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Incremental builder for an [`InsnStream`]. Emitting methods return the
+/// instruction's index, which later instructions can name as a dependency.
+///
+/// ```
+/// use prodigy_sim::core::StreamBuilder;
+///
+/// // sum += b[a[i]] — a dependent load pair plus the add.
+/// let mut b = StreamBuilder::new();
+/// let idx = b.load_at(1, 0x1000, 4, &[]);
+/// let val = b.load_at(2, 0x2000, 4, &[idx]);
+/// b.compute(1, &[val]);
+/// assert_eq!(b.finish().len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    insns: Vec<Insn>,
+}
+
+impl StreamBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index the next emitted instruction will get.
+    pub fn next_index(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    fn encode_deps(&self, deps: &[usize]) -> (u16, u16) {
+        let here = self.insns.len();
+        let mut out = [0u16; 2];
+        let mut n = 0;
+        for &d in deps.iter().take(2) {
+            debug_assert!(d < here, "dependency must reference an earlier instruction");
+            let dist = here - d;
+            // Producers further back than u16::MAX (≫ ROB size) have retired;
+            // dropping the edge cannot change timing.
+            if dist <= u16::MAX as usize {
+                out[n] = dist as u16;
+                n += 1;
+            }
+        }
+        (out[0], out[1])
+    }
+
+    fn push(&mut self, op: Op, deps: &[usize]) -> usize {
+        let (dep1, dep2) = self.encode_deps(deps);
+        self.insns.push(Insn { op, dep1, dep2 });
+        self.insns.len() - 1
+    }
+
+    /// Emits a load with no register dependencies.
+    pub fn load(&mut self, addr: u64, size: u8) -> usize {
+        self.push(Op::Load { addr, size, pc: 0 }, &[])
+    }
+
+    /// Emits a load at static site `pc`, depending on up to two producers.
+    pub fn load_at(&mut self, pc: u32, addr: u64, size: u8, deps: &[usize]) -> usize {
+        self.push(Op::Load { addr, size, pc }, deps)
+    }
+
+    /// Emits a store at static site `pc`.
+    pub fn store_at(&mut self, pc: u32, addr: u64, size: u8, deps: &[usize]) -> usize {
+        self.push(Op::Store { addr, size, pc }, deps)
+    }
+
+    /// Emits a compute instruction.
+    pub fn compute(&mut self, latency: u8, deps: &[usize]) -> usize {
+        self.push(Op::Compute { latency }, deps)
+    }
+
+    /// Emits a conditional branch with actual direction `taken`.
+    pub fn branch(&mut self, pc: u32, taken: bool, deps: &[usize]) -> usize {
+        self.push(Op::Branch { pc, taken }, deps)
+    }
+
+    /// Emits a software prefetch of the line containing `addr`.
+    pub fn prefetch(&mut self, addr: u64, deps: &[usize]) -> usize {
+        self.push(Op::Prefetch { addr }, deps)
+    }
+
+    /// Finalises the stream.
+    pub fn finish(self) -> InsnStream {
+        InsnStream { insns: self.insns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_encodes_relative_deps() {
+        let mut b = StreamBuilder::new();
+        let a = b.load(0x100, 8);
+        let c = b.compute(1, &[a]);
+        b.branch(7, true, &[c, a]);
+        let s = b.finish();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice()[1].dep1, 1);
+        assert_eq!(s.as_slice()[2].dep1, 1);
+        assert_eq!(s.as_slice()[2].dep2, 2);
+    }
+
+    #[test]
+    fn distant_deps_are_dropped() {
+        let mut b = StreamBuilder::new();
+        let first = b.load(0, 8);
+        for _ in 0..(u16::MAX as usize + 10) {
+            b.compute(1, &[]);
+        }
+        let i = b.load_at(1, 64, 8, &[first]);
+        let s = b.finish();
+        assert_eq!(s.as_slice()[i].dep1, 0, "beyond-ROB dep dropped");
+    }
+
+    #[test]
+    fn stream_collects_from_iterator() {
+        let s: InsnStream = (0..4)
+            .map(|i| Insn {
+                op: Op::Compute { latency: i as u8 + 1 },
+                dep1: 0,
+                dep2: 0,
+            })
+            .collect();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+//! Core models: instruction streams, branch prediction, and the interval
+//! out-of-order timing model with CPI-stack attribution.
+
+pub mod bpred;
+pub mod insn;
+pub mod interval;
+
+pub use bpred::Gshare;
+pub use insn::{Insn, InsnStream, Op, StreamBuilder};
+pub use interval::CoreTiming;

@@ -1,0 +1,255 @@
+//! Set-associative, write-back cache with LRU replacement and per-line
+//! metadata for prefetch tracking, in-flight fills, and the L3 directory.
+
+use super::coherence::{Directory, Mesi};
+use crate::line_of;
+
+/// One cache line's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Line-aligned address (we store full addresses rather than tags for
+    /// clarity; a real cache would keep `addr >> (set+offset bits)`).
+    pub addr: u64,
+    /// MESI state (Exclusive/Shared distinction only meaningful in L1/L2).
+    pub state: Mesi,
+    /// Dirty bit (write-back).
+    pub dirty: bool,
+    /// Set when the line was brought in by a prefetch and has not yet been
+    /// demanded (cleared on first demand hit for Fig. 15 accounting).
+    pub prefetched: bool,
+    /// Cycle at which the fill completes; accesses before this pay the
+    /// residual latency (this is how in-flight fills/MSHR merges are modelled).
+    pub ready_at: u64,
+    /// Where the fill was served from, for stall attribution of merges.
+    pub fill_src: crate::ServedBy,
+    /// LRU timestamp.
+    last_use: u64,
+    /// Directory record (used only in the L3).
+    pub dir: Directory,
+}
+
+/// What `insert` pushed out of the set, if anything.
+#[derive(Debug, Clone)]
+pub struct Evicted {
+    /// Address of the evicted line.
+    pub addr: u64,
+    /// Whether it must be written back.
+    pub dirty: bool,
+    /// Whether it was a never-demanded prefetch.
+    pub prefetched_unused: bool,
+    /// Its directory record (meaningful for L3 back-invalidation).
+    pub dir: Directory,
+}
+
+/// A single set-associative cache array.
+#[derive(Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a [`crate::CacheConfig`] geometry.
+    pub fn new(cfg: &crate::CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways as usize)).collect(),
+            ways: cfg.ways as usize,
+            set_mask: sets as u64 - 1,
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        // XOR-folded index hash (as real LLCs use): keeps striped inputs —
+        // e.g. the line-interleaved slice selection of the shared L3 —
+        // from clustering into a fraction of the sets.
+        let l = line / crate::LINE_BYTES;
+        ((l ^ (l >> 7) ^ (l >> 15)) & self.set_mask) as usize
+    }
+
+    /// Looks up `addr` (any byte address) and refreshes LRU on hit.
+    pub fn lookup(&mut self, addr: u64) -> Option<&mut Line> {
+        let line = line_of(addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(line);
+        self.sets[idx].iter_mut().find(|l| l.addr == line).map(|l| {
+            l.last_use = clock;
+            l
+        })
+    }
+
+    /// Looks up without disturbing LRU (for snoops and assertions).
+    pub fn peek(&self, addr: u64) -> Option<&Line> {
+        let line = line_of(addr);
+        self.sets[self.set_index(line)].iter().find(|l| l.addr == line)
+    }
+
+    /// Mutable peek without LRU update (for coherence state changes).
+    pub fn peek_mut(&mut self, addr: u64) -> Option<&mut Line> {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        self.sets[idx].iter_mut().find(|l| l.addr == line)
+    }
+
+    /// Whether the line is present (any state).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts a line, evicting the LRU way if the set is full. If the line
+    /// is already present it is updated in place (state/ready/prefetch are
+    /// overwritten only where the new fill is "stronger").
+    pub fn insert(&mut self, mut new: Line) -> Option<Evicted> {
+        new.addr = line_of(new.addr);
+        self.clock += 1;
+        new.last_use = self.clock;
+        let idx = self.set_index(new.addr);
+        let set = &mut self.sets[idx];
+        if let Some(existing) = set.iter_mut().find(|l| l.addr == new.addr) {
+            existing.last_use = new.last_use;
+            existing.state = new.state;
+            existing.dirty |= new.dirty;
+            existing.ready_at = existing.ready_at.min(new.ready_at);
+            existing.dir = new.dir;
+            return None;
+        }
+        if set.len() < self.ways {
+            set.push(new);
+            return None;
+        }
+        let victim_i = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let victim = std::mem::replace(&mut set[victim_i], new);
+        Some(Evicted {
+            addr: victim.addr,
+            dirty: victim.dirty,
+            prefetched_unused: victim.prefetched,
+            dir: victim.dir,
+        })
+    }
+
+    /// Removes a line (back-invalidation); returns it if present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Line> {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.addr == line)?;
+        Some(set.swap_remove(pos))
+    }
+
+    /// Number of resident lines (for occupancy assertions in tests).
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Convenience constructor for a resident, demand-filled line.
+pub fn demand_line(addr: u64, state: Mesi, ready_at: u64, src: crate::ServedBy) -> Line {
+    Line {
+        addr: line_of(addr),
+        state,
+        dirty: false,
+        prefetched: false,
+        ready_at,
+        fill_src: src,
+        last_use: 0,
+        dir: Directory::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, ServedBy};
+
+    fn small_cache() -> Cache {
+        // 2 sets × 2 ways.
+        Cache::new(&CacheConfig {
+            capacity: 4 * crate::LINE_BYTES,
+            ways: 2,
+            data_latency: 1,
+            tag_latency: 1,
+        })
+    }
+
+    fn line(addr: u64) -> Line {
+        demand_line(addr, Mesi::Exclusive, 0, ServedBy::Dram)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = small_cache();
+        c.insert(line(0x1000));
+        assert!(c.lookup(0x1010).is_some(), "same line, different byte");
+        assert!(c.lookup(0x1040).is_none(), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        // Addresses 0x0, 0x80, 0x100 map to set 0 (stride 2 lines).
+        c.insert(line(0x000));
+        c.insert(line(0x080));
+        c.lookup(0x000); // refresh 0x0
+        let ev = c.insert(line(0x100)).expect("set overflow evicts");
+        assert_eq!(ev.addr, 0x080);
+        assert!(c.contains(0x000) && c.contains(0x100));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut c = small_cache();
+        c.insert(line(0x000));
+        let mut l = line(0x000);
+        l.dirty = true;
+        assert!(c.insert(l).is_none());
+        assert!(c.peek(0x000).unwrap().dirty);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small_cache();
+        c.insert(line(0x40));
+        assert!(c.invalidate(0x40).is_some());
+        assert!(!c.contains(0x40));
+        assert!(c.invalidate(0x40).is_none());
+    }
+
+    #[test]
+    fn eviction_reports_prefetched_unused() {
+        let mut c = small_cache();
+        let mut p = line(0x000);
+        p.prefetched = true;
+        c.insert(p);
+        c.insert(line(0x080));
+        c.insert(line(0x100)); // evicts 0x000 (LRU)
+        // 0x000 was the least-recently-used and prefetched+never demanded.
+        // (insert refreshes LRU, so victim is 0x000.)
+    }
+
+    #[test]
+    fn set_mapping_distributes() {
+        let mut c = small_cache();
+        c.insert(line(0x000)); // set 0
+        c.insert(line(0x040)); // set 1
+        c.insert(line(0x080)); // set 0
+        c.insert(line(0x0c0)); // set 1
+        assert_eq!(c.len(), 4, "no eviction across distinct sets");
+    }
+}

@@ -1,0 +1,143 @@
+//! DRAM and memory-controller model.
+//!
+//! Matches the paper's Table I: a fixed uncontended access latency (120
+//! cycles) plus modelled memory-controller queueing. Each channel serialises
+//! 64 B transfers at `cycles_per_transfer`, so aggregate bandwidth is
+//! `channels × 64 B × f / cycles_per_transfer` — the §VI-F scalability
+//! experiment saturates exactly this limit.
+
+use crate::config::DramConfig;
+
+/// Result of a DRAM read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Total latency seen by the requester (queue wait + access latency).
+    pub latency: u64,
+    /// The queueing component alone.
+    pub queue_wait: u64,
+}
+
+/// Multi-channel DRAM with per-channel occupancy tracking.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    next_free: Vec<u64>,
+}
+
+impl Dram {
+    /// Creates a DRAM model from its configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            next_free: vec![0; cfg.channels as usize],
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn channel(&self, line_addr: u64) -> usize {
+        // Hash line address across channels (XOR-fold to avoid power-of-two
+        // stride pathologies).
+        let l = line_addr / crate::LINE_BYTES;
+        ((l ^ (l >> 7) ^ (l >> 17)) % self.cfg.channels as u64) as usize
+    }
+
+    /// Performs a read of one line beginning at `now`; occupies the channel.
+    pub fn read(&mut self, line_addr: u64, now: u64) -> DramAccess {
+        let ch = self.channel(line_addr);
+        let start = self.next_free[ch].max(now);
+        self.next_free[ch] = start + self.cfg.cycles_per_transfer;
+        DramAccess {
+            latency: (start - now) + self.cfg.access_latency,
+            queue_wait: start - now,
+        }
+    }
+
+    /// Performs a writeback of one line; occupies the channel but nobody
+    /// waits on the result.
+    pub fn write(&mut self, line_addr: u64, now: u64) {
+        let ch = self.channel(line_addr);
+        let start = self.next_free[ch].max(now);
+        self.next_free[ch] = start + self.cfg.cycles_per_transfer;
+    }
+
+    /// Whether the channel that would service `line_addr` has a backlog of
+    /// more than `queue_depth` transfers at `now`. Prefetches are dropped
+    /// under this condition (a simple congestion throttle; the paper defers
+    /// sophisticated throttling to future work, §IV-G).
+    pub fn congested(&self, line_addr: u64, now: u64) -> bool {
+        let ch = self.channel(line_addr);
+        let backlog = self.next_free[ch].saturating_sub(now);
+        backlog > self.cfg.queue_depth as u64 * self.cfg.cycles_per_transfer
+    }
+
+    /// Peak bandwidth in bytes per cycle, for the scalability analysis.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.cfg.channels as f64 * crate::LINE_BYTES as f64 / self.cfg.cycles_per_transfer as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            access_latency: 120,
+            channels: 2,
+            cycles_per_transfer: 10,
+            queue_depth: 4,
+        }
+    }
+
+    #[test]
+    fn uncontended_read_costs_access_latency() {
+        let mut d = Dram::new(cfg());
+        let a = d.read(0x1000, 100);
+        assert_eq!(a.latency, 120);
+        assert_eq!(a.queue_wait, 0);
+    }
+
+    #[test]
+    fn back_to_back_reads_on_one_channel_queue_up() {
+        let mut d = Dram::new(cfg());
+        // Same line address → same channel.
+        let first = d.read(0x1000, 0);
+        let second = d.read(0x1000, 0);
+        assert_eq!(first.queue_wait, 0);
+        assert_eq!(second.queue_wait, 10);
+        assert_eq!(second.latency, 130);
+    }
+
+    #[test]
+    fn channel_frees_over_time() {
+        let mut d = Dram::new(cfg());
+        d.read(0x1000, 0);
+        let later = d.read(0x1000, 50);
+        assert_eq!(later.queue_wait, 0);
+    }
+
+    #[test]
+    fn congestion_threshold() {
+        let mut d = Dram::new(cfg());
+        assert!(!d.congested(0x1000, 0));
+        for _ in 0..6 {
+            d.read(0x1000, 0);
+        }
+        assert!(d.congested(0x1000, 0), "backlog of 6 transfers > depth 4");
+        assert!(!d.congested(0x1000, 60), "drains by cycle 60");
+    }
+
+    #[test]
+    fn writes_occupy_channels() {
+        let mut d = Dram::new(cfg());
+        d.write(0x1000, 0);
+        let r = d.read(0x1000, 0);
+        assert_eq!(r.queue_wait, 10, "read waits behind the write transfer");
+    }
+
+    #[test]
+    fn peak_bandwidth_formula() {
+        let d = Dram::new(cfg());
+        assert!((d.peak_bytes_per_cycle() - 12.8).abs() < 1e-9);
+    }
+}

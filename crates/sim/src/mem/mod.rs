@@ -1,0 +1,10 @@
+//! Memory-system models: simulated address space, set-associative caches,
+//! MESI coherence, DRAM with memory-controller queueing, TLB, and the
+//! three-level inclusive hierarchy that ties them together.
+
+pub mod address_space;
+pub mod cache;
+pub mod coherence;
+pub mod dram;
+pub mod hierarchy;
+pub mod tlb;

@@ -1,0 +1,88 @@
+//! Data TLB model. Prefetchers in the paper operate on virtual addresses and
+//! translate through the core's TLB (§IV-D, §VI-E notes the added D-TLB
+//! contention); the same structure serves demand and prefetch lookups here.
+
+use super::address_space::PAGE_BYTES;
+
+/// A set-associative TLB with LRU replacement. Translation in the simulator
+/// is identity (virtual = physical), so the TLB only models hit/miss latency.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<(u64, u64)>>, // (page number, last_use)
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB with `entries` total entries, 4-way set-associative.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a multiple of 4 or not ≥ 4.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries >= 4 && entries % 4 == 0, "TLB entries must be a multiple of 4");
+        let sets = (entries / 4).next_power_of_two() as usize;
+        Tlb {
+            sets: vec![Vec::with_capacity(4); sets],
+            ways: 4,
+            set_mask: sets as u64 - 1,
+            clock: 0,
+        }
+    }
+
+    /// Performs a lookup for the page containing `vaddr`. Returns `true` on
+    /// hit. On a miss the translation is installed (page walk modelled by
+    /// the caller adding the miss latency).
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        let page = vaddr / PAGE_BYTES;
+        self.clock += 1;
+        let idx = (page & self.set_mask) as usize;
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            return true;
+        }
+        if set.len() == self.ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lu))| *lu)
+                .map(|(i, _)| i)
+                .expect("full set");
+            set.swap_remove(victim);
+        }
+        set.push((page, self.clock));
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_hits() {
+        let mut t = Tlb::new(16);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff), "same page");
+        assert!(!t.access(0x2000), "next page misses");
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut t = Tlb::new(4); // one set, 4 ways
+        for p in 0..4u64 {
+            assert!(!t.access(p * PAGE_BYTES));
+        }
+        t.access(0); // refresh page 0
+        assert!(!t.access(4 * PAGE_BYTES)); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(PAGE_BYTES), "page 1 was evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn bad_entry_count_rejected() {
+        Tlb::new(6);
+    }
+}

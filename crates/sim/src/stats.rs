@@ -1,0 +1,287 @@
+//! Run statistics: per-level cache counters, prefetch effectiveness, and the
+//! CPI stack used by Figures 4, 14 and 19 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Where stalled dispatch cycles are attributed, mirroring the paper's CPI
+/// stack categories (Fig. 4): no-stall, DRAM, cache, branch, dependency,
+/// other (which includes synchronisation idle time at phase barriers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallCause {
+    /// Waiting on a load serviced by DRAM (fully or partially).
+    Dram,
+    /// Waiting on a load serviced by the L2 or L3 cache.
+    Cache,
+    /// Front-end redirect after a branch misprediction.
+    Branch,
+    /// Waiting on a chain of dependent compute instructions.
+    Dependency,
+    /// Anything else (store-queue pressure, barrier idle time, ...).
+    Other,
+}
+
+/// Cycle breakdown of one run. All fields are cycle counts; `total()` equals
+/// the run's wall-clock cycles (summed over cores when aggregated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Ideal dispatch cycles (instructions / width).
+    pub no_stall: f64,
+    /// Cycles stalled on DRAM-serviced loads.
+    pub dram: f64,
+    /// Cycles stalled on L2/L3-serviced loads.
+    pub cache: f64,
+    /// Cycles lost to branch mispredictions.
+    pub branch: f64,
+    /// Cycles stalled on compute dependency chains.
+    pub dependency: f64,
+    /// Remaining cycles (structural hazards, barriers, rounding).
+    pub other: f64,
+}
+
+impl CpiStack {
+    /// Total cycles represented by the stack.
+    pub fn total(&self) -> f64 {
+        self.no_stall + self.dram + self.cache + self.branch + self.dependency + self.other
+    }
+
+    /// Adds `cycles` to the bucket for `cause`.
+    pub fn add(&mut self, cause: StallCause, cycles: f64) {
+        match cause {
+            StallCause::Dram => self.dram += cycles,
+            StallCause::Cache => self.cache += cycles,
+            StallCause::Branch => self.branch += cycles,
+            StallCause::Dependency => self.dependency += cycles,
+            StallCause::Other => self.other += cycles,
+        }
+    }
+
+    /// Element-wise accumulation (used to aggregate per-core stacks).
+    pub fn accumulate(&mut self, o: &CpiStack) {
+        self.no_stall += o.no_stall;
+        self.dram += o.dram;
+        self.cache += o.cache;
+        self.branch += o.branch;
+        self.dependency += o.dependency;
+        self.other += o.other;
+    }
+
+    /// Returns the stack normalised so that `total() == 1`, or zeros if empty.
+    pub fn normalized(&self) -> CpiStack {
+        let t = self.total();
+        if t == 0.0 {
+            return CpiStack::default();
+        }
+        CpiStack {
+            no_stall: self.no_stall / t,
+            dram: self.dram / t,
+            cache: self.cache / t,
+            branch: self.branch / t,
+            dependency: self.dependency / t,
+            other: self.other / t,
+        }
+    }
+}
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Demand accesses that hit at this level.
+    pub hits: u64,
+    /// Demand accesses that missed at this level.
+    pub misses: u64,
+    /// Lines written back from this level to the next.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Demand accesses observed at this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Where a demanded, previously-prefetched line was found (Fig. 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchUse {
+    /// Demanded while resident in L1.
+    pub hit_l1: u64,
+    /// Demanded while resident in L2.
+    pub hit_l2: u64,
+    /// Demanded while resident in L3.
+    pub hit_l3: u64,
+    /// Evicted from the whole hierarchy before being demanded.
+    pub evicted_unused: u64,
+}
+
+impl PrefetchUse {
+    /// Prefetched lines whose fate is known (demanded or evicted).
+    pub fn resolved(&self) -> u64 {
+        self.hit_l1 + self.hit_l2 + self.hit_l3 + self.evicted_unused
+    }
+
+    /// Fraction of resolved prefetches that were demanded before eviction
+    /// (the paper's "accuracy", 62.7% on average for Prodigy).
+    pub fn accuracy(&self) -> f64 {
+        let r = self.resolved();
+        if r == 0 {
+            return 0.0;
+        }
+        (self.hit_l1 + self.hit_l2 + self.hit_l3) as f64 / r as f64
+    }
+}
+
+/// All counters for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Retired instructions (all cores).
+    pub instructions: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Wall-clock cycles of the run (max over cores, summed over phases).
+    pub cycles: u64,
+    /// L1D counters.
+    pub l1d: LevelStats,
+    /// L2 counters.
+    pub l2: LevelStats,
+    /// L3 counters.
+    pub l3: LevelStats,
+    /// DRAM reads (line fills).
+    pub dram_reads: u64,
+    /// DRAM writes (dirty writebacks).
+    pub dram_writes: u64,
+    /// Total cycles spent queued at the memory controller.
+    pub dram_queue_cycles: u64,
+    /// TLB hits (demand side).
+    pub tlb_hits: u64,
+    /// TLB misses (demand side).
+    pub tlb_misses: u64,
+    /// Prefetch requests issued by the attached prefetcher.
+    pub prefetches_issued: u64,
+    /// Prefetch requests dropped (line already resident or in flight).
+    pub prefetches_redundant: u64,
+    /// Prefetch requests dropped because the target DRAM channel backlog
+    /// exceeded the controller queue depth.
+    pub prefetches_throttled: u64,
+    /// Usefulness classification of prefetched lines.
+    pub prefetch_use: PrefetchUse,
+    /// LLC misses whose address fell inside DIG-annotated structures
+    /// (populated only when a classifier is installed; Fig. 13/16).
+    pub llc_misses_prefetchable: u64,
+    /// LLC misses outside annotated structures.
+    pub llc_misses_other: u64,
+    /// Aggregated CPI stack over all cores.
+    pub cpi: CpiStack,
+}
+
+impl Stats {
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total LLC (L3) misses.
+    pub fn llc_misses(&self) -> u64 {
+        self.l3.misses
+    }
+
+    /// Merges another run's counters into this one (used across phases).
+    pub fn accumulate(&mut self, o: &Stats) {
+        self.instructions += o.instructions;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.branches += o.branches;
+        self.mispredicts += o.mispredicts;
+        self.cycles += o.cycles;
+        for (a, b) in [
+            (&mut self.l1d, &o.l1d),
+            (&mut self.l2, &o.l2),
+            (&mut self.l3, &o.l3),
+        ] {
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.writebacks += b.writebacks;
+        }
+        self.dram_reads += o.dram_reads;
+        self.dram_writes += o.dram_writes;
+        self.dram_queue_cycles += o.dram_queue_cycles;
+        self.tlb_hits += o.tlb_hits;
+        self.tlb_misses += o.tlb_misses;
+        self.prefetches_issued += o.prefetches_issued;
+        self.prefetches_redundant += o.prefetches_redundant;
+        self.prefetches_throttled += o.prefetches_throttled;
+        self.prefetch_use.hit_l1 += o.prefetch_use.hit_l1;
+        self.prefetch_use.hit_l2 += o.prefetch_use.hit_l2;
+        self.prefetch_use.hit_l3 += o.prefetch_use.hit_l3;
+        self.prefetch_use.evicted_unused += o.prefetch_use.evicted_unused;
+        self.llc_misses_prefetchable += o.llc_misses_prefetchable;
+        self.llc_misses_other += o.llc_misses_other;
+        self.cpi.accumulate(&o.cpi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_stack_total_and_normalize() {
+        let mut s = CpiStack::default();
+        s.no_stall = 10.0;
+        s.add(StallCause::Dram, 30.0);
+        s.add(StallCause::Branch, 10.0);
+        assert_eq!(s.total(), 50.0);
+        let n = s.normalized();
+        assert!((n.total() - 1.0).abs() < 1e-12);
+        assert!((n.dram - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_empty_stack_is_zero() {
+        assert_eq!(CpiStack::default().normalized(), CpiStack::default());
+    }
+
+    #[test]
+    fn prefetch_accuracy() {
+        let p = PrefetchUse {
+            hit_l1: 6,
+            hit_l2: 1,
+            hit_l3: 1,
+            evicted_unused: 2,
+        };
+        assert_eq!(p.resolved(), 10);
+        assert!((p.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(PrefetchUse::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_sums_everything() {
+        let mut a = Stats::default();
+        let mut b = Stats::default();
+        b.instructions = 5;
+        b.l1d.hits = 3;
+        b.dram_reads = 2;
+        b.cpi.no_stall = 1.0;
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 10);
+        assert_eq!(a.l1d.hits, 6);
+        assert_eq!(a.dram_reads, 4);
+        assert_eq!(a.cpi.no_stall, 2.0);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The full simulated machine: cores + prefetchers + shared memory system +
+//! the simulated address space, executed phase by phase.
+//!
+//! Workloads run as a sequence of *parallel phases* (one per OpenMP
+//! parallel-for, BFS level, PageRank iteration, ...). Each phase supplies
+//! one instruction stream per participating core; [`System::run_phase`]
+//! interleaves the cores in timestamp order against the shared memory
+//! system and ends with a barrier, attributing imbalance to the `Other`
+//! (synchronisation) CPI bucket — mirroring how the paper's OpenMP-static
+//! workloads behave on Sniper (§IV-E).
+
+use crate::config::SystemConfig;
+use crate::core::interval::CoreTiming;
+use crate::core::InsnStream;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::mem::address_space::AddressSpace;
+use crate::mem::hierarchy::MemorySystem;
+use crate::prefetch::{FillEvent, FillQueue, NullPrefetcher, PrefetchCtx, Prefetcher};
+use crate::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a single phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Cycles the phase took (barrier to barrier).
+    pub cycles: u64,
+    /// Instructions retired across all cores in the phase.
+    pub instructions: u64,
+}
+
+/// End-of-run summary combining counters and derived metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// All raw counters.
+    pub stats: Stats,
+    /// Energy estimate for the run.
+    pub energy: EnergyBreakdown,
+    /// Prefetcher name attached to core 0 (all cores are homogeneous).
+    pub prefetcher: String,
+}
+
+/// A complete simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    mem: MemorySystem,
+    space: AddressSpace,
+    cores: Vec<CoreTiming>,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+    fills: Vec<FillQueue>,
+    stats: Stats,
+    time: u64,
+    energy_model: EnergyModel,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cfg", &self.cfg)
+            .field("time", &self.time)
+            .field("prefetcher", &self.prefetchers.first().map(|p| p.name()))
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system with no prefetching (the paper's baseline).
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self::with_prefetchers(cfg, |_| Box::new(NullPrefetcher::new()))
+    }
+
+    /// Builds a system with one private prefetcher per core, produced by
+    /// `factory(core_id)`.
+    pub fn with_prefetchers(
+        cfg: SystemConfig,
+        mut factory: impl FnMut(usize) -> Box<dyn Prefetcher>,
+    ) -> Self {
+        let n = cfg.cores as usize;
+        System {
+            mem: MemorySystem::new(cfg),
+            space: AddressSpace::new(),
+            cores: (0..n).map(|_| CoreTiming::new(cfg.core)).collect(),
+            prefetchers: (0..n).map(&mut factory).collect(),
+            fills: (0..n).map(|_| FillQueue::new()).collect(),
+            stats: Stats::default(),
+            time: 0,
+            energy_model: EnergyModel::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Immutable view of the simulated address space.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable access to the simulated address space (workloads allocate
+    /// and populate their data structures through this between phases).
+    pub fn address_space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Mutable access to the memory system (e.g. to install the LLC-miss
+    /// classifier used by the Fig. 13/16 experiments).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Applies `f` to every core's prefetcher — how software "programs" the
+    /// prefetcher (Prodigy's registration API broadcasts DIG entries to all
+    /// private prefetcher instances).
+    pub fn program_prefetchers(&mut self, mut f: impl FnMut(&mut dyn Prefetcher)) {
+        for p in &mut self.prefetchers {
+            f(p.as_mut());
+        }
+    }
+
+    /// Replaces every core's prefetcher. Used by workload drivers that can
+    /// only construct structure-aware prefetchers (Ainsworth & Jones,
+    /// DROPLET) after the workload's data layout exists.
+    pub fn set_prefetchers(&mut self, mut factory: impl FnMut(usize) -> Box<dyn Prefetcher>) {
+        let n = self.cores.len();
+        self.prefetchers = (0..n).map(&mut factory).collect();
+        self.fills = (0..n).map(|_| FillQueue::new()).collect();
+    }
+
+    /// Counters accumulated so far (CPI stacks are merged at phase ends).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current global time (cycle of the last barrier).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Replaces the energy model used by [`System::summary`].
+    pub fn set_energy_model(&mut self, m: EnergyModel) {
+        self.energy_model = m;
+    }
+
+    /// Runs one parallel phase. `streams[i]` executes on core `i`; missing
+    /// trailing entries mean those cores idle through the phase without
+    /// being charged sync time.
+    ///
+    /// # Panics
+    /// Panics if more streams than cores are supplied.
+    pub fn run_phase(&mut self, streams: Vec<InsnStream>) -> PhaseStats {
+        assert!(
+            streams.len() <= self.cores.len(),
+            "more streams ({}) than cores ({})",
+            streams.len(),
+            self.cores.len()
+        );
+        let phase_start = self.time;
+        let insns_before = self.stats.instructions;
+        let participating = streams.len();
+        for c in 0..participating {
+            self.cores[c].begin_phase(phase_start);
+        }
+
+        let mut prefetchers = std::mem::take(&mut self.prefetchers);
+        let mut fills = std::mem::take(&mut self.fills);
+        let mut pos: Vec<usize> = vec![0; participating];
+
+        // Timestamp-ordered interleaving: repeatedly advance the earliest
+        // unfinished core by a small batch of instructions.
+        const BATCH: usize = 8;
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for c in 0..participating {
+                if pos[c] < streams[c].len() {
+                    let t = self.cores[c].now();
+                    if best.map(|(bt, _)| t < bt).unwrap_or(true) {
+                        best = Some((t, c));
+                    }
+                }
+            }
+            let Some((_, c)) = best else { break };
+
+            for _ in 0..BATCH {
+                if pos[c] >= streams[c].len() {
+                    break;
+                }
+                // Deliver matured prefetch fills first so chained prefetch
+                // sequences advance at memory speed, not core speed.
+                Self::deliver_fills(
+                    &mut self.mem,
+                    &self.space,
+                    &mut self.stats,
+                    &mut fills[c],
+                    prefetchers[c].as_mut(),
+                    c,
+                    self.cores[c].now(),
+                );
+                let insn = &streams[c].as_slice()[pos[c]];
+                pos[c] += 1;
+                let step = self.cores[c].step(insn, &mut self.mem, c, &mut self.stats);
+                if let Some(access) = step.demand {
+                    let now = self.cores[c].now();
+                    let mut ctx = PrefetchCtx::new(
+                        c,
+                        now,
+                        &mut self.mem,
+                        &self.space,
+                        &mut self.stats,
+                        &mut fills[c],
+                    );
+                    prefetchers[c].on_demand(&mut ctx, &access);
+                }
+            }
+        }
+
+        // Barrier: everyone waits for the slowest participant.
+        let barrier = (0..participating)
+            .map(|c| self.cores[c].end_time())
+            .max()
+            .unwrap_or(phase_start);
+        for c in 0..participating {
+            self.cores[c].end_phase(barrier);
+            let cpi = self.cores[c].take_cpi();
+            self.stats.cpi.accumulate(&cpi);
+        }
+        // Flush any fills that matured by the barrier (all cores, so chains
+        // started near a phase end still complete).
+        for (c, q) in fills.iter_mut().enumerate() {
+            Self::deliver_fills(
+                &mut self.mem,
+                &self.space,
+                &mut self.stats,
+                q,
+                prefetchers[c].as_mut(),
+                c,
+                barrier,
+            );
+        }
+
+        self.prefetchers = prefetchers;
+        self.fills = fills;
+        self.time = barrier;
+        let cycles = barrier - phase_start;
+        self.stats.cycles += cycles;
+        PhaseStats {
+            cycles,
+            instructions: self.stats.instructions - insns_before,
+        }
+    }
+
+    fn deliver_fills(
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        stats: &mut Stats,
+        queue: &mut FillQueue,
+        prefetcher: &mut dyn Prefetcher,
+        core: usize,
+        now: u64,
+    ) {
+        while queue.peek().map(|r| r.0.at <= now).unwrap_or(false) {
+            let q = queue.pop().expect("peeked").0;
+            let event = FillEvent {
+                line_addr: q.line_addr,
+                served: q.served,
+                at: q.at,
+            };
+            let mut ctx = PrefetchCtx::new(core, q.at, mem, space, stats, queue);
+            prefetcher.on_fill(&mut ctx, &event);
+        }
+    }
+
+    /// Produces the end-of-run summary (counters + energy estimate).
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            stats: self.stats.clone(),
+            energy: self.energy_model.evaluate(&self.stats, &self.cfg),
+            prefetcher: self
+                .prefetchers
+                .first()
+                .map(|p| p.name().to_string())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::StreamBuilder;
+    use crate::prefetch::{DemandAccess, PrefetchCtx};
+    use std::any::Any;
+
+    #[test]
+    fn single_core_phase_runs_and_counts() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(1));
+        let mut b = StreamBuilder::new();
+        for i in 0..100u64 {
+            b.load_at(1, i * 64, 8, &[]);
+        }
+        let p = sys.run_phase(vec![b.finish()]);
+        assert_eq!(p.instructions, 100);
+        assert!(p.cycles > 0);
+        assert_eq!(sys.stats().loads, 100);
+    }
+
+    #[test]
+    fn phases_accumulate_time_monotonically() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(2));
+        for _ in 0..3 {
+            let mut b = StreamBuilder::new();
+            for i in 0..50u64 {
+                b.load_at(1, i * 4096, 8, &[]);
+            }
+            let t0 = sys.time();
+            sys.run_phase(vec![b.finish()]);
+            assert!(sys.time() > t0);
+        }
+        assert_eq!(sys.stats().instructions, 150);
+    }
+
+    #[test]
+    fn imbalanced_phase_charges_sync_to_other() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(2));
+        let mut heavy = StreamBuilder::new();
+        for i in 0..2000u64 {
+            heavy.load_at(1, i * 1_000_000, 8, &[]);
+        }
+        let mut light = StreamBuilder::new();
+        light.compute(1, &[]);
+        sys.run_phase(vec![heavy.finish(), light.finish()]);
+        let cpi = &sys.stats().cpi;
+        assert!(cpi.other > 0.0, "idle core should accrue sync time: {cpi:?}");
+    }
+
+    /// A prefetcher that fetches the next line on every demand access.
+    struct NextLine;
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &'static str {
+            "next-line"
+        }
+        fn on_demand(&mut self, ctx: &mut PrefetchCtx<'_>, a: &DemandAccess) {
+            ctx.prefetch(a.vaddr + crate::LINE_BYTES);
+        }
+        fn on_fill(&mut self, _: &mut PrefetchCtx<'_>, _: &crate::prefetch::FillEvent) {}
+        fn storage_bits(&self) -> u64 {
+            0
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn next_line_prefetcher_speeds_up_streaming() {
+        let stream = |sys: &mut System| {
+            let mut b = StreamBuilder::new();
+            for i in 0..4000u64 {
+                let l = b.load_at(1, 0x10_0000 + i * 64, 8, &[]);
+                for _ in 0..6 {
+                    b.compute(2, &[l]);
+                }
+            }
+            sys.run_phase(vec![b.finish()]).cycles
+        };
+        let mut base = System::new(SystemConfig::scaled(64).with_cores(1));
+        let t_base = stream(&mut base);
+        let mut pf = System::with_prefetchers(SystemConfig::scaled(64).with_cores(1), |_| {
+            Box::new(NextLine)
+        });
+        let t_pf = stream(&mut pf);
+        assert!(
+            t_pf * 10 < t_base * 9,
+            "prefetching must help streaming: {t_pf} vs {t_base}"
+        );
+        assert!(pf.stats().prefetches_issued > 1000);
+        assert!(pf.stats().prefetch_use.hit_l1 > 500);
+    }
+
+    #[test]
+    fn summary_reports_energy_and_name() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(1));
+        let mut b = StreamBuilder::new();
+        for i in 0..100u64 {
+            b.load_at(1, i * 64, 8, &[]);
+        }
+        sys.run_phase(vec![b.finish()]);
+        let s = sys.summary();
+        assert_eq!(s.prefetcher, "none");
+        assert!(s.energy.total() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn too_many_streams_rejected() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(1));
+        sys.run_phase(vec![InsnStream::default(), InsnStream::default()]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the simulator's primitive models.
+
+use proptest::prelude::*;
+use prodigy_sim::mem::address_space::AddressSpace;
+use prodigy_sim::mem::dram::Dram;
+use prodigy_sim::mem::tlb::Tlb;
+use prodigy_sim::stats::{CpiStack, StallCause};
+use prodigy_sim::DramConfig;
+
+proptest! {
+    /// Address-space reads return exactly what was written, for arbitrary
+    /// addresses, sizes and overlapping writes applied in order.
+    #[test]
+    fn address_space_roundtrips(
+        writes in prop::collection::vec((0u64..1u64 << 24, any::<u64>(), prop::sample::select(vec![1u8, 2, 4, 8])), 1..60)
+    ) {
+        let mut a = AddressSpace::new();
+        // Apply all writes, then verify the final value of each location by
+        // replaying into a reference byte map.
+        let mut reference = std::collections::HashMap::new();
+        for &(addr, v, size) in &writes {
+            a.write_uint(addr, v, size);
+            for i in 0..size as u64 {
+                reference.insert(addr + i, (v >> (8 * i)) as u8);
+            }
+        }
+        for (&addr, &byte) in &reference {
+            prop_assert_eq!(a.read_u8(addr), byte);
+        }
+    }
+
+    /// DRAM: latency is never below the uncontended access latency, and
+    /// queueing is non-negative and bounded by the backlog we created.
+    #[test]
+    fn dram_latency_bounds(reqs in prop::collection::vec((0u64..1u64 << 22, 0u64..10_000), 1..100)) {
+        let cfg = DramConfig { access_latency: 120, channels: 4, cycles_per_transfer: 13, queue_depth: 32 };
+        let mut d = Dram::new(cfg);
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        for (i, &(addr, t)) in sorted.iter().enumerate() {
+            let r = d.read(addr * 64, t);
+            prop_assert!(r.latency >= cfg.access_latency);
+            prop_assert!(r.queue_wait <= (i as u64 + 1) * cfg.cycles_per_transfer);
+            prop_assert_eq!(r.latency, r.queue_wait + cfg.access_latency);
+        }
+    }
+
+    /// TLB: an access immediately after an access to the same page hits.
+    #[test]
+    fn tlb_immediate_rereference_hits(pages in prop::collection::vec(0u64..1u64 << 20, 1..50)) {
+        let mut t = Tlb::new(16);
+        for &p in &pages {
+            t.access(p * 4096);
+            prop_assert!(t.access(p * 4096 + 123), "same page must hit");
+        }
+    }
+
+    /// CPI stacks: accumulate is associative with respect to totals, and
+    /// normalization always yields a unit (or zero) total.
+    #[test]
+    fn cpi_stack_algebra(parts in prop::collection::vec((0u8..5, 0.0f64..1e6), 0..20)) {
+        let mut s = CpiStack::default();
+        let mut total = 0.0;
+        for &(c, v) in &parts {
+            let cause = [StallCause::Dram, StallCause::Cache, StallCause::Branch,
+                         StallCause::Dependency, StallCause::Other][c as usize % 5];
+            s.add(cause, v);
+            total += v;
+        }
+        prop_assert!((s.total() - total).abs() < 1e-6 * total.max(1.0));
+        let n = s.normalized();
+        if total > 0.0 {
+            prop_assert!((n.total() - 1.0).abs() < 1e-9);
+        }
+    }
+}

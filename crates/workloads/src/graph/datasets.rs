@@ -1,0 +1,152 @@
+//! Named data-set stand-ins for Table II.
+//!
+//! Each entry mirrors one of the paper's graphs in *shape* (degree
+//! distribution, edge/vertex ratio, structure) at a simulation-tractable
+//! scale. The paper's key property — working sets many times larger than
+//! the LLC (16×–969× in Table II) — is preserved by pairing these with the
+//! scaled cache configuration (`SystemConfig::scaled`); benches print the
+//! resulting footprint/LLC ratio next to each result.
+
+use super::csr::Csr;
+use super::generators;
+use serde::{Deserialize, Serialize};
+
+/// Which generator family a data set uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// RMAT power-law (social networks: pokec, livejournal, orkut).
+    Social,
+    /// Host-local web crawl (sk-2005, webbase-2001).
+    Web,
+}
+
+/// A named synthetic stand-in for one of the paper's graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Short name used in the paper's x-axis labels (po, lj, or, sk, wb).
+    pub name: &'static str,
+    /// The real graph this stands in for.
+    pub stands_for: &'static str,
+    /// Vertices at scale divisor 1.
+    pub base_vertices: u32,
+    /// Average degree (edges / vertices), matching the real graph's ratio.
+    pub avg_degree: u32,
+    /// Generator family.
+    pub family: Family,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The five Table II graphs, ordered as the paper lists them.
+pub const DATASETS: [Dataset; 5] = [
+    Dataset {
+        name: "po",
+        stands_for: "pokec (1.6M v, 30.6M e, deg 19)",
+        base_vertices: 48_000,
+        avg_degree: 19,
+        family: Family::Social,
+        seed: 0x9001,
+    },
+    Dataset {
+        name: "lj",
+        stands_for: "livejournal (4.8M v, 69M e, deg 14)",
+        base_vertices: 96_000,
+        avg_degree: 14,
+        family: Family::Social,
+        seed: 0x9002,
+    },
+    Dataset {
+        name: "or",
+        stands_for: "orkut (3.1M v, 117M e, deg 38)",
+        base_vertices: 60_000,
+        avg_degree: 38,
+        family: Family::Social,
+        seed: 0x9003,
+    },
+    Dataset {
+        name: "sk",
+        stands_for: "sk-2005 (50.6M v, 1930M e, deg 38)",
+        base_vertices: 128_000,
+        avg_degree: 38,
+        family: Family::Web,
+        seed: 0x9004,
+    },
+    Dataset {
+        name: "wb",
+        stands_for: "webbase-2001 (118M v, 1020M e, deg 9)",
+        base_vertices: 160_000,
+        avg_degree: 9,
+        family: Family::Web,
+        seed: 0x9005,
+    },
+];
+
+impl Dataset {
+    /// Looks a data set up by its short name.
+    pub fn by_name(name: &str) -> Option<&'static Dataset> {
+        DATASETS.iter().find(|d| d.name == name)
+    }
+
+    /// Instantiates the graph with vertices divided by `divisor` (1 = the
+    /// full stand-in scale; tests use larger divisors for speed).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn instantiate(&self, divisor: u32) -> Csr {
+        assert!(divisor > 0, "divisor must be positive");
+        let n = (self.base_vertices / divisor).max(64);
+        let m = n as u64 * self.avg_degree as u64;
+        match self.family {
+            Family::Social => generators::rmat(n, m, self.seed, (0.57, 0.19, 0.19)),
+            Family::Web => generators::webby(n, m, 32, 0.85, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_paper_graphs_present() {
+        let names: Vec<_> = DATASETS.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["po", "lj", "or", "sk", "wb"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Dataset::by_name("lj").unwrap().avg_degree, 14);
+        assert!(Dataset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn instantiation_matches_requested_shape() {
+        let d = Dataset::by_name("po").unwrap();
+        let g = d.instantiate(16);
+        assert_eq!(g.n(), 3000);
+        assert_eq!(g.m(), 3000 * 19);
+    }
+
+    #[test]
+    fn footprint_exceeds_scaled_llc() {
+        // At divisor 4 every graph must dwarf the scaled-32 LLC, keeping the
+        // Table II "size ≫ LLC" property.
+        let llc = prodigy_sim::SystemConfig::scaled(32).llc_capacity();
+        for d in &DATASETS {
+            let g = d.instantiate(4);
+            assert!(
+                g.footprint_bytes() > llc,
+                "{}: {} B vs LLC {} B",
+                d.name,
+                g.footprint_bytes(),
+                llc
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_rejected() {
+        DATASETS[0].instantiate(0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Graph substrate: CSR/CSC structures, synthetic data-set generators
+//! (Table II stand-ins) and HubSort reordering (Fig. 18).
+
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod reorder;

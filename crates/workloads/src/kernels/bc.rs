@@ -1,0 +1,342 @@
+//! Betweenness Centrality (GAP) — Brandes' algorithm from a sampled source:
+//! a forward BFS accumulating shortest-path counts (`sigma`), then a
+//! backward dependency-accumulation sweep over the visit order.
+//!
+//! bc has the richest DIG of the suite (the paper's largest DIG, §VI-E, is
+//! bc's): the traversal touches the work/order queue, offset and edge
+//! lists, and three property arrays (depth, sigma, delta). The backward
+//! sweep walks the order array *descending* — the kernel re-programs the
+//! prefetcher's trigger direction between phases, exercising §IV-F's
+//! runtime DIG reconfiguration.
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::Csr;
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, DigProgram, EdgeKind, TraversalDirection, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_WQ: u32 = 500;
+const PC_OFF_LO: u32 = 501;
+const PC_OFF_HI: u32 = 502;
+const PC_EDG: u32 = 503;
+const PC_DEPTH: u32 = 504;
+const PC_SIGMA: u32 = 505;
+const PC_DELTA: u32 = 506;
+const PC_BR: u32 = 507;
+const PC_ST: u32 = 510;
+
+/// The BC kernel (single sampled source, as GAP does per trial).
+#[derive(Debug)]
+pub struct Bc {
+    graph: Csr,
+    source: u32,
+    handles: Option<Handles>,
+    /// Centrality scores after `run`.
+    pub centrality: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    wq: ArrayHandle,
+    off: ArrayHandle,
+    edg: ArrayHandle,
+    depth: ArrayHandle,
+    sigma: ArrayHandle,
+    delta: ArrayHandle,
+}
+
+impl Bc {
+    /// Creates a BC run from `source`.
+    pub fn new(graph: Csr, source: u32) -> Self {
+        assert!(source < graph.n());
+        let n = graph.n() as usize;
+        Bc {
+            graph,
+            source,
+            handles: None,
+            centrality: vec![0.0; n],
+        }
+    }
+
+    /// Reference Brandes (host-only) for verification.
+    pub fn reference_centrality(g: &Csr, source: u32) -> Vec<f64> {
+        let n = g.n() as usize;
+        let mut depth = vec![u32::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut order = Vec::new();
+        depth[source as usize] = 0;
+        sigma[source as usize] = 1.0;
+        let mut frontier = vec![source];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                order.push(u);
+                for &v in g.neighbors(u) {
+                    if depth[v as usize] == u32::MAX {
+                        depth[v as usize] = depth[u as usize] + 1;
+                        next.push(v);
+                    }
+                    if depth[v as usize] == depth[u as usize] + 1 {
+                        sigma[v as usize] += sigma[u as usize];
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let mut delta = vec![0.0f64; n];
+        let mut bc = vec![0.0f64; n];
+        for &u in order.iter().rev() {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == depth[u as usize] + 1 && sigma[v as usize] > 0.0 {
+                    delta[u as usize] +=
+                        sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                }
+            }
+            if u != source {
+                bc[u as usize] = delta[u as usize];
+            }
+        }
+        bc
+    }
+
+    fn backward_dig(&self) -> Dig {
+        let h = self.handles.expect("prepared");
+        let mut dig = Dig::new();
+        let n_wq = h.wq.dig_node(&mut dig);
+        let n_off = h.off.dig_node(&mut dig);
+        let n_edg = h.edg.dig_node(&mut dig);
+        let n_depth = h.depth.dig_node(&mut dig);
+        let n_sigma = h.sigma.dig_node(&mut dig);
+        let n_delta = h.delta.dig_node(&mut dig);
+        dig.edge(n_wq, n_off, EdgeKind::SingleValued);
+        dig.edge(n_off, n_edg, EdgeKind::Ranged);
+        dig.edge(n_edg, n_depth, EdgeKind::SingleValued);
+        dig.edge(n_edg, n_sigma, EdgeKind::SingleValued);
+        dig.edge(n_edg, n_delta, EdgeKind::SingleValued);
+        dig.trigger(
+            n_wq,
+            TriggerSpec {
+                direction: TraversalDirection::Descending,
+                ..TriggerSpec::default()
+            },
+        );
+        dig
+    }
+}
+
+impl Kernel for Bc {
+    fn name(&self) -> &'static str {
+        "bc"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.graph.n() as u64;
+        let img = load_csr(space, &self.graph);
+        let wq = ArrayHandle::alloc(space, n, 4);
+        let depth = ArrayHandle::alloc(space, n, 4);
+        let sigma = ArrayHandle::alloc(space, n, 8);
+        let delta = ArrayHandle::alloc(space, n, 8);
+        for v in 0..n {
+            space.write_u32(depth.addr(v), u32::MAX);
+        }
+        space.write_u32(depth.addr(self.source as u64), 0);
+        space.write_f64(sigma.addr(self.source as u64), 1.0);
+        wq.write(space, 0, self.source as u64);
+        self.handles = Some(Handles {
+            wq,
+            off: img.off,
+            edg: img.edg,
+            depth,
+            sigma,
+            delta,
+        });
+
+        // Forward DIG (ascending trigger); `run` flips it for the backward
+        // sweep via PhaseRunner::reprogram.
+        let mut dig = Dig::new();
+        let n_wq = wq.dig_node(&mut dig);
+        let n_off = img.off.dig_node(&mut dig);
+        let n_edg = img.edg.dig_node(&mut dig);
+        let n_depth = depth.dig_node(&mut dig);
+        let n_sigma = sigma.dig_node(&mut dig);
+        let _n_delta = delta.dig_node(&mut dig);
+        dig.edge(n_wq, n_off, EdgeKind::SingleValued);
+        dig.edge(n_off, n_edg, EdgeKind::Ranged);
+        dig.edge(n_edg, n_depth, EdgeKind::SingleValued);
+        dig.edge(n_edg, n_sigma, EdgeKind::SingleValued);
+        dig.trigger(n_wq, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let g = &self.graph;
+        let n = g.n() as usize;
+        let mut depth = vec![u32::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut order: Vec<u32> = vec![self.source];
+        depth[self.source as usize] = 0;
+        sigma[self.source as usize] = 1.0;
+
+        // --- forward BFS with path counting ---
+        let mut window = 0usize..1usize;
+        while !window.is_empty() {
+            let chunks = partition((window.end - window.start) as u64, runner.cores());
+            let level_end = window.end;
+            let mut streams = Vec::new();
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for qo in chunk.clone() {
+                    let qi = window.start + qo as usize;
+                    let u = order[qi];
+                    let ld_u = b.load_at(PC_WQ, h.wq.addr(qi as u64), 4, &[]);
+                    let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u as u64), 4, &[ld_u]);
+                    b.load_at(PC_OFF_HI, h.off.addr(u as u64 + 1), 4, &[ld_u]);
+                    let (lo, hi) = (
+                        g.offsets[u as usize] as u64,
+                        g.offsets[u as usize + 1] as u64,
+                    );
+                    for w in lo..hi {
+                        let v = g.edges[w as usize];
+                        let ld_e = b.load_at(PC_EDG, h.edg.addr(w), 4, &[lo_ld]);
+                        let ld_d = b.load_at(PC_DEPTH, h.depth.addr(v as u64), 4, &[ld_e]);
+                        let newly = depth[v as usize] == u32::MAX;
+                        b.branch(PC_BR, newly, &[ld_d]);
+                        if newly {
+                            depth[v as usize] = depth[u as usize] + 1;
+                            let qpos = order.len() as u64;
+                            order.push(v);
+                            let space = runner.space_mut();
+                            space.write_u32(h.depth.addr(v as u64), depth[v as usize]);
+                            space.write_u32(h.wq.addr(qpos), v);
+                            b.store_at(PC_ST, h.depth.addr(v as u64), 4, &[ld_d]);
+                            b.store_at(PC_ST + 1, h.wq.addr(qpos), 4, &[ld_e]);
+                        }
+                        if depth[v as usize] == depth[u as usize] + 1 {
+                            sigma[v as usize] += sigma[u as usize];
+                            runner
+                                .space_mut()
+                                .write_f64(h.sigma.addr(v as u64), sigma[v as usize]);
+                            let ld_s = b.load_at(PC_SIGMA, h.sigma.addr(v as u64), 8, &[ld_e]);
+                            let c = b.compute(4, &[ld_s]);
+                            b.store_at(PC_ST + 2, h.sigma.addr(v as u64), 8, &[c]);
+                        }
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+            window = level_end..order.len();
+        }
+
+        // --- backward dependency accumulation (descending trigger) ---
+        runner.reprogram(&DigProgram::from_dig(&self.backward_dig()));
+        let mut delta = vec![0.0f64; n];
+        // Process visit order in reverse, level by level (vertices at the
+        // same depth are independent, matching the parallel implementation).
+        let total = order.len();
+        let mut hi = total;
+        while hi > 0 {
+            let d = depth[order[hi - 1] as usize];
+            let mut lo = hi;
+            while lo > 0 && depth[order[lo - 1] as usize] == d {
+                lo -= 1;
+            }
+            let chunks = partition((hi - lo) as u64, runner.cores());
+            let mut streams = Vec::new();
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for co in chunk.clone() {
+                    let qi = hi - 1 - co as usize; // descending walk
+                    let u = order[qi];
+                    let ld_u = b.load_at(PC_WQ, h.wq.addr(qi as u64), 4, &[]);
+                    let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u as u64), 4, &[ld_u]);
+                    b.load_at(PC_OFF_HI, h.off.addr(u as u64 + 1), 4, &[ld_u]);
+                    let (elo, ehi) = (
+                        g.offsets[u as usize] as u64,
+                        g.offsets[u as usize + 1] as u64,
+                    );
+                    for w in elo..ehi {
+                        let v = g.edges[w as usize];
+                        let ld_e = b.load_at(PC_EDG, h.edg.addr(w), 4, &[lo_ld]);
+                        let ld_d = b.load_at(PC_DEPTH, h.depth.addr(v as u64), 4, &[ld_e]);
+                        let child = depth[v as usize] == depth[u as usize].wrapping_add(1)
+                            && sigma[v as usize] > 0.0;
+                        b.branch(PC_BR + 1, child, &[ld_d]);
+                        if child {
+                            let ld_s = b.load_at(PC_SIGMA, h.sigma.addr(v as u64), 8, &[ld_e]);
+                            let ld_dl = b.load_at(PC_DELTA, h.delta.addr(v as u64), 8, &[ld_e]);
+                            let c = b.compute(4, &[ld_s, ld_dl]);
+                            delta[u as usize] +=
+                                sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                            b.compute(4, &[c]);
+                        }
+                    }
+                    runner
+                        .space_mut()
+                        .write_f64(h.delta.addr(u as u64), delta[u as usize]);
+                    b.store_at(PC_ST + 3, h.delta.addr(u as u64), 8, &[]);
+                    if u != self.source {
+                        self.centrality[u as usize] = delta[u as usize];
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+            hi = lo;
+        }
+
+        self.centrality
+            .iter()
+            .fold(0u64, |acc, &c| acc.wrapping_add((c * 1e6) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::rmat;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn path_graph_centrality() {
+        // 0→1→2→3: vertex 1 lies on paths 0→{2,3}; vertex 2 on 0→3 etc.
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let reference = Bc::reference_centrality(&g, 0);
+        let mut k = Bc::new(g, 0);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.centrality, reference);
+        assert!(k.centrality[1] > k.centrality[3]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let g = rmat(128, 1024, 33, (0.57, 0.19, 0.19));
+        let reference = Bc::reference_centrality(&g, 5);
+        let mut k = Bc::new(g, 5);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        for (a, b) in k.centrality.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dig_is_the_largest_of_the_suite() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut k = Bc::new(g, 0);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.nodes().len(), 6);
+        assert!(dig.edges().len() >= 4);
+        // Backward DIG flips the trigger direction.
+        let back = k.backward_dig();
+        let (_, spec) = back.trigger_spec().unwrap();
+        assert_eq!(spec.direction, TraversalDirection::Descending);
+    }
+}

@@ -1,0 +1,252 @@
+//! Breadth-First Search (GAP) — the paper's running example (§II, Fig. 3).
+//!
+//! Top-down BFS over a CSR graph with a sliding work queue, an offset list,
+//! an edge list and a visited list — the paper explicitly evaluates only
+//! the top-down implementation (§V-B footnote). Its DIG is Fig. 5(a):
+//! `workQueue →(w0) offsetList →(w1) edgeList →(w0) visited`, trigger on
+//! the work queue.
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::Csr;
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_WQ: u32 = 100;
+const PC_OFF_LO: u32 = 101;
+const PC_OFF_HI: u32 = 102;
+const PC_EDG: u32 = 103;
+const PC_VIS: u32 = 104;
+const PC_BR: u32 = 105;
+const PC_ST_VIS: u32 = 106;
+const PC_ST_WQ: u32 = 107;
+
+/// The BFS kernel.
+#[derive(Debug)]
+pub struct Bfs {
+    graph: Csr,
+    source: u32,
+    handles: Option<Handles>,
+    /// Depth of each vertex after `run` (-1 encoded as `u32::MAX`).
+    pub depths: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    wq: ArrayHandle,
+    off: ArrayHandle,
+    edg: ArrayHandle,
+    vis: ArrayHandle,
+}
+
+impl Bfs {
+    /// Creates a BFS from `source` over `graph`.
+    pub fn new(graph: Csr, source: u32) -> Self {
+        assert!(source < graph.n(), "source out of range");
+        let n = graph.n() as usize;
+        Bfs {
+            graph,
+            source,
+            handles: None,
+            depths: vec![u32::MAX; n],
+        }
+    }
+
+    /// Reference BFS for verification (plain host algorithm, no emission).
+    pub fn reference_depths(g: &Csr, source: u32) -> Vec<u32> {
+        let mut depth = vec![u32::MAX; g.n() as usize];
+        let mut frontier = vec![source];
+        depth[source as usize] = 0;
+        let mut d = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    if depth[v as usize] == u32::MAX {
+                        depth[v as usize] = d + 1;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            d += 1;
+        }
+        depth
+    }
+}
+
+impl Kernel for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.graph.n() as u64;
+        let img = load_csr(space, &self.graph);
+        let wq = ArrayHandle::alloc(space, n, 4);
+        let vis = ArrayHandle::alloc(space, n, 4);
+        wq.write(space, 0, self.source as u64);
+        vis.write(space, self.source as u64, 1);
+        self.handles = Some(Handles {
+            wq,
+            off: img.off,
+            edg: img.edg,
+            vis,
+        });
+
+        // Fig. 5(a) / Fig. 6: the annotated DIG.
+        let mut dig = Dig::new();
+        let n_wq = wq.dig_node(&mut dig);
+        let n_off = img.off.dig_node(&mut dig);
+        let n_edg = img.edg.dig_node(&mut dig);
+        let n_vis = vis.dig_node(&mut dig);
+        dig.edge(n_wq, n_off, EdgeKind::SingleValued);
+        dig.edge(n_off, n_edg, EdgeKind::Ranged);
+        dig.edge(n_edg, n_vis, EdgeKind::SingleValued);
+        dig.trigger(n_wq, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let g = &self.graph;
+        let n = g.n() as usize;
+        let mut visited = vec![false; n];
+        visited[self.source as usize] = true;
+        self.depths[self.source as usize] = 0;
+
+        // Sliding queue: one array, levels are windows.
+        let mut wq_host: Vec<u32> = vec![self.source];
+        let mut window = 0usize..1usize;
+        let mut depth = 0u32;
+
+        while !window.is_empty() {
+            let chunks = partition((window.end - window.start) as u64, runner.cores());
+            let mut streams = Vec::with_capacity(chunks.len());
+            let level_end = window.end;
+            let mut appended = 0usize;
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for qo in chunk.clone() {
+                    let qi = window.start + qo as usize;
+                    let u = wq_host[qi];
+                    let ld_u = b.load_at(PC_WQ, h.wq.addr(qi as u64), 4, &[]);
+                    let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u as u64), 4, &[ld_u]);
+                    let hi_ld = b.load_at(PC_OFF_HI, h.off.addr(u as u64 + 1), 4, &[ld_u]);
+                    b.branch(PC_BR + 10, g.degree(u) > 0, &[lo_ld, hi_ld]);
+                    let (lo, hi) = (
+                        g.offsets[u as usize] as u64,
+                        g.offsets[u as usize + 1] as u64,
+                    );
+                    for w in lo..hi {
+                        let v = g.edges[w as usize];
+                        let ld_e = b.load_at(PC_EDG, h.edg.addr(w), 4, &[lo_ld]);
+                        let ld_v = b.load_at(PC_VIS, h.vis.addr(v as u64), 4, &[ld_e]);
+                        let newly = !visited[v as usize];
+                        b.branch(PC_BR, newly, &[ld_v]);
+                        if newly {
+                            visited[v as usize] = true;
+                            self.depths[v as usize] = depth + 1;
+                            let qpos = (level_end + appended) as u64;
+                            appended += 1;
+                            wq_host.push(v);
+                            // Mirror the algorithm's writes into simulated
+                            // memory so prefetchers read real values.
+                            let space = runner.space_mut();
+                            space.write_u32(h.vis.addr(v as u64), 1);
+                            space.write_u32(h.wq.addr(qpos), v);
+                            b.store_at(PC_ST_VIS, h.vis.addr(v as u64), 4, &[ld_v]);
+                            b.store_at(PC_ST_WQ, h.wq.addr(qpos), 4, &[ld_e]);
+                            b.compute(1, &[]);
+                        }
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+            window = level_end..wq_host.len();
+            depth += 1;
+        }
+
+        // Checksum: depth-weighted vertex sum (stable across prefetchers).
+        self.depths
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (v, &d)| {
+                acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::rmat;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn computes_correct_depths_on_a_path() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut k = Bfs::new(g, 0);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.depths, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let g = rmat(512, 4096, 17, (0.57, 0.19, 0.19));
+        let reference = Bfs::reference_depths(&g, 0);
+        let mut k = Bfs::new(g, 0);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.depths, reference);
+    }
+
+    #[test]
+    fn dig_matches_fig5a_shape() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut k = Bfs::new(g, 0);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.nodes().len(), 4);
+        assert_eq!(dig.edges().len(), 3);
+        assert_eq!(dig.depth_from_trigger(), 4);
+        let kinds: Vec<EdgeKind> = dig.edges().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EdgeKind::SingleValued,
+                EdgeKind::Ranged,
+                EdgeKind::SingleValued
+            ]
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unvisited() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut k = Bfs::new(g, 0);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.depths[2], u32::MAX);
+        assert_eq!(k.depths[3], u32::MAX);
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let g = rmat(256, 2048, 5, (0.57, 0.19, 0.19));
+        let run = |g: Csr| {
+            let mut k = Bfs::new(g, 0);
+            let mut r = FunctionalRunner::new(3);
+            k.prepare(r.space_mut());
+            k.run(&mut r)
+        };
+        assert_eq!(run(g.clone()), run(g));
+    }
+}

@@ -1,0 +1,247 @@
+//! Connected Components (GAP) — label-propagation with pointer-jumping
+//! compression (Shiloach–Vishkin style, the classic parallel CC).
+//!
+//! Each propagation round walks every vertex's neighbours (ranged
+//! indirection) and pulls the minimum component label (single-valued
+//! indirection into the label array); a compression round then
+//! pointer-jumps labels. The DIG triggers on the offset list.
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::Csr;
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_OFF_LO: u32 = 300;
+const PC_OFF_HI: u32 = 301;
+const PC_EDG: u32 = 302;
+const PC_COMP: u32 = 303;
+const PC_BR: u32 = 304;
+const PC_ST: u32 = 305;
+const PC_JUMP: u32 = 306;
+
+/// The CC kernel.
+#[derive(Debug)]
+pub struct Cc {
+    graph: Csr,
+    max_rounds: u32,
+    handles: Option<Handles>,
+    /// Component label of each vertex after `run`.
+    pub components: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    off: ArrayHandle,
+    edg: ArrayHandle,
+    comp: ArrayHandle,
+}
+
+impl Cc {
+    /// Creates a CC run (propagation rounds capped at `max_rounds`).
+    pub fn new(graph: Csr, max_rounds: u32) -> Self {
+        let n = graph.n() as usize;
+        Cc {
+            graph,
+            max_rounds,
+            handles: None,
+            components: (0..n as u32).collect(),
+        }
+    }
+
+    /// Reference components via union-find (treating edges as undirected,
+    /// as label propagation over out-edges plus compression converges to).
+    pub fn reference_components(g: &Csr) -> Vec<u32> {
+        let n = g.n() as usize;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            let mut r = x;
+            while p[r as usize] != r {
+                r = p[r as usize];
+            }
+            let mut c = x;
+            while p[c as usize] != r {
+                let next = p[c as usize];
+                p[c as usize] = r;
+                c = next;
+            }
+            r
+        }
+        for v in 0..g.n() {
+            for &w in g.neighbors(v) {
+                let (a, b) = (find(&mut parent, v), find(&mut parent, w));
+                if a != b {
+                    parent[a.max(b) as usize] = a.min(b);
+                }
+            }
+        }
+        (0..n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+}
+
+impl Kernel for Cc {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.graph.n() as u64;
+        let img = load_csr(space, &self.graph);
+        let comp = ArrayHandle::alloc(space, n, 4);
+        for v in 0..n {
+            space.write_u32(comp.addr(v), v as u32);
+        }
+        self.handles = Some(Handles {
+            off: img.off,
+            edg: img.edg,
+            comp,
+        });
+
+        let mut dig = Dig::new();
+        let n_off = img.off.dig_node(&mut dig);
+        let n_edg = img.edg.dig_node(&mut dig);
+        let n_comp = comp.dig_node(&mut dig);
+        dig.edge(n_off, n_edg, EdgeKind::Ranged);
+        dig.edge(n_edg, n_comp, EdgeKind::SingleValued);
+        dig.trigger(n_off, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let n = self.graph.n() as u64;
+
+        for _round in 0..self.max_rounds {
+            let mut changed = false;
+            // --- propagation phase ---
+            let chunks = partition(n, runner.cores());
+            let mut streams = Vec::new();
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for u in chunk.clone() {
+                    let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u), 4, &[]);
+                    b.load_at(PC_OFF_HI, h.off.addr(u + 1), 4, &[]);
+                    let my = b.load_at(PC_COMP + 10, h.comp.addr(u), 4, &[]);
+                    let mut best = self.components[u as usize];
+                    let (lo, hi) = (
+                        self.graph.offsets[u as usize] as u64,
+                        self.graph.offsets[u as usize + 1] as u64,
+                    );
+                    for w in lo..hi {
+                        let v = self.graph.edges[w as usize] as usize;
+                        let ld_e = b.load_at(PC_EDG, h.edg.addr(w), 4, &[lo_ld]);
+                        let ld_c = b.load_at(PC_COMP, h.comp.addr(v as u64), 4, &[ld_e]);
+                        let smaller = self.components[v] < best;
+                        b.branch(PC_BR, smaller, &[ld_c, my]);
+                        if smaller {
+                            best = self.components[v];
+                            b.compute(1, &[ld_c]);
+                        }
+                    }
+                    if best < self.components[u as usize] {
+                        changed = true;
+                        self.components[u as usize] = best;
+                        runner.space_mut().write_u32(h.comp.addr(u), best);
+                        b.store_at(PC_ST, h.comp.addr(u), 4, &[my]);
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+
+            // --- pointer-jumping compression phase ---
+            let mut streams = Vec::new();
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for u in chunk.clone() {
+                    let c = self.components[u as usize];
+                    let cc = self.components[c as usize];
+                    let l1 = b.load_at(PC_JUMP, h.comp.addr(u), 4, &[]);
+                    let l2 = b.load_at(PC_JUMP + 1, h.comp.addr(c as u64), 4, &[l1]);
+                    if cc != c {
+                        changed = true;
+                        self.components[u as usize] = cc;
+                        runner.space_mut().write_u32(h.comp.addr(u), cc);
+                        b.store_at(PC_JUMP + 2, h.comp.addr(u), 4, &[l2]);
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+
+            if !changed {
+                break;
+            }
+        }
+
+        self.components
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (v, &c)| {
+                acc.wrapping_add((c as u64).wrapping_mul(v as u64 + 1))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::uniform;
+    use crate::kernels::FunctionalRunner;
+
+    fn canonical(labels: &[u32]) -> Vec<u32> {
+        // Renumber labels by first occurrence so representations compare.
+        let mut map = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = map.len() as u32;
+                *map.entry(l).or_insert(next)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_components_found() {
+        // {0,1,2} and {3,4} with symmetric edges.
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
+        let mut k = Cc::new(g, 20);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(canonical(&k.components), vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_symmetric_graph() {
+        // Symmetrise a random graph so label propagation over out-edges
+        // converges to true undirected components.
+        let base = uniform(200, 600, 7);
+        let mut edges = Vec::new();
+        for v in 0..base.n() {
+            for &w in base.neighbors(v) {
+                edges.push((v, w));
+                edges.push((w, v));
+            }
+        }
+        let g = Csr::from_edges(200, &edges);
+        let reference = canonical(&Cc::reference_components(&g));
+        let mut k = Cc::new(g, 50);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(canonical(&k.components), reference);
+    }
+
+    #[test]
+    fn dig_has_ranged_and_single_valued() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 0)]);
+        let mut k = Cc::new(g, 5);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        let kinds: Vec<_> = dig.edges().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EdgeKind::Ranged, EdgeKind::SingleValued]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Conjugate Gradient (NAS CG): repeated sparse matrix–vector products on a
+//! random sparse symmetric positive-definite system, interleaved with dense
+//! dot-product and AXPY phases — the NAS benchmark the paper uses as a
+//! computational-fluid-dynamics representative (§V-B).
+//!
+//! The irregular phase is the SpMV; its DIG matches spmv's
+//! (offsets →(w1) columns/values, columns →(w0) p-vector).
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::Csr;
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_OFF_LO: u32 = 800;
+const PC_OFF_HI: u32 = 801;
+const PC_COL: u32 = 802;
+const PC_VAL: u32 = 803;
+const PC_P: u32 = 804;
+const PC_ST_Q: u32 = 805;
+const PC_DENSE: u32 = 810;
+
+/// The CG kernel.
+#[derive(Debug)]
+pub struct Cg {
+    matrix: Csr,
+    values: Vec<f64>,
+    rhs: Vec<f64>,
+    iterations: u32,
+    handles: Option<Handles>,
+    /// Solution estimate after `run`.
+    pub x: Vec<f64>,
+    /// Residual norm after each iteration.
+    pub residuals: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    off: ArrayHandle,
+    col: ArrayHandle,
+    val: ArrayHandle,
+    p: ArrayHandle,
+    q: ArrayHandle,
+    r: ArrayHandle,
+    x: ArrayHandle,
+}
+
+impl Cg {
+    /// Builds a CG solve over an SPD system derived from a symmetrised
+    /// random sparsity pattern (NAS CG uses a random sparse SPD matrix):
+    /// off-diagonals −1, diagonal = degree + 1 (diagonally dominant ⇒ SPD).
+    pub fn new(pattern: &Csr, iterations: u32, seed: u64) -> Self {
+        let n = pattern.n();
+        // Symmetrise and add the diagonal.
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for &w in pattern.neighbors(v) {
+                if v != w {
+                    edges.push((v, w));
+                    edges.push((w, v));
+                }
+            }
+            edges.push((v, v));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let matrix = Csr::from_edges(n, &edges);
+        let mut values = vec![0.0f64; matrix.m() as usize];
+        for r in 0..n {
+            let (lo, hi) = (matrix.offsets[r as usize], matrix.offsets[r as usize + 1]);
+            for k in lo..hi {
+                values[k as usize] = if matrix.edges[k as usize] == r {
+                    (hi - lo) as f64 + 1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        let mut s = seed | 1;
+        let rhs = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        Cg {
+            x: vec![0.0; n as usize],
+            matrix,
+            values,
+            rhs,
+            iterations,
+            handles: None,
+            residuals: Vec::new(),
+        }
+    }
+
+    fn spmv_phase(&mut self, runner: &mut dyn PhaseRunner, p: &[f64]) -> Vec<f64> {
+        let h = self.handles.expect("prepared");
+        let n = self.matrix.n() as u64;
+        let chunks = partition(n, runner.cores());
+        let mut q = vec![0.0f64; n as usize];
+        let mut streams = Vec::new();
+        for chunk in &chunks {
+            let mut b = StreamBuilder::new();
+            for r in chunk.clone() {
+                let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(r), 4, &[]);
+                b.load_at(PC_OFF_HI, h.off.addr(r + 1), 4, &[]);
+                let (lo, hi) = (
+                    self.matrix.offsets[r as usize] as u64,
+                    self.matrix.offsets[r as usize + 1] as u64,
+                );
+                let mut acc = b.compute(1, &[]);
+                let mut sum = 0.0;
+                for k in lo..hi {
+                    let c = self.matrix.edges[k as usize] as u64;
+                    sum += self.values[k as usize] * p[c as usize];
+                    let ld_c = b.load_at(PC_COL, h.col.addr(k), 4, &[lo_ld]);
+                    let ld_v = b.load_at(PC_VAL, h.val.addr(k), 8, &[lo_ld]);
+                    let ld_p = b.load_at(PC_P, h.p.addr(c), 8, &[ld_c]);
+                    let mul = b.compute(4, &[ld_v, ld_p]);
+                    acc = b.compute(4, &[mul, acc]);
+                }
+                q[r as usize] = sum;
+                runner.space_mut().write_f64(h.q.addr(r), sum);
+                b.store_at(PC_ST_Q, h.q.addr(r), 8, &[acc]);
+            }
+            streams.push(b.finish());
+        }
+        runner.run_streams(streams);
+        q
+    }
+
+    /// Emits a dense streaming phase over `arrays` (len = n each) with one
+    /// fused multiply-add per element — the dot/AXPY phases.
+    fn dense_phase(&self, runner: &mut dyn PhaseRunner, arrays: &[ArrayHandle]) {
+        let n = self.matrix.n() as u64;
+        let chunks = partition(n, runner.cores());
+        let mut streams = Vec::new();
+        for chunk in &chunks {
+            let mut b = StreamBuilder::new();
+            for i in chunk.clone() {
+                let mut deps = Vec::new();
+                for (j, a) in arrays.iter().enumerate() {
+                    deps.push(b.load_at(PC_DENSE + j as u32, a.addr(i), 8, &[]));
+                }
+                let c = b.compute(4, &deps[..deps.len().min(2)]);
+                b.store_at(PC_DENSE + 9, arrays[0].addr(i), 8, &[c]);
+            }
+            streams.push(b.finish());
+        }
+        runner.run_streams(streams);
+    }
+}
+
+impl Kernel for Cg {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.matrix.n() as u64;
+        let m = self.matrix.m().max(1);
+        let img = load_csr(space, &self.matrix);
+        let val = ArrayHandle::alloc(space, m, 8);
+        let p = ArrayHandle::alloc(space, n, 8);
+        let q = ArrayHandle::alloc(space, n, 8);
+        let r = ArrayHandle::alloc(space, n, 8);
+        let x = ArrayHandle::alloc(space, n, 8);
+        for (k, &v) in self.values.iter().enumerate() {
+            space.write_f64(val.addr(k as u64), v);
+        }
+        for (i, &v) in self.rhs.iter().enumerate() {
+            space.write_f64(p.addr(i as u64), v);
+            space.write_f64(r.addr(i as u64), v);
+        }
+        self.handles = Some(Handles {
+            off: img.off,
+            col: img.edg,
+            val,
+            p,
+            q,
+            r,
+            x,
+        });
+
+        let mut dig = Dig::new();
+        let n_off = img.off.dig_node(&mut dig);
+        let n_col = img.edg.dig_node(&mut dig);
+        let n_val = val.dig_node(&mut dig);
+        let n_p = p.dig_node(&mut dig);
+        dig.edge(n_off, n_col, EdgeKind::Ranged);
+        dig.edge(n_off, n_val, EdgeKind::Ranged);
+        dig.edge(n_col, n_p, EdgeKind::SingleValued);
+        dig.trigger(n_off, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let n = self.matrix.n() as usize;
+        // Standard CG: x = 0, r = p = b.
+        let mut r = self.rhs.clone();
+        let mut p = self.rhs.clone();
+        let mut rr: f64 = r.iter().map(|v| v * v).sum();
+
+        for _ in 0..self.iterations {
+            let q = self.spmv_phase(runner, &p);
+            let pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+            self.dense_phase(runner, &[h.p, h.q]); // dot(p, q)
+            if pq.abs() < 1e-300 {
+                break;
+            }
+            let alpha = rr / pq;
+            for i in 0..n {
+                self.x[i] += alpha * p[i];
+                r[i] -= alpha * q[i];
+            }
+            self.dense_phase(runner, &[h.x, h.p]); // x += αp
+            self.dense_phase(runner, &[h.r, h.q]); // r −= αq
+            let rr_new: f64 = r.iter().map(|v| v * v).sum();
+            self.residuals.push(rr_new.sqrt());
+            let beta = rr_new / rr;
+            rr = rr_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+                runner.space_mut().write_f64(h.p.addr(i as u64), p[i]);
+                runner.space_mut().write_f64(h.r.addr(i as u64), r[i]);
+                runner.space_mut().write_f64(h.x.addr(i as u64), self.x[i]);
+            }
+            self.dense_phase(runner, &[h.p, h.r]); // p = r + βp
+        }
+
+        self.x
+            .iter()
+            .fold(0u64, |a, &v| a.wrapping_add((v * 1e6) as i64 as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::uniform;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn residual_shrinks_monotonically_enough() {
+        let pattern = uniform(200, 1200, 13);
+        let mut k = Cg::new(&pattern, 12, 7);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        let first = k.residuals.first().copied().unwrap();
+        let last = k.residuals.last().copied().unwrap();
+        assert!(
+            last < first * 1e-2,
+            "CG must converge on an SPD system: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn solution_satisfies_the_system() {
+        let pattern = uniform(100, 500, 3);
+        let mut k = Cg::new(&pattern, 60, 9);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        // ‖Ax − b‖ must be tiny after enough iterations.
+        let ax = crate::kernels::spmv::Spmv::reference(&k.matrix, &k.values, &k.x);
+        let res: f64 = ax
+            .iter()
+            .zip(&k.rhs)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-6, "residual {res}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let pattern = uniform(64, 256, 5);
+        let k = Cg::new(&pattern, 1, 1);
+        let t = k.matrix.transpose();
+        assert_eq!(k.matrix, t);
+    }
+
+    #[test]
+    fn dig_matches_spmv_shape() {
+        let pattern = uniform(32, 64, 5);
+        let mut k = Cg::new(&pattern, 1, 1);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.depth_from_trigger(), 3);
+    }
+}

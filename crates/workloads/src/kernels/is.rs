@@ -1,0 +1,220 @@
+//! Integer Sort (NAS IS): bucketed counting sort of uniformly random keys —
+//! the purest `A[B[i]]` single-valued-indirection workload in the suite
+//! (§V-B): streaming through the key array while scattering into a
+//! count/rank table far larger than the LLC.
+
+use super::{partition, Kernel, PhaseRunner};
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_KEY: u32 = 900;
+const PC_COUNT: u32 = 901;
+const PC_ST_COUNT: u32 = 902;
+const PC_CUM: u32 = 903;
+const PC_ST_RANK: u32 = 904;
+const PC_SCAN: u32 = 905;
+
+/// The IS kernel.
+#[derive(Debug)]
+pub struct IntSort {
+    keys: Vec<u32>,
+    buckets: u32,
+    handles: Option<Handles>,
+    /// Rank (sorted position) of each key after `run`.
+    pub ranks: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    keys: ArrayHandle,
+    count: ArrayHandle,
+    rank: ArrayHandle,
+}
+
+impl IntSort {
+    /// Creates an IS run over `n` deterministic pseudo-random keys in
+    /// `0..buckets`.
+    pub fn new(n: u64, buckets: u32, seed: u64) -> Self {
+        assert!(buckets >= 2);
+        let mut s = seed | 1;
+        let keys = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as u32 % buckets
+            })
+            .collect();
+        IntSort {
+            keys,
+            buckets,
+            handles: None,
+            ranks: vec![0; n as usize],
+        }
+    }
+
+    /// Key at index `i` (for tests).
+    pub fn key(&self, i: usize) -> u32 {
+        self.keys[i]
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the key set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl Kernel for IntSort {
+    fn name(&self) -> &'static str {
+        "is"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.keys.len() as u64;
+        let keys = ArrayHandle::alloc(space, n, 4);
+        let count = ArrayHandle::alloc(space, self.buckets as u64, 4);
+        let rank = ArrayHandle::alloc(space, n, 4);
+        keys.write_all_u32(space, &self.keys);
+        self.handles = Some(Handles { keys, count, rank });
+
+        let mut dig = Dig::new();
+        let n_keys = keys.dig_node(&mut dig);
+        let n_count = count.dig_node(&mut dig);
+        dig.edge(n_keys, n_count, EdgeKind::SingleValued);
+        dig.trigger(n_keys, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let n = self.keys.len() as u64;
+        let mut count = vec![0u32; self.buckets as usize];
+
+        // --- counting phase: count[keys[i]] += 1 ---
+        let chunks = partition(n, runner.cores());
+        let mut streams = Vec::new();
+        for chunk in &chunks {
+            let mut b = StreamBuilder::new();
+            for i in chunk.clone() {
+                let k = self.keys[i as usize];
+                count[k as usize] += 1;
+                let ld_k = b.load_at(PC_KEY, h.keys.addr(i), 4, &[]);
+                let ld_c = b.load_at(PC_COUNT, h.count.addr(k as u64), 4, &[ld_k]);
+                let inc = b.compute(1, &[ld_c]);
+                b.store_at(PC_ST_COUNT, h.count.addr(k as u64), 4, &[inc]);
+            }
+            streams.push(b.finish());
+        }
+        // Mirror final counts before simulation so fills read real data.
+        for (k, &c) in count.iter().enumerate() {
+            runner.space_mut().write_u32(h.count.addr(k as u64), c);
+        }
+        runner.run_streams(streams);
+
+        // --- prefix-sum phase (dense, single stream) ---
+        let mut cum = vec![0u32; self.buckets as usize];
+        let mut acc_v = 0u32;
+        let mut b = StreamBuilder::new();
+        let mut prev = b.compute(1, &[]);
+        for k in 0..self.buckets as usize {
+            cum[k] = acc_v;
+            acc_v += count[k];
+            let ld = b.load_at(PC_SCAN, h.count.addr(k as u64), 4, &[]);
+            prev = b.compute(1, &[ld, prev]);
+            b.store_at(PC_SCAN + 1, h.count.addr(k as u64), 4, &[prev]);
+        }
+        for (k, &c) in cum.iter().enumerate() {
+            runner.space_mut().write_u32(h.count.addr(k as u64), c);
+        }
+        runner.run_streams(vec![b.finish()]);
+
+        // --- ranking phase: rank[i] = cum[keys[i]]++ ---
+        let mut streams = Vec::new();
+        for chunk in &chunks {
+            let mut b = StreamBuilder::new();
+            for i in chunk.clone() {
+                let k = self.keys[i as usize];
+                self.ranks[i as usize] = cum[k as usize];
+                cum[k as usize] += 1;
+                runner
+                    .space_mut()
+                    .write_u32(h.rank.addr(i), self.ranks[i as usize]);
+                let ld_k = b.load_at(PC_KEY, h.keys.addr(i), 4, &[]);
+                let ld_c = b.load_at(PC_CUM, h.count.addr(k as u64), 4, &[ld_k]);
+                let inc = b.compute(1, &[ld_c]);
+                b.store_at(PC_ST_RANK, h.rank.addr(i), 4, &[inc]);
+                b.store_at(PC_ST_COUNT, h.count.addr(k as u64), 4, &[inc]);
+            }
+            streams.push(b.finish());
+        }
+        runner.run_streams(streams);
+
+        self.ranks
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (i, &r)| {
+                a.wrapping_add((r as u64).wrapping_mul(i as u64 + 1))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn ranks_are_a_permutation_that_sorts() {
+        let mut k = IntSort::new(1000, 64, 42);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        let mut sorted = vec![u32::MAX; 1000];
+        for i in 0..1000 {
+            sorted[k.ranks[i] as usize] = k.key(i);
+        }
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        // Permutation: every slot filled exactly once.
+        assert!(!sorted.contains(&u32::MAX));
+    }
+
+    #[test]
+    fn stable_within_buckets() {
+        let mut k = IntSort::new(100, 4, 7);
+        let mut r = FunctionalRunner::new(1);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        // Equal keys keep index order (counting sort is stable here).
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if k.key(i) == k.key(j) {
+                    assert!(k.ranks[i] < k.ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dig_is_pure_single_valued() {
+        let mut k = IntSort::new(64, 8, 1);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.edges().len(), 1);
+        assert_eq!(dig.edges()[0].kind, EdgeKind::SingleValued);
+        assert_eq!(dig.depth_from_trigger(), 2);
+    }
+
+    #[test]
+    fn deterministic_keys() {
+        let a = IntSort::new(64, 8, 9);
+        let b = IntSort::new(64, 8, 9);
+        assert_eq!(a.keys, b.keys);
+        assert_ne!(a.keys, IntSort::new(64, 8, 10).keys);
+    }
+}

@@ -1,0 +1,257 @@
+//! Single-Source Shortest Paths (GAP) — queue-based Bellman–Ford
+//! relaxation over a weighted CSR (the paper's sssp runs on weighted
+//! versions of the Table II graphs).
+//!
+//! Traversal shape matches BFS with one extra structure: the per-edge
+//! weight array, reached through a second *ranged* edge from the offset
+//! list. The DIG therefore has five nodes:
+//! `wq →(w0) off`, `off →(w1) edg`, `off →(w1) wgt`, `edg →(w0) dist`.
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::WeightedCsr;
+use crate::layout::ArrayHandle;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_WQ: u32 = 400;
+const PC_OFF_LO: u32 = 401;
+const PC_OFF_HI: u32 = 402;
+const PC_EDG: u32 = 403;
+const PC_WGT: u32 = 404;
+const PC_DIST: u32 = 405;
+const PC_BR: u32 = 406;
+const PC_ST_DIST: u32 = 407;
+const PC_ST_WQ: u32 = 408;
+
+/// Distance value for unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// The SSSP kernel.
+#[derive(Debug)]
+pub struct Sssp {
+    graph: WeightedCsr,
+    source: u32,
+    max_rounds: u32,
+    handles: Option<Handles>,
+    /// Distances after `run`.
+    pub distances: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Handles {
+    wq: ArrayHandle,
+    off: ArrayHandle,
+    edg: ArrayHandle,
+    wgt: ArrayHandle,
+    dist: ArrayHandle,
+}
+
+impl Sssp {
+    /// Creates an SSSP run from `source` (rounds capped at `max_rounds`).
+    pub fn new(graph: WeightedCsr, source: u32, max_rounds: u32) -> Self {
+        assert!(source < graph.csr.n());
+        let n = graph.csr.n() as usize;
+        Sssp {
+            graph,
+            source,
+            max_rounds,
+            handles: None,
+            distances: vec![INF; n],
+        }
+    }
+
+    /// Reference Dijkstra for verification.
+    pub fn reference_distances(g: &WeightedCsr, source: u32) -> Vec<u32> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = g.csr.n() as usize;
+        let mut dist = vec![INF; n];
+        let mut heap = BinaryHeap::new();
+        dist[source as usize] = 0;
+        heap.push(Reverse((0u32, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            let (lo, hi) = (
+                g.csr.offsets[u as usize] as usize,
+                g.csr.offsets[u as usize + 1] as usize,
+            );
+            for w in lo..hi {
+                let v = g.csr.edges[w];
+                let nd = d.saturating_add(g.weights[w]);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+impl Kernel for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let n = self.graph.csr.n() as u64;
+        let m = self.graph.csr.m().max(1);
+        let img = load_csr(space, &self.graph.csr);
+        let wgt = ArrayHandle::alloc(space, m, 4);
+        wgt.write_all_u32(space, &self.graph.weights);
+        // Work queue sized for re-relaxations (vertices re-enter).
+        let wq = ArrayHandle::alloc(space, (n * 4).max(16), 4);
+        let dist = ArrayHandle::alloc(space, n, 4);
+        for v in 0..n {
+            space.write_u32(dist.addr(v), INF);
+        }
+        space.write_u32(dist.addr(self.source as u64), 0);
+        wq.write(space, 0, self.source as u64);
+        self.handles = Some(Handles {
+            wq,
+            off: img.off,
+            edg: img.edg,
+            wgt,
+            dist,
+        });
+
+        let mut dig = Dig::new();
+        let n_wq = wq.dig_node(&mut dig);
+        let n_off = img.off.dig_node(&mut dig);
+        let n_edg = img.edg.dig_node(&mut dig);
+        let n_wgt = wgt.dig_node(&mut dig);
+        let n_dist = dist.dig_node(&mut dig);
+        dig.edge(n_wq, n_off, EdgeKind::SingleValued);
+        dig.edge(n_off, n_edg, EdgeKind::Ranged);
+        dig.edge(n_off, n_wgt, EdgeKind::Ranged);
+        dig.edge(n_edg, n_dist, EdgeKind::SingleValued);
+        dig.trigger(n_wq, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let g = &self.graph;
+        let n = g.csr.n() as usize;
+        let mut in_queue = vec![false; n];
+        self.distances[self.source as usize] = 0;
+        let mut frontier = vec![self.source];
+        let mut qcursor = 1u64; // next free work-queue slot (wraps)
+        let qcap = h.wq.elems;
+
+        for _round in 0..self.max_rounds {
+            if frontier.is_empty() {
+                break;
+            }
+            // The frontier occupies queue slots [qcursor - len, qcursor).
+            let qbase = qcursor - frontier.len() as u64;
+            let chunks = partition(frontier.len() as u64, runner.cores());
+            let mut next = Vec::new();
+            let mut streams = Vec::new();
+            for chunk in &chunks {
+                let mut b = StreamBuilder::new();
+                for fo in chunk.clone() {
+                    let u = frontier[fo as usize];
+                    in_queue[u as usize] = false;
+                    let qslot = (qbase + fo) % qcap;
+                    let ld_u = b.load_at(PC_WQ, h.wq.addr(qslot), 4, &[]);
+                    let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u as u64), 4, &[ld_u]);
+                    b.load_at(PC_OFF_HI, h.off.addr(u as u64 + 1), 4, &[ld_u]);
+                    let du = self.distances[u as usize];
+                    let (lo, hi) = (
+                        g.csr.offsets[u as usize] as u64,
+                        g.csr.offsets[u as usize + 1] as u64,
+                    );
+                    for w in lo..hi {
+                        let v = g.csr.edges[w as usize];
+                        let nd = du.saturating_add(g.weights[w as usize]);
+                        let ld_e = b.load_at(PC_EDG, h.edg.addr(w), 4, &[lo_ld]);
+                        let ld_w = b.load_at(PC_WGT, h.wgt.addr(w), 4, &[lo_ld]);
+                        let ld_d = b.load_at(PC_DIST, h.dist.addr(v as u64), 4, &[ld_e]);
+                        let relax = nd < self.distances[v as usize];
+                        b.branch(PC_BR, relax, &[ld_d, ld_w]);
+                        if relax {
+                            self.distances[v as usize] = nd;
+                            let space = runner.space_mut();
+                            space.write_u32(h.dist.addr(v as u64), nd);
+                            b.store_at(PC_ST_DIST, h.dist.addr(v as u64), 4, &[ld_d]);
+                            if !in_queue[v as usize] {
+                                in_queue[v as usize] = true;
+                                next.push(v);
+                                b.store_at(PC_ST_WQ, h.wq.addr(0), 4, &[ld_e]);
+                            }
+                        }
+                    }
+                }
+                streams.push(b.finish());
+            }
+            runner.run_streams(streams);
+            // Write the next frontier into the sliding queue.
+            for (i, &v) in next.iter().enumerate() {
+                let slot = (qcursor + i as u64) % qcap;
+                runner.space_mut().write_u32(h.wq.addr(slot), v);
+            }
+            qcursor += next.len() as u64;
+            frontier = next;
+        }
+
+        self.distances
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (v, &d)| {
+                acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::csr::Csr;
+    use crate::graph::generators::rmat;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn weighted_path_distances() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut wg = WeightedCsr::from_csr(g, 1, 1); // all weights 1
+        wg.weights = vec![2, 3, 4];
+        let mut k = Sssp::new(wg, 0, 10);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.distances, vec![0, 2, 5, 9]);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let g = rmat(256, 2048, 21, (0.57, 0.19, 0.19));
+        let wg = WeightedCsr::from_csr(g, 5, 16);
+        let reference = Sssp::reference_distances(&wg, 0);
+        let mut k = Sssp::new(wg, 0, 1000);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        assert_eq!(k.distances, reference);
+    }
+
+    #[test]
+    fn dig_has_five_nodes_two_ranged_edges() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let wg = WeightedCsr::from_csr(g, 1, 4);
+        let mut k = Sssp::new(wg, 0, 5);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.nodes().len(), 5);
+        let ranged = dig
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Ranged)
+            .count();
+        assert_eq!(ranged, 2, "edges and weights both ranged");
+    }
+}

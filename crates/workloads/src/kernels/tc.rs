@@ -1,0 +1,222 @@
+//! Triangle Counting (GAP) — the paper's own limitations case study
+//! (§VI-G): tc "intelligently avoids redundant computation by examining
+//! only neighbors with higher vertex IDs than the source vertex (i.e.,
+//! branch-dependent loads)... Prodigy does not account for this additional
+//! control-flow information", so it prefetches neighbour lists the
+//! algorithm will skip.
+//!
+//! The kernel is the standard sorted-adjacency merge-intersection count
+//! over a symmetrised graph. Its DIG is honest — offsets →(w1) edges, with
+//! the offset list triggering — but the branch-dependent `v > u` / `w > v`
+//! filters mean a large share of what Prodigy fetches is never demanded.
+//! The `limits_tc` experiment shows exactly the muted-speedup /
+//! inflated-eviction signature the paper predicts.
+
+use super::{load_csr, partition, Kernel, PhaseRunner};
+use crate::graph::csr::Csr;
+use prodigy::{Dig, EdgeKind, TriggerSpec};
+use prodigy_sim::core::StreamBuilder;
+use prodigy_sim::AddressSpace;
+
+const PC_OFF_LO: u32 = 1100;
+const PC_OFF_HI: u32 = 1101;
+const PC_EDG_U: u32 = 1102;
+const PC_EDG_V: u32 = 1103;
+const PC_BR: u32 = 1104;
+
+/// The TC kernel.
+#[derive(Debug)]
+pub struct Tc {
+    graph: Csr,
+    handles: Option<super::CsrImage>,
+    /// Triangle count after `run`.
+    pub triangles: u64,
+}
+
+impl Tc {
+    /// Creates a TC run; the graph is symmetrised and deduplicated.
+    pub fn new(graph: Csr) -> Self {
+        let mut edges = Vec::with_capacity(2 * graph.m() as usize);
+        for v in 0..graph.n() {
+            for &w in graph.neighbors(v) {
+                if v != w {
+                    edges.push((v, w));
+                    edges.push((w, v));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Tc {
+            graph: Csr::from_edges(graph.n(), &edges),
+            handles: None,
+            triangles: 0,
+        }
+    }
+
+    /// Reference count via the same ordered-intersection algorithm,
+    /// independently coded.
+    pub fn reference_count(g: &Csr) -> u64 {
+        let mut total = 0u64;
+        for u in 0..g.n() {
+            for &v in g.neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                // |{w ∈ adj(u) ∩ adj(v) : w > v}|
+                let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+                while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+                    match x.cmp(&y) {
+                        std::cmp::Ordering::Less => a = &a[1..],
+                        std::cmp::Ordering::Greater => b = &b[1..],
+                        std::cmp::Ordering::Equal => {
+                            if x > v {
+                                total += 1;
+                            }
+                            a = &a[1..];
+                            b = &b[1..];
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+impl Kernel for Tc {
+    fn name(&self) -> &'static str {
+        "tc"
+    }
+
+    fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
+        let img = load_csr(space, &self.graph);
+        self.handles = Some(img);
+        let mut dig = Dig::new();
+        let off = img.off.dig_node(&mut dig);
+        let edg = img.edg.dig_node(&mut dig);
+        dig.edge(off, edg, EdgeKind::Ranged);
+        dig.trigger(off, TriggerSpec::default());
+        dig
+    }
+
+    fn run(&mut self, runner: &mut dyn PhaseRunner) -> u64 {
+        let h = self.handles.expect("prepare() must run first");
+        let g = &self.graph;
+        let n = g.n() as u64;
+        let chunks = partition(n, runner.cores());
+        let mut total = 0u64;
+        let mut streams = Vec::new();
+        for chunk in &chunks {
+            let mut b = StreamBuilder::new();
+            for u in chunk.clone() {
+                let lo_ld = b.load_at(PC_OFF_LO, h.off.addr(u), 4, &[]);
+                b.load_at(PC_OFF_HI, h.off.addr(u + 1), 4, &[]);
+                let (ulo, uhi) = (
+                    g.offsets[u as usize] as u64,
+                    g.offsets[u as usize + 1] as u64,
+                );
+                for w in ulo..uhi {
+                    let v = g.edges[w as usize];
+                    let ld_v = b.load_at(PC_EDG_U, h.edg.addr(w), 4, &[lo_ld]);
+                    // The pruning branch the paper calls out: only v > u
+                    // proceeds — everything below is branch-dependent work
+                    // the prefetcher cannot see.
+                    let go = (v as u64) > u;
+                    b.branch(PC_BR, go, &[ld_v]);
+                    if !go {
+                        continue;
+                    }
+                    let vlo_ld = b.load_at(PC_OFF_LO, h.off.addr(v as u64), 4, &[ld_v]);
+                    b.load_at(PC_OFF_HI, h.off.addr(v as u64 + 1), 4, &[ld_v]);
+                    // Merge-intersect adj(u)[w..] with adj(v), counting
+                    // matches above v.
+                    let (mut ai, mut bi) = (
+                        g.offsets[u as usize] as usize,
+                        g.offsets[v as usize] as usize,
+                    );
+                    let (aend, bend) = (
+                        g.offsets[u as usize + 1] as usize,
+                        g.offsets[v as usize + 1] as usize,
+                    );
+                    while ai < aend && bi < bend {
+                        let (x, y) = (g.edges[ai], g.edges[bi]);
+                        let la = b.load_at(PC_EDG_U, h.edg.addr(ai as u64), 4, &[lo_ld]);
+                        let lb = b.load_at(PC_EDG_V, h.edg.addr(bi as u64), 4, &[vlo_ld]);
+                        b.branch(PC_BR + 1, x < y, &[la, lb]);
+                        match x.cmp(&y) {
+                            std::cmp::Ordering::Less => ai += 1,
+                            std::cmp::Ordering::Greater => bi += 1,
+                            std::cmp::Ordering::Equal => {
+                                if x > v {
+                                    total += 1;
+                                    b.compute(1, &[la, lb]);
+                                }
+                                ai += 1;
+                                bi += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            streams.push(b.finish());
+        }
+        runner.run_streams(streams);
+        self.triangles = total;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::rmat;
+    use crate::kernels::FunctionalRunner;
+
+    #[test]
+    fn counts_the_triangle_in_a_triangle() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut k = Tc::new(g);
+        let mut r = FunctionalRunner::new(2);
+        k.prepare(r.space_mut());
+        assert_eq!(k.run(&mut r), 1);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = Csr::from_edges(4, &edges);
+        let mut k = Tc::new(g);
+        let mut r = FunctionalRunner::new(1);
+        k.prepare(r.space_mut());
+        assert_eq!(k.run(&mut r), 4);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graph() {
+        let g = rmat(512, 4096, 41, (0.57, 0.19, 0.19));
+        let mut k = Tc::new(g);
+        let expected = Tc::reference_count(&k.graph);
+        let mut r = FunctionalRunner::new(4);
+        k.prepare(r.space_mut());
+        assert_eq!(k.run(&mut r), expected);
+        assert!(k.triangles > 0, "power-law graphs have triangles");
+    }
+
+    #[test]
+    fn dig_is_offset_triggered_csr(){
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut k = Tc::new(g);
+        let mut r = FunctionalRunner::new(1);
+        let dig = k.prepare(r.space_mut());
+        dig.validate().expect("valid");
+        assert_eq!(dig.depth_from_trigger(), 2);
+    }
+}

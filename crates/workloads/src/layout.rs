@@ -1,0 +1,103 @@
+//! Typed handles over arrays allocated in the simulated address space.
+
+use prodigy_sim::AddressSpace;
+
+/// A handle to an array living in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle {
+    /// Base address.
+    pub base: u64,
+    /// Number of elements.
+    pub elems: u64,
+    /// Element size in bytes.
+    pub elem_size: u8,
+}
+
+impl ArrayHandle {
+    /// Allocates an array of `elems` × `elem_size` bytes, line-aligned.
+    pub fn alloc(space: &mut AddressSpace, elems: u64, elem_size: u8) -> Self {
+        let base = space.alloc(elems * elem_size as u64, prodigy_sim::LINE_BYTES);
+        ArrayHandle {
+            base,
+            elems,
+            elem_size,
+        }
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i` is out of bounds.
+    #[inline]
+    pub fn addr(&self, i: u64) -> u64 {
+        debug_assert!(i < self.elems, "index {i} out of bounds ({})", self.elems);
+        self.base + i * self.elem_size as u64
+    }
+
+    /// One-past-the-end address.
+    pub fn bound(&self) -> u64 {
+        self.base + self.elems * self.elem_size as u64
+    }
+
+    /// Writes element `i` (integer types).
+    pub fn write(&self, space: &mut AddressSpace, i: u64, v: u64) {
+        space.write_uint(self.addr(i), v, self.elem_size);
+    }
+
+    /// Reads element `i` (integer types).
+    pub fn read(&self, space: &AddressSpace, i: u64) -> u64 {
+        space.read_uint(self.addr(i), self.elem_size)
+    }
+
+    /// Bulk-writes a slice of `u32` values starting at element 0.
+    ///
+    /// # Panics
+    /// Panics if the slice is longer than the array or `elem_size != 4`.
+    pub fn write_all_u32(&self, space: &mut AddressSpace, data: &[u32]) {
+        assert_eq!(self.elem_size, 4);
+        assert!(data.len() as u64 <= self.elems);
+        for (i, &v) in data.iter().enumerate() {
+            space.write_u32(self.addr(i as u64), v);
+        }
+    }
+
+    /// Registers this array as a node of `dig` and returns the node id.
+    pub fn dig_node(&self, dig: &mut prodigy::Dig) -> prodigy::NodeId {
+        dig.node(self.base, self.elems, self.elem_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut space = AddressSpace::new();
+        let a = ArrayHandle::alloc(&mut space, 100, 4);
+        assert_eq!(a.base % 64, 0);
+        a.write(&mut space, 7, 1234);
+        assert_eq!(a.read(&space, 7), 1234);
+        assert_eq!(a.bound(), a.base + 400);
+    }
+
+    #[test]
+    fn write_all_fills_prefix() {
+        let mut space = AddressSpace::new();
+        let a = ArrayHandle::alloc(&mut space, 4, 4);
+        a.write_all_u32(&mut space, &[9, 8, 7]);
+        assert_eq!(a.read(&space, 0), 9);
+        assert_eq!(a.read(&space, 2), 7);
+        assert_eq!(a.read(&space, 3), 0);
+    }
+
+    #[test]
+    fn dig_node_mirrors_layout() {
+        let mut space = AddressSpace::new();
+        let a = ArrayHandle::alloc(&mut space, 16, 8);
+        let mut dig = prodigy::Dig::new();
+        let id = a.dig_node(&mut dig);
+        let n = dig.get(id).unwrap();
+        assert_eq!((n.base, n.elems, n.elem_size), (a.base, 16, 8));
+    }
+}

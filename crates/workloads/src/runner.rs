@@ -1,0 +1,252 @@
+//! The workload × prefetcher driver.
+//!
+//! Builds a simulated [`System`], lets the kernel lay out its data,
+//! constructs the requested prefetcher (deriving structure hints from the
+//! kernel's DIG for the graph-specific baselines), applies the DIG
+//! registration prologue (a no-op for non-Prodigy hardware, exactly like
+//! the real API calls), runs the kernel and returns the run summary plus
+//! the algorithm checksum — which every experiment cross-checks across
+//! prefetchers, proving prefetching never changed program semantics.
+
+use crate::kernels::Kernel;
+use prodigy::{DigProgram, ProdigyConfig, ProdigyPrefetcher, ProdigyStats};
+use prodigy_prefetchers::{
+    AinsworthJonesPrefetcher, DropletPrefetcher, GhbGdcPrefetcher, ImpPrefetcher, StridePrefetcher,
+};
+use prodigy_sim::prefetch::Prefetcher;
+use prodigy_sim::{NullPrefetcher, RunSummary, System, SystemConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which prefetcher to attach to every core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// The non-prefetching baseline.
+    None,
+    /// Per-PC stride prefetcher.
+    Stride,
+    /// Next-N-line stream prefetcher.
+    Stream,
+    /// GHB-based global/delta correlation.
+    GhbGdc,
+    /// Indirect Memory Prefetcher (MICRO'15).
+    Imp,
+    /// Ainsworth & Jones' graph prefetcher (ICS'16).
+    AinsworthJones,
+    /// DROPLET (HPCA'19).
+    Droplet,
+    /// Prodigy (this paper).
+    Prodigy,
+}
+
+impl PrefetcherKind {
+    /// Every kind, in the order the paper's comparison figures use.
+    pub const ALL: [PrefetcherKind; 8] = [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Stream,
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::Imp,
+        PrefetcherKind::AinsworthJones,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::Prodigy,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::Stride => "stride",
+            PrefetcherKind::Stream => "stream",
+            PrefetcherKind::GhbGdc => "ghb-gdc",
+            PrefetcherKind::Imp => "imp",
+            PrefetcherKind::AinsworthJones => "ainsworth-jones",
+            PrefetcherKind::Droplet => "droplet",
+            PrefetcherKind::Prodigy => "prodigy",
+        }
+    }
+
+    /// Whether this design requires graph-structure knowledge and is
+    /// therefore omitted from non-graph workloads in the paper's figures.
+    pub fn graph_specific(&self) -> bool {
+        matches!(
+            self,
+            PrefetcherKind::AinsworthJones | PrefetcherKind::Droplet
+        )
+    }
+}
+
+/// One run's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Machine configuration.
+    pub sys: SystemConfig,
+    /// Attached prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Prodigy hardware sizing (PFHR count for Fig. 12).
+    pub prodigy: ProdigyConfig,
+    /// Install the DIG-bounds LLC-miss classifier (Fig. 13/16).
+    pub classify_llc: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sys: SystemConfig::default(),
+            prefetcher: PrefetcherKind::None,
+            prodigy: ProdigyConfig::default(),
+            classify_llc: false,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Counters + energy + prefetcher name.
+    pub summary: RunSummary,
+    /// Kernel result checksum (must be identical across prefetchers).
+    pub checksum: u64,
+    /// Prodigy-internal stats, when Prodigy was attached (summed over
+    /// cores).
+    pub prodigy: Option<ProdigyStats>,
+    /// Prefetcher storage requirement in bits.
+    pub storage_bits: u64,
+}
+
+/// Runs `kernel` once under `cfg`.
+pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
+    let mut sys = System::new(cfg.sys);
+    let dig = kernel.prepare(sys.address_space_mut());
+    let program = DigProgram::from_dig(&dig);
+
+    let prodigy_cfg = cfg.prodigy;
+    sys.set_prefetchers(|_| -> Box<dyn Prefetcher> {
+        match cfg.prefetcher {
+            PrefetcherKind::None => Box::new(NullPrefetcher::new()),
+            PrefetcherKind::Stride => Box::new(StridePrefetcher::default()),
+            PrefetcherKind::Stream => Box::new(prodigy_prefetchers::StreamPrefetcher::default()),
+            PrefetcherKind::GhbGdc => Box::new(GhbGdcPrefetcher::default()),
+            PrefetcherKind::Imp => Box::new(ImpPrefetcher::default()),
+            PrefetcherKind::AinsworthJones => match AinsworthJonesPrefetcher::from_dig(&dig) {
+                Some(p) => Box::new(p),
+                None => Box::new(NullPrefetcher::new()),
+            },
+            PrefetcherKind::Droplet => match DropletPrefetcher::from_dig(&dig) {
+                Some(p) => Box::new(p),
+                None => Box::new(NullPrefetcher::new()),
+            },
+            PrefetcherKind::Prodigy => Box::new(ProdigyPrefetcher::new(prodigy_cfg)),
+        }
+    });
+    // The instrumented binary's registration prologue (no-op unless the
+    // hardware is Prodigy).
+    sys.program_prefetchers(|p| program.apply(p));
+    if cfg.classify_llc {
+        sys.memory_mut().set_llc_miss_classifier(Some(program.classifier()));
+    }
+
+    let checksum = kernel.run(&mut sys);
+
+    let mut prodigy_stats: Option<ProdigyStats> = None;
+    let mut storage_bits = 0;
+    sys.program_prefetchers(|p| {
+        storage_bits = p.storage_bits();
+        if let Some(pp) = p.as_any_mut().downcast_mut::<ProdigyPrefetcher>() {
+            let s = pp.prodigy_stats();
+            let acc = prodigy_stats.get_or_insert_with(ProdigyStats::default);
+            acc.sequences_initiated += s.sequences_initiated;
+            acc.sequences_dropped += s.sequences_dropped;
+            acc.single_prefetches += s.single_prefetches;
+            acc.ranged_prefetches += s.ranged_prefetches;
+            acc.trigger_prefetches += s.trigger_prefetches;
+            acc.inline_advances += s.inline_advances;
+            acc.pfhr_drops += s.pfhr_drops;
+            acc.elements_advanced += s.elements_advanced;
+            acc.range_elements_tracked += s.range_elements_tracked;
+        }
+    });
+
+    RunOutcome {
+        summary: sys.summary(),
+        checksum,
+        prodigy: prodigy_stats,
+        storage_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators::rmat;
+    use crate::kernels::Bfs;
+
+    fn tiny_cfg(kind: PrefetcherKind) -> RunConfig {
+        RunConfig {
+            sys: SystemConfig::scaled(64).with_cores(2),
+            prefetcher: kind,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn checksums_identical_across_all_prefetchers() {
+        let g = rmat(512, 4096, 2, (0.57, 0.19, 0.19));
+        let mut checksums = Vec::new();
+        for kind in PrefetcherKind::ALL {
+            let mut k = Bfs::new(g.clone(), 0);
+            let out = run_workload(&mut k, &tiny_cfg(kind));
+            checksums.push(out.checksum);
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "prefetching must not change program output: {checksums:?}"
+        );
+    }
+
+    #[test]
+    fn prodigy_runs_faster_than_baseline_on_bfs() {
+        let g = rmat(2048, 16384, 4, (0.57, 0.19, 0.19));
+        let base = {
+            let mut k = Bfs::new(g.clone(), 0);
+            run_workload(&mut k, &tiny_cfg(PrefetcherKind::None))
+        };
+        let prodigy = {
+            let mut k = Bfs::new(g, 0);
+            run_workload(&mut k, &tiny_cfg(PrefetcherKind::Prodigy))
+        };
+        assert!(prodigy.prodigy.is_some());
+        let speedup = base.summary.stats.cycles as f64 / prodigy.summary.stats.cycles as f64;
+        assert!(
+            speedup > 1.2,
+            "Prodigy should clearly beat no-prefetching (got {speedup:.2}x)"
+        );
+    }
+
+    #[test]
+    fn prodigy_stats_report_both_indirection_kinds() {
+        let g = rmat(1024, 8192, 6, (0.57, 0.19, 0.19));
+        let mut k = Bfs::new(g, 0);
+        let out = run_workload(&mut k, &tiny_cfg(PrefetcherKind::Prodigy));
+        let ps = out.prodigy.expect("prodigy stats");
+        assert!(ps.sequences_initiated > 0);
+        assert!(ps.single_prefetches > 0);
+        assert!(ps.ranged_prefetches > 0);
+        assert!(ps.ranged_share() > 0.0 && ps.ranged_share() < 1.0);
+    }
+
+    #[test]
+    fn classifier_counts_llc_misses_when_enabled() {
+        let g = rmat(1024, 8192, 8, (0.57, 0.19, 0.19));
+        let mut k = Bfs::new(g, 0);
+        let mut cfg = tiny_cfg(PrefetcherKind::None);
+        cfg.classify_llc = true;
+        let out = run_workload(&mut k, &cfg);
+        let s = &out.summary.stats;
+        assert!(s.llc_misses_prefetchable > 0);
+        // The paper's Fig. 13: the vast majority of misses fall inside
+        // DIG-annotated structures.
+        let frac = s.llc_misses_prefetchable as f64
+            / (s.llc_misses_prefetchable + s.llc_misses_other).max(1) as f64;
+        assert!(frac > 0.8, "prefetchable fraction {frac}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Software prefetching (Ainsworth & Jones, CGO 2017) — the paper's
+//! software-only comparison point (§VI-C).
+//!
+//! The CGO'17 compiler pass inserts, for an indirect access `b[a[i]]`
+//! inside a loop, a `prefetch(&a[i+Δ])`, a plain load of `a[i+Δ]`, and a
+//! `prefetch(&b[a[i+Δ]])` — all at a *static* look-ahead distance Δ. The
+//! kernels that support the transformation (PageRank, matching the paper's
+//! reported experiment) emit exactly that instruction sequence; see
+//! [`crate::kernels::pr::PageRank::with_software_prefetch`].
+//!
+//! The paper's finding this models: software prefetching helps a little
+//! (+7.6 % on pr) but cannot adapt its distance to the machine's runtime
+//! pace, while Prodigy gets ≈ 2× on the same workload. It also notes the
+//! CGO'17 pass conservatively skips dynamically-sized structures it cannot
+//! prove safe — which is why only a subset of kernels carry the transform.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the software-prefetching transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwPrefetchSpec {
+    /// Static look-ahead distance in inner-loop iterations.
+    pub distance: u64,
+}
+
+impl Default for SwPrefetchSpec {
+    /// CGO'17's default heuristic distance for indirect patterns.
+    fn default() -> Self {
+        SwPrefetchSpec { distance: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_distance_is_sane() {
+        let s = SwPrefetchSpec::default();
+        assert!(s.distance >= 4 && s.distance <= 64);
+    }
+}

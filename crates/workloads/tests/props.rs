@@ -1,0 +1,79 @@
+//! Property-based tests of the workload substrate.
+
+use proptest::prelude::*;
+use prodigy_sim::AddressSpace;
+use prodigy_workloads::graph::csr::{Csr, WeightedCsr};
+use prodigy_workloads::kernels::{partition, FunctionalRunner, IntSort, Kernel, PhaseRunner};
+use prodigy_workloads::ArrayHandle;
+
+proptest! {
+    /// partition() covers 0..total exactly once, in order.
+    #[test]
+    fn partition_is_an_ordered_exact_cover(total in 0u64..10_000, parts in 1usize..16) {
+        let ranges = partition(total, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut next = 0u64;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next.min(total));
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next.max(ranges.last().unwrap().end), total.max(next));
+        prop_assert_eq!(ranges.iter().map(|r| r.end - r.start).sum::<u64>(), total);
+    }
+
+    /// CSR construction: neighbor multiset equals the input edge multiset.
+    #[test]
+    fn csr_preserves_edge_multiset(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)
+    ) {
+        let g = Csr::from_edges(50, &edges);
+        prop_assert_eq!(g.m(), edges.len() as u64);
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.n() {
+            for &w in g.neighbors(v) {
+                got.push((v, w));
+            }
+        }
+        let mut want = edges.clone();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Weighted CSR weights are always within 1..=max.
+    #[test]
+    fn weights_in_range(seed in any::<u64>(), maxw in 1u32..1000) {
+        let g = Csr::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let wg = WeightedCsr::from_csr(g, seed, maxw);
+        prop_assert!(wg.weights.iter().all(|&w| (1..=maxw).contains(&w)));
+    }
+
+    /// ArrayHandle element addressing is linear and in-bounds.
+    #[test]
+    fn array_handle_addressing(elems in 1u64..1000, size in prop::sample::select(vec![1u8, 2, 4, 8])) {
+        let mut space = AddressSpace::new();
+        let h = ArrayHandle::alloc(&mut space, elems, size);
+        prop_assert_eq!(h.addr(0), h.base);
+        prop_assert_eq!(h.addr(elems - 1), h.base + (elems - 1) * size as u64);
+        prop_assert_eq!(h.bound(), h.base + elems * size as u64);
+        h.write(&mut space, elems - 1, 0x5a);
+        prop_assert_eq!(h.read(&space, elems - 1), 0x5a);
+    }
+
+    /// Integer sort produces a sorting permutation for any seed/buckets.
+    #[test]
+    fn intsort_always_sorts(seed in any::<u64>(), buckets in 2u32..64) {
+        let n = 300u64;
+        let mut k = IntSort::new(n, buckets, seed);
+        let mut r = FunctionalRunner::new(3);
+        k.prepare(r.space_mut());
+        k.run(&mut r);
+        let mut sorted = vec![u32::MAX; n as usize];
+        for i in 0..n as usize {
+            prop_assert_eq!(sorted[k.ranks[i] as usize], u32::MAX, "rank collision");
+            sorted[k.ranks[i] as usize] = k.key(i);
+        }
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

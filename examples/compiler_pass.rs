@@ -1,0 +1,94 @@
+//! The software side of the co-design: write a BFS-shaped kernel in the
+//! mini-IR, run the paper's Fig. 8 analyses over it, print the instrumented
+//! IR (the shape of Fig. 7c), bind the result to runtime addresses, and
+//! verify that the automatically generated DIG programs a prefetcher
+//! identically to hand annotation.
+//!
+//! ```text
+//! cargo run --example compiler_pass
+//! ```
+
+use prodigy::{Dig, EdgeKind, ProdigyPrefetcher, TriggerSpec};
+use prodigy_compiler::analysis::analyze;
+use prodigy_compiler::codegen::{bind, render, Binding};
+use prodigy_compiler::ir::{FnBuilder, Operand};
+
+fn main() {
+    // BFS inner kernel, as the compiler sees it:
+    //   for i in 0..n:
+    //     u = wq[i]
+    //     for w in off[u] .. off[u+1]:
+    //       v = edg[w]; seen = vis[v]; vis[v] = 1
+    let (n, m) = (1000u64, 4000u64);
+    let mut f = FnBuilder::new("bfs_kernel");
+    let wq = f.alloc(n, 4);
+    let off = f.alloc(n + 1, 4);
+    let edg = f.alloc(m, 4);
+    let vis = f.alloc(n, 4);
+    f.loop_(Operand::Imm(0), Operand::Imm(n), false, |f, i| {
+        let pu = f.gep(wq, Operand::Value(i), 4);
+        let u = f.load(pu, 4);
+        let plo = f.gep(off, Operand::Value(u), 4);
+        let lo = f.load(plo, 4);
+        let u1 = f.add(u, Operand::Imm(1));
+        let phi = f.gep(off, Operand::Value(u1), 4);
+        let hi = f.load(phi, 4);
+        f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, w| {
+            let pe = f.gep(edg, Operand::Value(w), 4);
+            let v = f.load(pe, 4);
+            let pv = f.gep(vis, Operand::Value(v), 4);
+            f.load(pv, 4);
+            f.store(pv, Operand::Imm(1), 4);
+        });
+    });
+    let module = f.finish().into_module();
+
+    let inst = analyze(&module);
+    println!("=== instrumented IR (cf. paper Fig. 7c) ===\n");
+    println!("{}", render(&module, &inst));
+
+    // "Run time": the arrays land at concrete addresses.
+    let binding = |ptr, base, elems| Binding {
+        ptr,
+        base,
+        elems,
+        elem_size: 4,
+    };
+    let program = bind(
+        &inst,
+        &[
+            binding(wq, 0x1_0000, n),
+            binding(off, 0x2_0000, n + 1),
+            binding(edg, 0x3_0000, m),
+            binding(vis, 0x8_0000, n),
+        ],
+    );
+    println!("=== bound registration prologue ===\n{:#?}\n", program.calls());
+
+    // Equivalent hand annotation (paper Fig. 6).
+    let mut dig = Dig::new();
+    let d_wq = dig.node(0x1_0000, n, 4);
+    let d_off = dig.node(0x2_0000, n + 1, 4);
+    let d_edg = dig.node(0x3_0000, m, 4);
+    let d_vis = dig.node(0x8_0000, n, 4);
+    dig.edge(d_wq, d_off, EdgeKind::SingleValued);
+    dig.edge(d_off, d_edg, EdgeKind::Ranged);
+    dig.edge(d_edg, d_vis, EdgeKind::SingleValued);
+    dig.trigger(d_wq, TriggerSpec::default());
+
+    let mut auto = ProdigyPrefetcher::default();
+    program.apply(&mut auto);
+    let mut manual = ProdigyPrefetcher::default();
+    manual.program(&dig).expect("valid DIG");
+
+    assert_eq!(auto.node_table().rows(), manual.node_table().rows());
+    // Edge *sets* must match (the pass emits all w0 edges before w1; edge
+    // order carries no semantics for the hardware).
+    let edge_set = |p: &ProdigyPrefetcher| {
+        let mut v = p.edge_table().rows().to_vec();
+        v.sort_by_key(|e| (e.src, e.dst));
+        v
+    };
+    assert_eq!(edge_set(&auto), edge_set(&manual));
+    println!("compiler-generated DIG == hand-annotated DIG ✓");
+}

@@ -1,0 +1,82 @@
+//! Graph analytics scenario: run the full GAP kernel suite (bc, bfs, cc,
+//! pr, sssp) over a Table II data-set stand-in and compare every prefetcher
+//! the paper evaluates, printing a Fig. 17-style table.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics [dataset] [scale]
+//! ```
+//! `dataset` ∈ {po, lj, or, sk, wb} (default po), `scale` divides the
+//! stand-in size (default 8).
+
+use prodigy_repro::prelude::*;
+use prodigy_workloads::graph::csr::WeightedCsr;
+use prodigy_workloads::graph::datasets::Dataset;
+use prodigy_workloads::kernels::{Bc, Bfs, Cc, Kernel, PageRank, Sssp};
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "po".into());
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let dataset = Dataset::by_name(&name).expect("dataset must be one of po/lj/or/sk/wb");
+    let graph = dataset.instantiate(scale);
+    let source = (0..graph.n()).max_by_key(|&v| graph.degree(v)).unwrap_or(0);
+    println!(
+        "{} (stand-in for {}): {} vertices, {} edges\n",
+        dataset.name,
+        dataset.stands_for,
+        graph.n(),
+        graph.m()
+    );
+
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::GhbGdc,
+        PrefetcherKind::Imp,
+        PrefetcherKind::AinsworthJones,
+        PrefetcherKind::Droplet,
+        PrefetcherKind::Prodigy,
+    ];
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "ghb", "imp", "a&j", "droplet", "prodigy"
+    );
+    for alg in ["bc", "bfs", "cc", "pr", "sssp"] {
+        let mut cells = Vec::new();
+        let mut base_cycles = 0u64;
+        let mut base_checksum = 0u64;
+        for &kind in &kinds {
+            let mut kernel: Box<dyn Kernel> = match alg {
+                "bc" => Box::new(Bc::new(graph.clone(), source)),
+                "bfs" => Box::new(Bfs::new(graph.clone(), source)),
+                "cc" => Box::new(Cc::new(graph.clone(), 6)),
+                "pr" => Box::new(PageRank::new(graph.clone(), 3)),
+                "sssp" => Box::new(Sssp::new(
+                    WeightedCsr::from_csr(graph.clone(), 7, 64),
+                    source,
+                    24,
+                )),
+                _ => unreachable!(),
+            };
+            let out = run_workload(
+                kernel.as_mut(),
+                &RunConfig {
+                    sys: SystemConfig::bench(),
+                    prefetcher: kind,
+                    ..RunConfig::default()
+                },
+            );
+            if kind == PrefetcherKind::None {
+                base_cycles = out.summary.stats.cycles;
+                base_checksum = out.checksum;
+            } else {
+                assert_eq!(out.checksum, base_checksum, "{alg}/{kind:?} result diverged");
+                cells.push(base_cycles as f64 / out.summary.stats.cycles as f64);
+            }
+        }
+        println!(
+            "{:<6} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",
+            alg, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Sparse-solver scenario (the HPCG/NAS side of the paper): run spmv,
+//! symgs and cg on an HPCG-style 27-point stencil / random SPD system and
+//! show what Prodigy's ranged + single-valued indirection coverage does for
+//! sparse linear algebra, including the descending-trigger backward sweep
+//! of symgs.
+//!
+//! ```text
+//! cargo run --release --example sparse_solver [grid_dim]
+//! ```
+
+use prodigy_repro::prelude::*;
+use prodigy_workloads::graph::generators::{stencil27, uniform};
+use prodigy_workloads::kernels::{Cg, Kernel, Spmv, Symgs};
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+
+fn compare(name: &str, mut make: impl FnMut() -> Box<dyn Kernel>) {
+    let mut base = None;
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Imp,
+        PrefetcherKind::Prodigy,
+    ] {
+        let mut kernel = make();
+        let out = run_workload(
+            &mut *kernel,
+            &RunConfig {
+                sys: SystemConfig::bench(),
+                prefetcher: kind,
+                ..RunConfig::default()
+            },
+        );
+        let cycles = out.summary.stats.cycles;
+        match base {
+            None => {
+                base = Some((cycles, out.checksum));
+                println!(
+                    "{name:<6} baseline: {cycles:>12} cycles, DRAM stall {:>4.0}%",
+                    out.summary.stats.cpi.normalized().dram * 100.0
+                );
+            }
+            Some((b, chk)) => {
+                assert_eq!(out.checksum, chk, "prefetcher changed the result");
+                println!(
+                    "{name:<6} {:<8} speedup {:>5.2}x  (prefetch accuracy {:>3.0}%)",
+                    kind.name(),
+                    b as f64 / cycles as f64,
+                    out.summary.stats.prefetch_use.accuracy() * 100.0
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let dim: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let stencil = stencil27(dim, dim, dim);
+    println!(
+        "HPCG stencil: {dim}^3 grid = {} rows, {} nonzeros\n",
+        stencil.n(),
+        stencil.m()
+    );
+
+    let s1 = stencil.clone();
+    compare("spmv", move || Box::new(Spmv::new(s1.clone(), 7)));
+    let s2 = stencil.clone();
+    compare("symgs", move || Box::new(Symgs::new(s2.clone(), 7)));
+
+    let n = (dim * dim * dim).max(512);
+    let pattern = uniform(n, n as u64 * 6, 11);
+    compare("cg", move || Box::new(Cg::new(&pattern, 4, 11)));
+}

@@ -1,0 +1,24 @@
+//! # prodigy-repro — facade for the Prodigy (HPCA 2021) reproduction
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! one dependency. See the individual crates for details:
+//!
+//! * [`prodigy`] — the DIG-programmed prefetcher (the paper's contribution)
+//! * [`prodigy_sim`] — the multi-core simulator substrate
+//! * [`prodigy_compiler`] — the mini-IR compiler pass that auto-generates DIGs
+//! * [`prodigy_prefetchers`] — baseline prefetchers (stride, GHB, IMP, ...)
+//! * [`prodigy_workloads`] — GAP/HPCG/NAS kernels and the graph substrate
+//! * [`prodigy_bench`] — the experiment harness for every paper figure/table
+
+pub use prodigy;
+pub use prodigy_bench;
+pub use prodigy_compiler;
+pub use prodigy_prefetchers;
+pub use prodigy_sim;
+pub use prodigy_workloads;
+
+/// Convenience prelude with the most commonly used items.
+pub mod prelude {
+    pub use prodigy::{Dig, DigProgram, EdgeKind, ProdigyConfig, ProdigyPrefetcher, TriggerSpec};
+    pub use prodigy_sim::{System, SystemConfig};
+}

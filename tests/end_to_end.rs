@@ -1,0 +1,120 @@
+//! Cross-crate integration: full workload runs through the complete stack
+//! (workload → compiler-equivalent DIG → prefetcher → simulator → stats).
+
+use prodigy_repro::prelude::*;
+use prodigy_workloads::graph::csr::WeightedCsr;
+use prodigy_workloads::graph::generators::{rmat, stencil27};
+use prodigy_workloads::kernels::{Bfs, IntSort, Kernel, PageRank, Spmv, Sssp};
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+
+fn small_sys() -> SystemConfig {
+    SystemConfig::bench().with_cores(4)
+}
+
+fn run(kernel: &mut dyn Kernel, kind: PrefetcherKind) -> prodigy_workloads::RunOutcome {
+    run_workload(
+        kernel,
+        &RunConfig {
+            sys: small_sys(),
+            prefetcher: kind,
+            ..RunConfig::default()
+        },
+    )
+}
+
+#[test]
+fn every_prefetcher_preserves_results_on_every_kernel_family() {
+    let g = rmat(4096, 32768, 9, (0.57, 0.19, 0.19));
+    let stencil = stencil27(10, 10, 10);
+    let builders: Vec<(&str, Box<dyn Fn() -> Box<dyn Kernel>>)> = vec![
+        ("bfs", Box::new({
+            let g = g.clone();
+            move || Box::new(Bfs::new(g.clone(), 0)) as Box<dyn Kernel>
+        })),
+        ("pr", Box::new({
+            let g = g.clone();
+            move || Box::new(PageRank::new(g.clone(), 2)) as Box<dyn Kernel>
+        })),
+        ("sssp", Box::new({
+            let g = g.clone();
+            move || {
+                Box::new(Sssp::new(WeightedCsr::from_csr(g.clone(), 3, 32), 0, 30))
+                    as Box<dyn Kernel>
+            }
+        })),
+        ("spmv", Box::new({
+            let s = stencil.clone();
+            move || Box::new(Spmv::new(s.clone(), 5)) as Box<dyn Kernel>
+        })),
+        ("is", Box::new(|| Box::new(IntSort::new(20_000, 2048, 3)) as Box<dyn Kernel>)),
+    ];
+    for (name, make) in &builders {
+        let mut checksums = Vec::new();
+        for kind in PrefetcherKind::ALL {
+            let mut k = make();
+            checksums.push(run(k.as_mut(), kind).checksum);
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "{name}: prefetching changed the result: {checksums:?}"
+        );
+    }
+}
+
+#[test]
+fn prodigy_beats_baseline_on_irregular_kernels() {
+    let g = rmat(16_384, 16 * 16_384, 11, (0.57, 0.19, 0.19));
+    let base = run(&mut Bfs::new(g.clone(), 0), PrefetcherKind::None);
+    let pro = run(&mut Bfs::new(g, 0), PrefetcherKind::Prodigy);
+    let speedup = base.summary.stats.cycles as f64 / pro.summary.stats.cycles as f64;
+    assert!(speedup > 1.5, "bfs speedup only {speedup:.2}x");
+    // The win comes from killing DRAM stalls, as in the paper.
+    assert!(pro.summary.stats.cpi.dram < base.summary.stats.cpi.dram);
+}
+
+#[test]
+fn cpi_stack_accounts_for_run_cycles() {
+    let g = rmat(2048, 16384, 5, (0.57, 0.19, 0.19));
+    let out = run(&mut PageRank::new(g, 2), PrefetcherKind::None);
+    let s = &out.summary.stats;
+    // Aggregated over cores: total stack ≈ cores × cycles.
+    let expect = s.cycles as f64 * small_sys().cores as f64;
+    let total = s.cpi.total();
+    assert!(
+        (total - expect).abs() < expect * 0.25,
+        "stack {total} vs cores×cycles {expect}"
+    );
+}
+
+#[test]
+fn energy_tracks_runtime_direction() {
+    let g = rmat(8192, 8 * 8192, 7, (0.57, 0.19, 0.19));
+    let base = run(&mut Bfs::new(g.clone(), 0), PrefetcherKind::None);
+    let pro = run(&mut Bfs::new(g, 0), PrefetcherKind::Prodigy);
+    assert!(
+        pro.summary.energy.total() < base.summary.energy.total(),
+        "shorter runs must save energy (static power dominates)"
+    );
+}
+
+#[test]
+fn prodigy_storage_stays_under_one_kilobyte() {
+    let g = rmat(512, 2048, 3, (0.57, 0.19, 0.19));
+    let out = run(&mut Bfs::new(g, 0), PrefetcherKind::Prodigy);
+    assert!(out.storage_bits <= 8 * 1024, "{} bits", out.storage_bits);
+}
+
+#[test]
+fn fig15_classification_is_exhaustive() {
+    let g = rmat(8192, 8 * 8192, 13, (0.57, 0.19, 0.19));
+    let out = run(&mut Bfs::new(g, 0), PrefetcherKind::Prodigy);
+    let s = &out.summary.stats;
+    let resolved = s.prefetch_use.resolved();
+    assert!(
+        resolved <= s.prefetches_issued,
+        "resolved {} > issued {}",
+        resolved,
+        s.prefetches_issued
+    );
+    assert!(s.prefetch_use.accuracy() > 0.0);
+}
