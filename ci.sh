@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the Prodigy reproduction. Runs entirely offline: the only
+# third-party crates (crossbeam/proptest/criterion) are vendored shims
+# under vendor/, path-resolved through the workspace, so no registry or
+# network access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test -q --workspace
+
+echo "== determinism smoke: 1-thread vs 2-thread figure tables"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/prodigy-eval --scale 64 --threads 1 \
+    --out "$tmp/t1.txt" --json "$tmp/t1.json" fig02 fig13 >/dev/null
+./target/release/prodigy-eval --scale 64 --threads 2 \
+    --out "$tmp/t2.txt" --json "$tmp/t2.json" fig02 fig13 >/dev/null
+cmp "$tmp/t1.txt" "$tmp/t2.txt"
+echo "   byte-identical: OK"
+
+echo "CI green."

@@ -3,8 +3,8 @@
 //! end-to-end simulator throughput (instructions simulated per second).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use prodigy::{Dig, DigProgram, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpec};
 use prodigy::dig::NodeId;
+use prodigy::{Dig, DigProgram, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpec};
 use prodigy_sim::core::{Gshare, StreamBuilder};
 use prodigy_sim::mem::cache::{demand_line, Cache};
 use prodigy_sim::mem::coherence::Mesi;

@@ -8,8 +8,8 @@
 
 use prodigy::ProdigyConfig;
 use prodigy_bench::workload_set::WorkloadSpec;
-use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
 use prodigy_sim::SystemConfig;
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -19,13 +19,17 @@ fn main() {
 
     let algs = ["bc", "bfs", "cc", "pr", "sssp"];
     let spec = if algs.contains(&alg.as_str()) {
-        WorkloadSpec::graph(algs.iter().find(|a| **a == alg).unwrap(), match dataset.as_str() {
-            "po" => "po",
-            "or" => "or",
-            "sk" => "sk",
-            "wb" => "wb",
-            _ => "lj",
-        }, scale)
+        WorkloadSpec::graph(
+            algs.iter().find(|a| **a == alg).unwrap(),
+            match dataset.as_str() {
+                "po" => "po",
+                "or" => "or",
+                "sk" => "sk",
+                "wb" => "wb",
+                _ => "lj",
+            },
+            scale,
+        )
     } else {
         WorkloadSpec::plain(
             ["spmv", "symgs", "cg", "is"]
@@ -51,6 +55,7 @@ fn main() {
                 prefetcher: kind,
                 prodigy: ProdigyConfig::default(),
                 classify_llc: false,
+                seed: 0,
             },
         );
         let s = &out.summary.stats;

@@ -4,18 +4,27 @@
 //!
 //! ```text
 //! cargo run --release -p prodigy-bench --bin prodigy-eval -- \
-//!     [--scale N] [--cores N] [--out report.txt] [experiment substrings...]
+//!     [--scale N] [--cores N] [--threads N] [--seed N] \
+//!     [--timeout-secs N] [--out report.txt] [--json report.json] \
+//!     [experiment substrings...]
 //! ```
 //!
-//! With no experiment names, everything runs. The report is printed and,
-//! with `--out`, also written to a file.
+//! With no experiment names, everything runs. The figure report is printed
+//! and, with `--out`, also written to a file; the sweep progress/timing
+//! summary goes to stderr and, with `--json`, to a JSON file beside the
+//! figure text. The figure tables are deterministic: any `--threads` value
+//! produces byte-identical output for the same `--scale`/`--seed`.
 
 use prodigy_bench::experiments::{run_all, Ctx};
+use prodigy_bench::sweep::SweepConfig;
+use std::time::Duration;
 
 fn main() {
     let mut scale = 8u32;
     let mut cores: Option<u32> = None;
     let mut out: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut sweep = SweepConfig::default();
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -33,8 +42,31 @@ fn main() {
                         .unwrap_or_else(|| usage("--cores needs a number")),
                 );
             }
+            "--threads" => {
+                sweep.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a number >= 1"));
+            }
+            "--seed" => {
+                sweep.base_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--timeout-secs" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--timeout-secs needs a number"));
+                sweep.cell_timeout = Some(Duration::from_secs(secs));
+            }
             "--out" => {
                 out = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
+            }
+            "--json" => {
+                json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -42,21 +74,33 @@ fn main() {
         }
     }
 
-    let mut ctx = Ctx::new(scale);
+    let mut ctx = Ctx::new(scale).with_sweep(sweep);
     if let Some(c) = cores {
         ctx.sys = ctx.sys.with_cores(c);
     }
     println!(
-        "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}\n",
-        ctx.sys.cores, ctx.sys.scale
+        "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}, {} sweep threads, seed {}\n",
+        ctx.sys.cores, ctx.sys.scale, ctx.sweep.threads, ctx.sweep.base_seed
     );
     let report = run_all(&ctx, &filters);
+    let sweep_report = ctx.report();
+    eprint!("{}", sweep_report.render());
     if let Some(path) = out {
         std::fs::write(&path, &report).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
         println!("report written to {path}");
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, sweep_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("sweep timing written to {path}");
+    }
+    if !sweep_report.errors.is_empty() {
+        std::process::exit(3);
     }
 }
 
@@ -65,10 +109,14 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: prodigy-eval [--scale N] [--cores N] [--out FILE] [experiments...]\n\
+        "usage: prodigy-eval [--scale N] [--cores N] [--threads N] [--seed N]\n\
+         \x20                  [--timeout-secs N] [--out FILE] [--json FILE] [experiments...]\n\
          experiments: table1 table2 fig02 fig04 fig12 fig13 fig14 fig15 fig16 \
          fig17 table3 fig18 fig19 ranged swpf storage scalability limits_tc \
-         ext_dobfs ext_throttle"
+         ext_dobfs ext_throttle\n\
+         determinism: any --threads value yields byte-identical figure tables\n\
+         for the same --scale/--seed; --seed 0 keeps the seed inputs.\n\
+         exit status 3 if any cell failed (see stderr / --json)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

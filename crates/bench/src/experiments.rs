@@ -1,16 +1,20 @@
 //! One function per paper table/figure. Each returns the rendered text it
 //! also prints, so integration tests can assert on the series.
 
-use crate::report::{geomean, mean, pct, x, Table};
+use crate::report::{geomean, mean, pct, x, x_opt, Table};
+use crate::sweep::{
+    run_isolated, run_pool, CellError, CellTiming, SingleFlightCache, SweepConfig, SweepReport,
+    WorkerStat, CALLER_THREAD,
+};
 use crate::workload_set::{all_29, per_algorithm, WorkloadSpec};
-use parking_lot::Mutex;
 use prodigy::{ProdigyConfig, ProdigyPrefetcher};
 use prodigy_sim::prefetch::Prefetcher;
 use prodigy_sim::SystemConfig;
 use prodigy_workloads::kernels::PageRank;
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One simulation cell: workload × prefetcher × hardware knobs.
 #[derive(Debug, Clone)]
@@ -28,7 +32,9 @@ pub struct Cell {
 }
 
 impl Cell {
-    fn new(spec: WorkloadSpec, kind: PrefetcherKind) -> Self {
+    /// A cell with default knobs (16 PFHR entries, no classifier, context
+    /// core count).
+    pub fn new(spec: WorkloadSpec, kind: PrefetcherKind) -> Self {
         Cell {
             spec,
             kind,
@@ -38,7 +44,8 @@ impl Cell {
         }
     }
 
-    fn key(&self) -> String {
+    /// Cache key: every knob that affects the simulation result.
+    pub fn key(&self) -> String {
         format!(
             "{}|{}|{}|{}|{}|{}",
             self.spec.name,
@@ -51,89 +58,165 @@ impl Cell {
     }
 }
 
-/// Shared experiment context: machine configuration, data-set scale, and a
-/// memoising run cache so figures reuse each other's simulations.
+/// Shared experiment context: machine configuration, data-set scale, sweep
+/// knobs, and a single-flight memoising run cache so figures reuse each
+/// other's simulations (including across concurrent workers).
 pub struct Ctx {
     /// Data-set scale divisor (bigger = smaller inputs = faster).
     pub scale: u32,
     /// Machine configuration (cache sizes already scaled to match).
     pub sys: SystemConfig,
-    cache: Mutex<HashMap<String, Arc<RunOutcome>>>,
+    /// Sweep execution knobs (threads, base seed, per-cell timeout).
+    pub sweep: SweepConfig,
+    cache: SingleFlightCache<Arc<RunOutcome>>,
+    timings: Mutex<Vec<CellTiming>>,
+    workers: Mutex<Vec<WorkerStat>>,
+    started: Instant,
+}
+
+/// Simulates one cell. A free function (not a method) so the isolation
+/// layer can move an owned copy of everything into a `'static` closure.
+fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64) -> RunOutcome {
+    let mut kernel = cell.spec.instantiate_seeded(base_seed);
+    let sys = if cell.cores == 0 {
+        sys
+    } else {
+        sys.with_cores(cell.cores)
+    };
+    let cfg = RunConfig {
+        sys,
+        prefetcher: cell.kind,
+        prodigy: ProdigyConfig {
+            pfhr_entries: cell.pfhr,
+            ..ProdigyConfig::default()
+        },
+        classify_llc: cell.classify,
+        seed: cell.spec.identity_hash() ^ base_seed,
+    };
+    run_workload(kernel.as_mut(), &cfg)
 }
 
 impl Ctx {
     /// Standard context: the differential-scaled bench machine
-    /// ([`SystemConfig::bench`]), data sets scaled by `scale`.
+    /// ([`SystemConfig::bench`]), data sets scaled by `scale`, default
+    /// sweep knobs.
     pub fn new(scale: u32) -> Self {
         Ctx {
             scale,
             sys: SystemConfig::bench(),
-            cache: Mutex::new(HashMap::new()),
+            sweep: SweepConfig::default(),
+            cache: SingleFlightCache::new(),
+            timings: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+            started: Instant::now(),
         }
     }
 
-    fn execute(&self, cell: &Cell) -> RunOutcome {
-        let mut kernel = cell.spec.instantiate();
-        let sys = if cell.cores == 0 {
-            self.sys
-        } else {
-            self.sys.with_cores(cell.cores)
-        };
-        let cfg = RunConfig {
-            sys,
-            prefetcher: cell.kind,
-            prodigy: ProdigyConfig {
-                pfhr_entries: cell.pfhr,
-                ..ProdigyConfig::default()
-            },
-            classify_llc: cell.classify,
-        };
-        run_workload(kernel.as_mut(), &cfg)
+    /// Replaces the sweep knobs (builder style).
+    pub fn with_sweep(mut self, sweep: SweepConfig) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Whether `cell` already has a completed cache entry.
+    pub fn cached(&self, cell: &Cell) -> bool {
+        self.cache.contains(&cell.key())
+    }
+
+    /// Runs one cell (memoised, single-flight, isolated), returning the
+    /// recorded error if the cell panicked or timed out.
+    pub fn try_run(&self, cell: &Cell) -> Result<Arc<RunOutcome>, CellError> {
+        self.try_run_on(CALLER_THREAD, cell)
+    }
+
+    fn try_run_on(&self, worker: usize, cell: &Cell) -> Result<Arc<RunOutcome>, CellError> {
+        let key = cell.key();
+        self.cache.get_or_run(&key, || {
+            let owned = cell.clone();
+            let sys = self.sys;
+            let base_seed = self.sweep.base_seed;
+            let t0 = Instant::now();
+            let out = run_isolated(&key, self.sweep.cell_timeout, move || {
+                execute_cell(&owned, sys, base_seed)
+            });
+            let (res, timing, error) = match out {
+                Ok(o) => {
+                    let timing = o.timing;
+                    (Ok(Arc::new(o)), timing, None)
+                }
+                Err(reason) => (
+                    Err(CellError {
+                        key: key.clone(),
+                        reason: reason.clone(),
+                    }),
+                    prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
+                    Some(reason),
+                ),
+            };
+            self.timings.lock().unwrap().push(CellTiming {
+                key: key.clone(),
+                timing,
+                worker,
+                error,
+            });
+            res
+        })
     }
 
     /// Runs one cell (memoised).
+    ///
+    /// # Panics
+    /// Panics if the cell failed (diverged or panicked); figure functions
+    /// assume their cells succeed, and `run_all` catches the panic per
+    /// experiment so one bad cell cannot abort the sweep.
     pub fn run(&self, cell: &Cell) -> Arc<RunOutcome> {
-        let key = cell.key();
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return Arc::clone(hit);
-        }
-        let out = Arc::new(self.execute(cell));
-        self.cache.lock().insert(key, Arc::clone(&out));
-        out
+        self.try_run(cell).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Warms the cache for many cells in parallel.
+    /// Warms the cache for many cells on the bounded worker pool.
+    ///
+    /// Duplicate and already-cached cells are skipped; failures are
+    /// recorded (visible via [`Ctx::report`]) without aborting the warm.
     pub fn warm(&self, cells: Vec<Cell>) {
-        // Deduplicate; skip already-cached.
         let mut todo: Vec<Cell> = Vec::new();
-        {
-            let cache = self.cache.lock();
-            let mut seen = std::collections::HashSet::new();
-            for c in cells {
-                let k = c.key();
-                if !cache.contains_key(&k) && seen.insert(k) {
-                    todo.push(c);
-                }
+        let mut seen = std::collections::HashSet::new();
+        for c in cells {
+            let k = c.key();
+            if !self.cache.contains(&k) && seen.insert(k) {
+                todo.push(c);
             }
         }
         if todo.is_empty() {
             return;
         }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(todo.len());
-        let work = Mutex::new(todo);
-        crossbeam::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let Some(cell) = work.lock().pop() else { break };
-                    let out = Arc::new(self.execute(&cell));
-                    self.cache.lock().insert(cell.key(), out);
-                });
-            }
-        })
-        .expect("worker panicked");
+        let stats = run_pool(todo, self.sweep.threads, |w, cell: Cell| {
+            let _ = self.try_run_on(w, &cell);
+        });
+        self.workers.lock().unwrap().extend(stats);
+    }
+
+    /// Aggregated progress/timing report over everything this context ran.
+    pub fn report(&self) -> SweepReport {
+        let cell_timings = self.timings.lock().unwrap().clone();
+        let errors = cell_timings
+            .iter()
+            .filter_map(|t| {
+                t.error.as_ref().map(|e| CellError {
+                    key: t.key.clone(),
+                    reason: e.clone(),
+                })
+            })
+            .collect();
+        SweepReport {
+            threads: self.sweep.threads,
+            base_seed: self.sweep.base_seed,
+            cache_hits: self.cache.hits(),
+            cells_simulated: self.cache.computes(),
+            errors,
+            wall: self.started.elapsed(),
+            workers: self.workers.lock().unwrap().clone(),
+            cell_timings,
+        }
     }
 }
 
@@ -159,18 +242,42 @@ pub fn table1(ctx: &Ctx) -> String {
     ]);
     t.row(vec![
         "L1D".into(),
-        format!("{} KB, {}-way, lat {}", p.l1d.capacity / 1024, p.l1d.ways, p.l1d.data_latency),
-        format!("{} B, {}-way, lat {}", s.l1d.capacity, s.l1d.ways, s.l1d.data_latency),
+        format!(
+            "{} KB, {}-way, lat {}",
+            p.l1d.capacity / 1024,
+            p.l1d.ways,
+            p.l1d.data_latency
+        ),
+        format!(
+            "{} B, {}-way, lat {}",
+            s.l1d.capacity, s.l1d.ways, s.l1d.data_latency
+        ),
     ]);
     t.row(vec![
         "L2".into(),
-        format!("{} KB, {}-way, lat {}", p.l2.capacity / 1024, p.l2.ways, p.l2.data_latency),
-        format!("{} B, {}-way, lat {}", s.l2.capacity, s.l2.ways, s.l2.data_latency),
+        format!(
+            "{} KB, {}-way, lat {}",
+            p.l2.capacity / 1024,
+            p.l2.ways,
+            p.l2.data_latency
+        ),
+        format!(
+            "{} B, {}-way, lat {}",
+            s.l2.capacity, s.l2.ways, s.l2.data_latency
+        ),
     ]);
     t.row(vec![
         "L3/slice".into(),
-        format!("{} MB, {}-way, lat {}", p.l3.capacity / (1024 * 1024), p.l3.ways, p.l3.data_latency),
-        format!("{} B, {}-way, lat {}", s.l3.capacity, s.l3.ways, s.l3.data_latency),
+        format!(
+            "{} MB, {}-way, lat {}",
+            p.l3.capacity / (1024 * 1024),
+            p.l3.ways,
+            p.l3.data_latency
+        ),
+        format!(
+            "{} B, {}-way, lat {}",
+            s.l3.capacity, s.l3.ways, s.l3.data_latency
+        ),
     ]);
     t.row(vec![
         "DRAM".into(),
@@ -196,7 +303,11 @@ pub fn table2(ctx: &Ctx) -> String {
             format!("{:.1}x", g.footprint_bytes() as f64 / llc),
         ]);
     }
-    format!("Table II — data sets (scale 1/{})\n{}", ctx.scale, t.render())
+    format!(
+        "Table II — data sets (scale 1/{})\n{}",
+        ctx.scale,
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------- Fig. 2
@@ -222,7 +333,10 @@ pub fn fig02(ctx: &Ctx) -> String {
             x(speedup(&base, &out)),
         ]);
     }
-    format!("Fig. 2 — pr-lj highlight (paper: 8.2x stall reduction, 2.9x speedup)\n{}", t.render())
+    format!(
+        "Fig. 2 — pr-lj highlight (paper: 8.2x stall reduction, 2.9x speedup)\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------- Fig. 4
@@ -294,7 +408,10 @@ pub fn fig12(ctx: &Ctx) -> String {
             format!("{:.2}", base / get(32)),
         ]);
     }
-    format!("Fig. 12 — PFHR size sweep, speedup normalised to 4 registers (paper picks 16)\n{}", t.render())
+    format!(
+        "Fig. 12 — PFHR size sweep, speedup normalised to 4 registers (paper picks 16)\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------- Fig. 13
@@ -341,7 +458,11 @@ pub fn fig14(ctx: &Ctx) -> String {
     }
     ctx.warm(cells);
     let mut t = Table::new(&[
-        "workload", "base dram%", "prodigy CPI (norm)", "dram cut", "speedup",
+        "workload",
+        "base dram%",
+        "prodigy CPI (norm)",
+        "dram cut",
+        "speedup",
     ]);
     let mut speedups = Vec::new();
     let mut dram_cuts = Vec::new();
@@ -351,8 +472,8 @@ pub fn fig14(ctx: &Ctx) -> String {
         let sp = speedup(&base, &pro);
         speedups.push(sp);
         let bn = base.summary.stats.cpi.normalized();
-        let cut = 1.0
-            - (pro.summary.stats.cpi.dram / base.summary.stats.cpi.dram.max(1e-9)).min(1.0);
+        let cut =
+            1.0 - (pro.summary.stats.cpi.dram / base.summary.stats.cpi.dram.max(1e-9)).min(1.0);
         dram_cuts.push(cut);
         t.row(vec![
             spec.name.clone(),
@@ -367,7 +488,7 @@ pub fn fig14(ctx: &Ctx) -> String {
     }
     format!(
         "Fig. 14 — Prodigy vs baseline (paper: 2.6x mean speedup, 80.3% DRAM-stall cut; measured geomean {} / mean DRAM cut {})\n{}",
-        x(geomean(&speedups)),
+        x_opt(geomean(&speedups)),
         pct(mean(&dram_cuts)),
         t.render()
     )
@@ -490,10 +611,10 @@ pub fn fig17(ctx: &Ctx) -> String {
     format!(
         "Fig. 17 — speedup over no-prefetching (paper: Prodigy beats A&J 1.5x, DROPLET 1.6x, IMP 2.3x)\n{}\ngeomean: A&J {}  DROPLET {}  IMP {}  prodigy {}\n",
         t.render(),
-        x(g("aj")),
-        x(g("droplet")),
-        x(g("imp")),
-        x(g("prodigy")),
+        x_opt(g("aj")),
+        x_opt(g("droplet")),
+        x_opt(g("imp")),
+        x_opt(g("prodigy")),
     )
 }
 
@@ -525,15 +646,15 @@ pub fn table3(ctx: &Ctx) -> String {
         ("DROPLET [15]", &["bc", "bfs", "cc", "pr", "sssp"], 1.9),
         ("IMP [99]", &["bfs", "pr", "spmv", "symgs"], 1.8),
     ];
-    let mut t = Table::new(&["prior work", "algorithms", "their best", "prodigy (measured)"]);
+    let mut t = Table::new(&[
+        "prior work",
+        "algorithms",
+        "their best",
+        "prodigy (measured)",
+    ]);
     for (name, algs, theirs) in rows {
         let ours = geomean(&algs.iter().map(|a| best(a)).collect::<Vec<_>>());
-        t.row(vec![
-            name.into(),
-            algs.join(","),
-            x(theirs),
-            x(ours),
-        ]);
+        t.row(vec![name.into(), algs.join(","), x(theirs), x_opt(ours)]);
     }
     format!(
         "Table III — best-reported speedups over no-prefetching (paper's Prodigy column: 2.8x / 2.9x / 4.6x)\n{}",
@@ -556,7 +677,7 @@ pub fn fig18(ctx: &Ctx) -> String {
     }
     ctx.warm(cells);
     let mut t = Table::new(&["algorithm", "speedup (reordered graphs)"]);
-    let mut all = Vec::new();
+    let mut all: Vec<Option<f64>> = Vec::new();
     for alg in crate::workload_set::GRAPH_ALGS {
         let mut sps = Vec::new();
         for d in datasets {
@@ -567,11 +688,18 @@ pub fn fig18(ctx: &Ctx) -> String {
         }
         let gm = geomean(&sps);
         all.push(gm);
-        t.row(vec![alg.into(), x(gm)]);
+        t.row(vec![alg.into(), x_opt(gm)]);
     }
+    // Overall geomean is poisoned if any per-algorithm geomean is: a
+    // degenerate row must not silently vanish from the aggregate.
+    let overall = all
+        .iter()
+        .copied()
+        .collect::<Option<Vec<f64>>>()
+        .and_then(|v| geomean(&v));
     format!(
         "Fig. 18 — Prodigy on HubSort-reordered graphs (paper geomean 2.3x; measured {})\n{}",
-        x(geomean(&all)),
+        x_opt(overall),
         t.render()
     )
 }
@@ -811,9 +939,21 @@ pub fn ext_dobfs(ctx: &Ctx) -> String {
             k.bottom_up_levels,
         ));
     }
-    let mut t = Table::new(&["prefetcher", "cycles", "speedup", "dir switches", "bottom-up levels"]);
+    let mut t = Table::new(&[
+        "prefetcher",
+        "cycles",
+        "speedup",
+        "dir switches",
+        "bottom-up levels",
+    ]);
     for (n, c, s, sw, bu) in rows {
-        t.row(vec![n.into(), c.to_string(), x(s), sw.to_string(), bu.to_string()]);
+        t.row(vec![
+            n.into(),
+            c.to_string(),
+            x(s),
+            sw.to_string(),
+            bu.to_string(),
+        ]);
     }
     format!(
         "Extension — direction-optimizing BFS with runtime DIG reconfiguration (§V-B fn.3, §IV-F)\n{}",
@@ -835,24 +975,60 @@ pub fn limits_tc(ctx: &Ctx) -> String {
     {
         let base = {
             let mut k = Bfs::new((*g).clone(), src);
-            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::None, ..RunConfig::default() })
+            run_workload(
+                &mut k,
+                &RunConfig {
+                    sys: ctx.sys,
+                    prefetcher: PrefetcherKind::None,
+                    ..RunConfig::default()
+                },
+            )
         };
         let pro = {
             let mut k = Bfs::new((*g).clone(), src);
-            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::Prodigy, ..RunConfig::default() })
+            run_workload(
+                &mut k,
+                &RunConfig {
+                    sys: ctx.sys,
+                    prefetcher: PrefetcherKind::Prodigy,
+                    ..RunConfig::default()
+                },
+            )
         };
-        rows.push(("bfs (control)", speedup(&base, &pro), pro.summary.stats.prefetch_use.accuracy()));
+        rows.push((
+            "bfs (control)",
+            speedup(&base, &pro),
+            pro.summary.stats.prefetch_use.accuracy(),
+        ));
     }
     {
         let base = {
             let mut k = Tc::new((*g).clone());
-            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::None, ..RunConfig::default() })
+            run_workload(
+                &mut k,
+                &RunConfig {
+                    sys: ctx.sys,
+                    prefetcher: PrefetcherKind::None,
+                    ..RunConfig::default()
+                },
+            )
         };
         let pro = {
             let mut k = Tc::new((*g).clone());
-            run_workload(&mut k, &RunConfig { sys: ctx.sys, prefetcher: PrefetcherKind::Prodigy, ..RunConfig::default() })
+            run_workload(
+                &mut k,
+                &RunConfig {
+                    sys: ctx.sys,
+                    prefetcher: PrefetcherKind::Prodigy,
+                    ..RunConfig::default()
+                },
+            )
         };
-        rows.push(("tc (branch-dependent)", speedup(&base, &pro), pro.summary.stats.prefetch_use.accuracy()));
+        rows.push((
+            "tc (branch-dependent)",
+            speedup(&base, &pro),
+            pro.summary.stats.prefetch_use.accuracy(),
+        ));
     }
     for (name, sp, acc) in rows {
         t.row(vec![name.into(), x(sp), pct(acc)]);
@@ -881,6 +1057,7 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
                 ..ProdigyConfig::default()
             },
             classify_llc: false,
+            seed: 0,
         },
     );
     let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);
@@ -904,7 +1081,8 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
 /// Runs every experiment whose name contains one of `filters` (all when
 /// empty), printing and returning the combined report.
 pub fn run_all(ctx: &Ctx, filters: &[String]) -> String {
-    let experiments: Vec<(&str, fn(&Ctx) -> String)> = vec![
+    type Experiment = fn(&Ctx) -> String;
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("table1", table1),
         ("table2", table2),
         ("fig02", fig02),
@@ -932,7 +1110,20 @@ pub fn run_all(ctx: &Ctx, filters: &[String]) -> String {
             continue;
         }
         let t0 = std::time::Instant::now();
-        let text = f(ctx);
+        // One failed cell panics its figure function; isolate the panic to
+        // this experiment so the rest of the sweep still completes (the
+        // failure itself stays visible in the text and in `Ctx::report`).
+        let text = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx))) {
+            Ok(text) => text,
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "unknown panic".into());
+                format!("{name} — FAILED: {msg}\n")
+            }
+        };
         println!("{text}");
         println!("[{name}: {:.1}s]\n", t0.elapsed().as_secs_f64());
         out.push_str(&text);
@@ -970,8 +1161,44 @@ mod tests {
             .collect();
         ctx.warm(cells.clone());
         for c in &cells {
-            assert!(ctx.cache.lock().contains_key(&c.key()));
+            assert!(ctx.cached(c));
         }
+        let report = ctx.report();
+        assert_eq!(report.cells_simulated, 2);
+        assert!(report.errors.is_empty());
+        assert!(!report.workers.is_empty(), "pool accounting recorded");
+    }
+
+    #[test]
+    fn failing_cell_is_recorded_not_fatal() {
+        let ctx = quick_ctx();
+        // An unknown algorithm panics inside instantiation; the isolation
+        // layer must convert that into a recorded CellError.
+        let bad = Cell::new(WorkloadSpec::plain("no-such-alg", 64), PrefetcherKind::None);
+        let err = ctx.try_run(&bad).unwrap_err();
+        assert!(err.reason.contains("unknown algorithm"), "{}", err.reason);
+        // The failure is cached: a retry does not re-simulate.
+        let err2 = ctx.try_run(&bad).unwrap_err();
+        assert_eq!(err, err2);
+        // And healthy cells still run fine afterwards.
+        let good = Cell::new(WorkloadSpec::plain("is", 256), PrefetcherKind::None);
+        assert!(ctx.try_run(&good).is_ok());
+        let report = ctx.report();
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].key, bad.key());
+    }
+
+    #[test]
+    fn warm_survives_failing_cells() {
+        let ctx = quick_ctx();
+        let cells = vec![
+            Cell::new(WorkloadSpec::plain("no-such-alg", 64), PrefetcherKind::None),
+            Cell::new(WorkloadSpec::plain("is", 256), PrefetcherKind::None),
+        ];
+        ctx.warm(cells.clone());
+        assert!(ctx.cached(&cells[0]), "failure is cached too");
+        assert!(ctx.try_run(&cells[0]).is_err());
+        assert!(ctx.try_run(&cells[1]).is_ok());
     }
 
     #[test]

@@ -31,7 +31,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 pub mod workload_set;
 
-pub use experiments::{run_all, Ctx};
+pub use experiments::{run_all, Cell, Ctx};
+pub use sweep::{SweepConfig, SweepReport};
 pub use workload_set::{WorkloadSpec, GRAPH_ALGS, NON_GRAPH_ALGS};

@@ -1,12 +1,17 @@
 //! Small table-formatting and statistics helpers for experiment output.
 
-/// Geometric mean (ignores non-positive values; 0 for an empty slice).
-pub fn geomean(xs: &[f64]) -> f64 {
-    let v: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
-    if v.is_empty() {
-        return 0.0;
+/// Geometric mean over *all* entries.
+///
+/// Returns `None` for an empty slice or when any entry is non-positive or
+/// non-finite. A zero speedup means that cell's run failed; silently
+/// skipping it (as an earlier version did) inflates the reported geomean,
+/// letting broken runs masquerade as wins. Callers decide how to present a
+/// `None` (e.g. [`x_opt`] renders `n/a`).
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| !(x.is_finite() && *x > 0.0)) {
+        return None;
     }
-    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
 /// Arithmetic mean (0 for an empty slice).
@@ -77,6 +82,14 @@ pub fn x(v: f64) -> String {
     format!("{v:.2}x")
 }
 
+/// Formats an optional ratio; `None` (failed/invalid cells) renders `n/a`.
+pub fn x_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => x(v),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Renders a CPI stack as a fixed-width ASCII bar, one glyph class per
 /// bucket (`.` no-stall, `D` DRAM, `c` cache, `b` branch, `d` dependency,
 /// `o` other) — a terminal stand-in for the paper's stacked-bar figures.
@@ -115,10 +128,21 @@ mod tests {
 
     #[test]
     fn geomean_of_known_values() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
-        assert!((geomean(&[0.0, 3.0]) - 3.0).abs() < 1e-12, "zeros skipped");
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_refuses_failed_cells() {
+        // A 0.0 entry is a failed run; it must poison the aggregate rather
+        // than silently inflating it.
+        assert_eq!(geomean(&[0.0, 3.0]), None);
+        assert_eq!(geomean(&[-1.0, 3.0]), None);
+        assert_eq!(geomean(&[f64::NAN, 3.0]), None);
+        assert_eq!(geomean(&[f64::INFINITY, 3.0]), None);
+        assert_eq!(x_opt(None), "n/a");
+        assert_eq!(x_opt(Some(2.0)), "2.00x");
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Parallel, deterministic sweep-execution machinery.
+//!
+//! The evaluation grid (workload × prefetcher × knobs `Cell`s, see
+//! [`crate::experiments`]) is embarrassingly parallel: every cell builds its
+//! own [`prodigy_sim::System`] and shares nothing. This module provides the
+//! three pieces the sweep executor is built from:
+//!
+//! * [`SingleFlightCache`] — a memoizing result cache where concurrent
+//!   requests for the same key block on one in-flight computation instead
+//!   of duplicating it (duplicate cells across figures simulate once);
+//! * [`run_isolated`] — per-cell panic *and* timeout isolation, so one
+//!   diverging simulation fails that cell with a recorded error instead of
+//!   aborting the whole sweep;
+//! * [`run_pool`] — a bounded worker pool over `crossbeam` scoped threads
+//!   and channels, reporting per-worker busy time for the utilization
+//!   report.
+//!
+//! Determinism: cells are seeded from their spec identity (never from
+//! execution order, thread id, or time), so a parallel sweep is
+//! bit-identical to a serial one — `tests/determinism.rs` locks this in.
+
+use crossbeam::channel;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Worker id used for cells executed on the calling thread (a direct
+/// `Ctx::run` outside any pool) rather than by a pool worker.
+pub const CALLER_THREAD: usize = usize::MAX;
+
+/// Knobs of a sweep run.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Worker threads for [`run_pool`]-based warming (≥ 1).
+    pub threads: usize,
+    /// Base seed mixed into every cell's workload seed. 0 keeps the seed
+    /// repo's original inputs.
+    pub base_seed: u64,
+    /// Per-cell wall-clock budget. A cell exceeding it fails with a
+    /// recorded error; `None` disables the watchdog (and the extra thread
+    /// per cell it requires).
+    pub cell_timeout: Option<Duration>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            base_seed: 0,
+            cell_timeout: None,
+        }
+    }
+}
+
+/// Why a cell failed (panic message or timeout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The failing cell's cache key.
+    pub key: String,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} failed: {}", self.key, self.reason)
+    }
+}
+
+/// One key's slot: concurrent requesters share the `OnceLock`, and exactly
+/// one of them initializes it.
+type SlotOf<T> = Arc<OnceLock<Result<T, CellError>>>;
+
+/// A memoizing cache with single-flight semantics.
+///
+/// The first requester of a key runs the computation; concurrent requesters
+/// of the same key block until that one computation finishes and then share
+/// its result. Failed computations are cached too (a diverging cell is not
+/// retried by every figure that references it).
+///
+/// The computation closure must not panic — wrap fallible work in
+/// [`run_isolated`] and return `Err` instead (a panic inside `get_or_run`
+/// would poison the slot for concurrent waiters).
+pub struct SingleFlightCache<T: Clone> {
+    slots: Mutex<HashMap<String, SlotOf<T>>>,
+    hits: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl<T: Clone> Default for SingleFlightCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> SingleFlightCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SingleFlightCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached result for `key`, computing it via `compute` if
+    /// absent. Exactly one concurrent caller per key runs `compute`; the
+    /// rest block and share the outcome.
+    pub fn get_or_run(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<T, CellError>,
+    ) -> Result<T, CellError> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            Arc::clone(
+                slots
+                    .entry(key.to_string())
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut ran = false;
+        let out = slot
+            .get_or_init(|| {
+                ran = true;
+                compute()
+            })
+            .clone();
+        if ran {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Whether `key` has a completed entry.
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|s| s.get().is_some())
+            .unwrap_or(false)
+    }
+
+    /// Requests served from cache (including waits on an in-flight compute).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Computations actually executed.
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `job`, converting a panic into `Err(message)` and — when `timeout`
+/// is set — abandoning it after the budget elapses.
+///
+/// The timeout path runs the job on a dedicated named thread and waits with
+/// `recv_timeout`; on expiry the thread is *detached*, not killed (Rust has
+/// no safe thread cancellation), so a truly divergent cell leaks one thread
+/// but the sweep proceeds. Without a timeout the job runs inline under
+/// `catch_unwind` — no extra thread.
+pub fn run_isolated<T: Send + 'static>(
+    label: &str,
+    timeout: Option<Duration>,
+    job: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, String> {
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref())),
+        Some(budget) => {
+            let (tx, rx) = channel::bounded(1);
+            let thread_name = format!("cell-{}", label.chars().take(24).collect::<String>());
+            let handle = std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    let _ = tx.send(catch_unwind(AssertUnwindSafe(job)));
+                })
+                .expect("spawn cell thread");
+            match rx.recv_timeout(budget) {
+                Ok(Ok(v)) => {
+                    let _ = handle.join();
+                    Ok(v)
+                }
+                Ok(Err(p)) => {
+                    let _ = handle.join();
+                    Err(panic_message(p.as_ref()))
+                }
+                Err(_) => {
+                    drop(handle); // detach the runaway thread
+                    Err(format!("timed out after {:.1}s", budget.as_secs_f64()))
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// One pool worker's accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerStat {
+    /// Worker index in `0..threads`.
+    pub worker: usize,
+    /// Time spent executing jobs (excludes idle waits on the queue).
+    pub busy: Duration,
+    /// Jobs this worker executed.
+    pub jobs: u64,
+}
+
+/// Runs `f` over `items` on a bounded pool of `threads` scoped workers.
+///
+/// Items are distributed through a bounded MPMC channel, so a slow cell
+/// never strands queued work behind one worker. Returns per-worker busy
+/// time and job counts (for the utilization report). `f` must not panic —
+/// route fallible work through [`run_isolated`].
+pub fn run_pool<T, F>(items: Vec<T>, threads: usize, f: F) -> Vec<WorkerStat>
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let (tx, rx) = channel::bounded::<T>(threads * 2);
+    let stats: Mutex<Vec<WorkerStat>> = Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for w in 0..threads {
+            let rx = rx.clone();
+            let f = &f;
+            let stats = &stats;
+            s.spawn(move |_| {
+                let mut busy = Duration::ZERO;
+                let mut jobs = 0u64;
+                while let Ok(item) = rx.recv() {
+                    let t0 = Instant::now();
+                    f(w, item);
+                    busy += t0.elapsed();
+                    jobs += 1;
+                }
+                stats.lock().unwrap().push(WorkerStat {
+                    worker: w,
+                    busy,
+                    jobs,
+                });
+            });
+        }
+        for item in items {
+            tx.send(item).expect("pool workers alive");
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+    let mut v = stats.into_inner().unwrap();
+    v.sort_by_key(|s| s.worker);
+    v
+}
+
+/// Timing record of one executed (non-cached) cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// The cell's cache key.
+    pub key: String,
+    /// Host wall-clock time of the simulation.
+    pub timing: prodigy_sim::RunTiming,
+    /// Executing worker ([`CALLER_THREAD`] when run outside a pool).
+    pub worker: usize,
+    /// The recorded failure, if the cell diverged or panicked.
+    pub error: Option<String>,
+}
+
+/// Aggregated progress/timing report of a sweep, rendered to stderr and
+/// serialized to JSON beside the figure text.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Worker threads configured.
+    pub threads: usize,
+    /// Base seed of the sweep.
+    pub base_seed: u64,
+    /// Cell requests served from the memo cache.
+    pub cache_hits: u64,
+    /// Cells actually simulated.
+    pub cells_simulated: u64,
+    /// Failed cells.
+    pub errors: Vec<CellError>,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: Duration,
+    /// Per-worker accounting from every pool phase.
+    pub workers: Vec<WorkerStat>,
+    /// Per-cell timings (execution order; nondeterministic across runs,
+    /// unlike the simulation results themselves).
+    pub cell_timings: Vec<CellTiming>,
+}
+
+impl SweepReport {
+    /// Simulated cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cells_simulated as f64 / secs
+        }
+    }
+
+    /// Mean worker utilization: busy time over `threads × wall`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.threads as f64 * self.wall.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / denom).min(1.0)
+    }
+
+    /// The `n` slowest cells, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<&CellTiming> {
+        let mut v: Vec<&CellTiming> = self.cell_timings.iter().collect();
+        v.sort_by_key(|t| std::cmp::Reverse(t.timing.host_nanos));
+        v.truncate(n);
+        v
+    }
+
+    /// Renders the human-facing progress summary (printed to stderr).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "sweep: {} cells simulated, {} cache hits, {} errors | {:.1}s wall, {} threads, {:.0}% utilization, {:.2} cells/s\n",
+            self.cells_simulated,
+            self.cache_hits,
+            self.errors.len(),
+            self.wall.as_secs_f64(),
+            self.threads,
+            self.utilization() * 100.0,
+            self.cells_per_sec(),
+        );
+        for t in self.slowest(5) {
+            out.push_str(&format!(
+                "  slow: {:>9.1} ms  {}\n",
+                t.timing.millis(),
+                t.key
+            ));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("  error: {} — {}\n", e.key, e.reason));
+        }
+        out
+    }
+
+    /// Serializes the report to JSON (hand-rolled; the offline build has no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!("\"threads\":{},", self.threads));
+        s.push_str(&format!("\"base_seed\":{},", self.base_seed));
+        s.push_str(&format!("\"cells_simulated\":{},", self.cells_simulated));
+        s.push_str(&format!("\"cache_hits\":{},", self.cache_hits));
+        s.push_str(&format!("\"wall_nanos\":{},", self.wall.as_nanos()));
+        s.push_str(&format!("\"cells_per_sec\":{:.3},", self.cells_per_sec()));
+        s.push_str(&format!("\"utilization\":{:.4},", self.utilization()));
+        s.push_str("\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"worker\":{},\"busy_nanos\":{},\"jobs\":{}}}",
+                w.worker,
+                w.busy.as_nanos(),
+                w.jobs
+            ));
+        }
+        s.push_str("],\"errors\":[");
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"key\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&e.key),
+                json_escape(&e.reason)
+            ));
+        }
+        s.push_str("],\"cells\":[");
+        for (i, t) in self.cell_timings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let worker = if t.worker == CALLER_THREAD {
+                "null".to_string()
+            } else {
+                t.worker.to_string()
+            };
+            s.push_str(&format!(
+                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"error\":{}}}",
+                json_escape(&t.key),
+                t.timing.to_json(),
+                worker,
+                match &t.error {
+                    Some(e) => format!("\"{}\"", json_escape(e)),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_flight_runs_each_key_once_under_concurrency() {
+        let cache: SingleFlightCache<u64> = SingleFlightCache::new();
+        let computes = AtomicUsize::new(0);
+        let results: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for _ in 0..16 {
+                let cache = &cache;
+                let computes = &computes;
+                let results = &results;
+                s.spawn(move |_| {
+                    let r = cache
+                        .get_or_run("same-key", || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the slot long enough that other threads
+                            // genuinely contend.
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok(42)
+                        })
+                        .unwrap();
+                    results.lock().unwrap().push(r);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single flight");
+        let results = results.into_inner().unwrap();
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(|&r| r == 42));
+        assert_eq!(cache.computes(), 1);
+        assert_eq!(cache.hits(), 15);
+        assert!(cache.contains("same-key"));
+        assert!(!cache.contains("other-key"));
+    }
+
+    #[test]
+    fn single_flight_caches_errors_without_retrying() {
+        let cache: SingleFlightCache<u64> = SingleFlightCache::new();
+        let computes = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let e = cache
+                .get_or_run("bad", || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    Err(CellError {
+                        key: "bad".into(),
+                        reason: "boom".into(),
+                    })
+                })
+                .unwrap_err();
+            assert_eq!(e.reason, "boom");
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "errors are cached too");
+    }
+
+    #[test]
+    fn run_isolated_captures_panics() {
+        let r: Result<(), String> = run_isolated("t", None, || panic!("kaboom {}", 7));
+        assert!(r.unwrap_err().contains("kaboom 7"));
+        let ok = run_isolated("t", None, || 5u32).unwrap();
+        assert_eq!(ok, 5);
+    }
+
+    #[test]
+    fn run_isolated_times_out_divergent_jobs() {
+        let r: Result<(), String> = run_isolated("hang", Some(Duration::from_millis(50)), || {
+            std::thread::sleep(Duration::from_secs(30));
+        });
+        assert!(r.unwrap_err().contains("timed out"));
+        // And a fast job under the same budget succeeds.
+        let ok = run_isolated("quick", Some(Duration::from_secs(5)), || 9u32).unwrap();
+        assert_eq!(ok, 9);
+    }
+
+    #[test]
+    fn pool_executes_every_item_and_accounts_work() {
+        let done = AtomicUsize::new(0);
+        let stats = run_pool((0..40).collect(), 4, |_w, _item: i32| {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 40);
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 40);
+        assert!(stats.len() <= 4 && !stats.is_empty());
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = SweepReport {
+            threads: 2,
+            base_seed: 7,
+            cache_hits: 3,
+            cells_simulated: 5,
+            errors: vec![CellError {
+                key: "bfs|false|prodigy|16|false|0".into(),
+                reason: "timed out after 1.0s".into(),
+            }],
+            wall: Duration::from_millis(1500),
+            workers: vec![
+                WorkerStat {
+                    worker: 0,
+                    busy: Duration::from_millis(900),
+                    jobs: 3,
+                },
+                WorkerStat {
+                    worker: 1,
+                    busy: Duration::from_millis(600),
+                    jobs: 2,
+                },
+            ],
+            cell_timings: vec![CellTiming {
+                key: "k".into(),
+                timing: prodigy_sim::RunTiming { host_nanos: 42 },
+                worker: CALLER_THREAD,
+                error: None,
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("5 cells simulated"));
+        assert!(text.contains("1 errors"));
+        let json = report.to_json();
+        assert!(json.contains("\"cells_simulated\":5"));
+        assert!(json.contains("\"worker\":null"), "caller-thread cell");
+        assert!((report.utilization() - 0.5).abs() < 1e-9);
+        assert!((report.cells_per_sec() - 5.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

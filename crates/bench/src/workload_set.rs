@@ -1,12 +1,12 @@
 //! The paper's 29-workload roster (§V-B): five GAP graph algorithms × five
 //! Table II data sets, plus spmv, symgs, cg and is.
 
-use parking_lot::Mutex;
 use prodigy_workloads::graph::csr::{Csr, WeightedCsr};
 use prodigy_workloads::graph::datasets::Dataset;
 use prodigy_workloads::graph::generators;
 use prodigy_workloads::kernels::{Bc, Bfs, Cc, Cg, IntSort, Kernel, PageRank, Spmv, Sssp, Symgs};
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::sync::{Arc, OnceLock};
 
 /// The five GAP algorithms, in the paper's order.
@@ -29,15 +29,17 @@ pub struct WorkloadSpec {
     pub reorder: bool,
 }
 
-fn graph_cache() -> &'static Mutex<HashMap<(String, u32, bool), Arc<Csr>>> {
-    static CACHE: OnceLock<Mutex<HashMap<(String, u32, bool), Arc<Csr>>>> = OnceLock::new();
+type GraphCache = Mutex<HashMap<(String, u32, bool), Arc<Csr>>>;
+
+fn graph_cache() -> &'static GraphCache {
+    static CACHE: OnceLock<GraphCache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// Instantiates (and caches) a Table II graph at the given scale.
 pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
     let key = (name.to_string(), scale, reorder);
-    if let Some(g) = graph_cache().lock().get(&key) {
+    if let Some(g) = graph_cache().lock().unwrap().get(&key) {
         return Arc::clone(g);
     }
     let d = Dataset::by_name(name).expect("unknown dataset");
@@ -47,7 +49,7 @@ pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
         g = prodigy_workloads::graph::reorder::apply(&g, &r);
     }
     let arc = Arc::new(g);
-    graph_cache().lock().insert(key, Arc::clone(&arc));
+    graph_cache().lock().unwrap().insert(key, Arc::clone(&arc));
     arc
 }
 
@@ -86,11 +88,64 @@ impl WorkloadSpec {
         self
     }
 
-    /// Builds a fresh kernel instance.
+    /// FNV-1a hash of this spec's *input identity* (name, scale, reorder).
+    ///
+    /// This is the workload-seed basis for deterministic sweeps. It
+    /// deliberately covers only the fields that select the input data — not
+    /// the prefetcher or hardware knobs of a `Cell` — because every
+    /// prefetcher must run the *same* input for the cross-prefetcher
+    /// checksum assertion (`speedup`'s "prefetching never changed program
+    /// output") to be meaningful.
+    pub fn identity_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .name
+            .bytes()
+            .chain([b'|'])
+            .chain(self.scale.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= self.reorder as u64;
+        h.wrapping_mul(0x0000_0100_0000_01B3)
+    }
+
+    /// Per-spec workload seed for a sweep run under `base_seed`.
+    ///
+    /// `base_seed == 0` (the default) keeps the seed repo's original
+    /// hard-wired input seeds, so figure tables stay comparable across
+    /// versions; any other value perturbs each workload's internal inputs
+    /// deterministically and independently of sweep execution order.
+    fn derived_seed(&self, base_seed: u64, legacy: u64) -> u64 {
+        if base_seed == 0 {
+            return legacy;
+        }
+        // One SplitMix64 mixing round over (legacy, base, identity).
+        let mut z = legacy ^ base_seed ^ self.identity_hash();
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Builds a fresh kernel instance with the default (seed-repo) input
+    /// seeds. Equivalent to `instantiate_seeded(0)`.
     ///
     /// # Panics
     /// Panics on an unknown algorithm name.
     pub fn instantiate(&self) -> Box<dyn Kernel + Send> {
+        self.instantiate_seeded(0)
+    }
+
+    /// Builds a fresh kernel instance, deriving all workload-internal input
+    /// seeds (edge weights, vectors, key streams) from `base_seed` and this
+    /// spec's identity. The Table II stand-in *graphs* are not re-randomized
+    /// by the sweep seed — they model fixed external data sets.
+    ///
+    /// # Panics
+    /// Panics on an unknown algorithm name.
+    pub fn instantiate_seeded(&self, base_seed: u64) -> Box<dyn Kernel + Send> {
         match self.alg {
             "bc" | "bfs" | "cc" | "pr" | "sssp" => {
                 let g = dataset_graph(self.dataset.expect("graph alg"), self.scale, self.reorder);
@@ -101,7 +156,12 @@ impl WorkloadSpec {
                     "cc" => Box::new(Cc::new((*g).clone(), 6)),
                     "pr" => Box::new(PageRank::new((*g).clone(), 3)),
                     "sssp" => {
-                        Box::new(Sssp::new(WeightedCsr::from_csr((*g).clone(), 71, 64), src, 24))
+                        let w = self.derived_seed(base_seed, 71);
+                        Box::new(Sssp::new(
+                            WeightedCsr::from_csr((*g).clone(), w, 64),
+                            src,
+                            24,
+                        ))
                     }
                     _ => unreachable!(),
                 }
@@ -110,22 +170,25 @@ impl WorkloadSpec {
                 // HPCG 27-point stencil problem, dimension scaled.
                 let s = ((40.0 / (self.scale as f64).cbrt()).round() as u32).max(8);
                 let m = generators::stencil27(s, s, s);
+                let seed = self.derived_seed(base_seed, 0xC0FFEE);
                 if self.alg == "spmv" {
-                    Box::new(Spmv::new(m, 0xC0FFEE))
+                    Box::new(Spmv::new(m, seed))
                 } else {
-                    Box::new(Symgs::new(m, 0xC0FFEE))
+                    Box::new(Symgs::new(m, seed))
                 }
             }
             "cg" => {
                 // NAS CG: random sparse SPD system (75k rows in the paper).
                 let n = (75_000 / self.scale).max(256);
-                let pattern = generators::uniform(n, n as u64 * 6, 0xCAFE);
-                Box::new(Cg::new(&pattern, 4, 0xCAFE))
+                let seed = self.derived_seed(base_seed, 0xCAFE);
+                let pattern = generators::uniform(n, n as u64 * 6, seed);
+                Box::new(Cg::new(&pattern, 4, seed))
             }
             "is" => {
                 // NAS IS: 33M keys in the paper, scaled down.
                 let keys = (2_000_000 / self.scale as u64).max(4096);
-                Box::new(IntSort::new(keys, (keys / 4).max(64) as u32, 0xBEEF))
+                let seed = self.derived_seed(base_seed, 0xBEEF);
+                Box::new(IntSort::new(keys, (keys / 4).max(64) as u32, seed))
             }
             other => panic!("unknown algorithm {other}"),
         }
@@ -159,7 +222,11 @@ pub fn per_algorithm(scale: u32) -> Vec<WorkloadSpec> {
         .iter()
         .map(|&a| WorkloadSpec::graph(a, "lj", scale))
         .collect();
-    v.extend(NON_GRAPH_ALGS.iter().map(|&a| WorkloadSpec::plain(a, scale)));
+    v.extend(
+        NON_GRAPH_ALGS
+            .iter()
+            .map(|&a| WorkloadSpec::plain(a, scale)),
+    );
     v
 }
 

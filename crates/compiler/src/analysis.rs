@@ -55,7 +55,9 @@ impl Instrumentation {
 
     /// Just the node registrations.
     pub fn nodes(&self) -> impl Iterator<Item = &SymCall> {
-        self.calls.iter().filter(|c| matches!(c, SymCall::Node { .. }))
+        self.calls
+            .iter()
+            .filter(|c| matches!(c, SymCall::Node { .. }))
     }
 
     /// Just the traversal edges.
@@ -102,7 +104,9 @@ fn collect(m: &Module) -> Facts {
         } => {
             f.allocs.insert(*dst, (*elems, *elem_size));
         }
-        Inst::Gep { dst, base, index, .. } => {
+        Inst::Gep {
+            dst, base, index, ..
+        } => {
             f.gep_of.insert(*dst, (*base, *index));
             // Does a surrounding loop's iv directly index this base?
             if let Operand::Value(v) = index {
@@ -121,13 +125,19 @@ fn collect(m: &Module) -> Facts {
                 f.load_of.insert(*dst, (base, index));
             }
         }
-        Inst::Add { dst, a, b } => {
-            if let Operand::Imm(k) = b {
-                f.add_imm.insert(*dst, (*a, *k));
-            }
+        Inst::Add {
+            dst,
+            a,
+            b: Operand::Imm(k),
+        } => {
+            f.add_imm.insert(*dst, (*a, *k));
         }
         Inst::Loop {
-            iv, lo, hi, reverse, ..
+            iv,
+            lo,
+            hi,
+            reverse,
+            ..
         } => {
             f.loops.insert(*iv, (*lo, *hi, *reverse));
         }
@@ -476,7 +486,13 @@ mod robustness_tests {
         let inst = analyze(&f.finish().into_module());
         assert_eq!(
             inst.trav_edges()
-                .filter(|e| matches!(e, SymCall::TravEdge { kind: EdgeKind::Ranged, .. }))
+                .filter(|e| matches!(
+                    e,
+                    SymCall::TravEdge {
+                        kind: EdgeKind::Ranged,
+                        ..
+                    }
+                ))
                 .count(),
             0
         );

@@ -37,13 +37,21 @@ pub fn bind(inst: &Instrumentation, bindings: &[Binding]) -> DigProgram {
     let mut next_id = 0u8;
     for call in inst.calls() {
         match *call {
-            SymCall::Node { ptr, elems, elem_size } => {
+            SymCall::Node {
+                ptr,
+                elems,
+                elem_size,
+            } => {
                 let Some(b) = by_ptr.get(&ptr) else { continue };
                 let elems = if b.elems != 0 { b.elems } else { elems };
                 prog.push(ApiCall::RegisterNode {
                     base: b.base,
                     elems,
-                    elem_size: if b.elem_size != 0 { b.elem_size } else { elem_size },
+                    elem_size: if b.elem_size != 0 {
+                        b.elem_size
+                    } else {
+                        elem_size
+                    },
                     id: next_id,
                 });
                 next_id = next_id.wrapping_add(1);
@@ -76,7 +84,11 @@ pub fn render(m: &Module, inst: &Instrumentation) -> String {
     let mut out = String::new();
     for c in inst.calls() {
         match c {
-            SymCall::Node { ptr, elems, elem_size } => out.push_str(&format!(
+            SymCall::Node {
+                ptr,
+                elems,
+                elem_size,
+            } => out.push_str(&format!(
                 "  call @registerNode(ptr %{}, i64 {}, i32 {})\n",
                 ptr.0, elems, elem_size
             )),
@@ -84,10 +96,9 @@ pub fn render(m: &Module, inst: &Instrumentation) -> String {
                 "  call @registerTravEdge(ptr %{}, ptr %{}, {:?})\n",
                 src.0, dst.0, kind
             )),
-            SymCall::TrigEdge { ptr, .. } => out.push_str(&format!(
-                "  call @registerTrigEdge(ptr %{}, w2)\n",
-                ptr.0
-            )),
+            SymCall::TrigEdge { ptr, .. } => {
+                out.push_str(&format!("  call @registerTrigEdge(ptr %{}, w2)\n", ptr.0))
+            }
         }
     }
     for f in &m.functions {
@@ -109,25 +120,55 @@ fn render_insts(insts: &[Inst], depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     for i in insts {
         match i {
-            Inst::Alloc { dst, elems, elem_size } => {
-                out.push_str(&format!("{pad}%{} = alloc {} x i{}\n", dst.0, elems, elem_size * 8));
+            Inst::Alloc {
+                dst,
+                elems,
+                elem_size,
+            } => {
+                out.push_str(&format!(
+                    "{pad}%{} = alloc {} x i{}\n",
+                    dst.0,
+                    elems,
+                    elem_size * 8
+                ));
             }
-            Inst::Gep { dst, base, index, scale } => {
+            Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+            } => {
                 out.push_str(&format!(
                     "{pad}%{} = gep %{}, {:?}, x{}\n",
                     dst.0, base.0, index, scale
                 ));
             }
             Inst::Load { dst, addr, size } => {
-                out.push_str(&format!("{pad}%{} = load i{}, %{}\n", dst.0, size * 8, addr.0));
+                out.push_str(&format!(
+                    "{pad}%{} = load i{}, %{}\n",
+                    dst.0,
+                    size * 8,
+                    addr.0
+                ));
             }
             Inst::Store { addr, value, size } => {
-                out.push_str(&format!("{pad}store i{}, {:?} -> %{}\n", size * 8, value, addr.0));
+                out.push_str(&format!(
+                    "{pad}store i{}, {:?} -> %{}\n",
+                    size * 8,
+                    value,
+                    addr.0
+                ));
             }
             Inst::Add { dst, a, b } => {
                 out.push_str(&format!("{pad}%{} = add %{}, {:?}\n", dst.0, a.0, b));
             }
-            Inst::Loop { iv, lo, hi, reverse, body } => {
+            Inst::Loop {
+                iv,
+                lo,
+                hi,
+                reverse,
+                body,
+            } => {
                 out.push_str(&format!(
                     "{pad}for %{} in {:?}..{:?}{} {{\n",
                     iv.0,
@@ -173,8 +214,18 @@ mod tests {
         let prog = bind(
             &inst,
             &[
-                Binding { ptr: a, base: 0x1000, elems: 100, elem_size: 4 },
-                Binding { ptr: b, base: 0x2000, elems: 100, elem_size: 4 },
+                Binding {
+                    ptr: a,
+                    base: 0x1000,
+                    elems: 100,
+                    elem_size: 4,
+                },
+                Binding {
+                    ptr: b,
+                    base: 0x2000,
+                    elems: 100,
+                    elem_size: 4,
+                },
             ],
         );
         let mut pf = ProdigyPrefetcher::default();
@@ -193,7 +244,12 @@ mod tests {
         let inst = analyze(&m);
         let prog = bind(
             &inst,
-            &[Binding { ptr: a, base: 0x1000, elems: 100, elem_size: 4 }],
+            &[Binding {
+                ptr: a,
+                base: 0x1000,
+                elems: 100,
+                elem_size: 4,
+            }],
         );
         // Node for `a` registers; the edge (needs b) and nothing else.
         let nodes = prog

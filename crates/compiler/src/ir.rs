@@ -7,14 +7,12 @@
 //! analysis). Values are SSA: each instruction defines at most one value,
 //! and loops introduce an induction-variable value.
 
-use serde::{Deserialize, Serialize};
-
 /// An SSA value id, unique within a [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub u32);
 
 /// An operand: a value or an immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// An SSA value.
     Value(ValueId),
@@ -23,7 +21,7 @@ pub enum Operand {
 }
 
 /// One IR instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Inst {
     /// `dst = malloc(elems × elem_size)` — allocation of an array.
     Alloc {
@@ -97,7 +95,7 @@ pub enum Inst {
 }
 
 /// A function: parameters (incoming pointers) plus a body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
     pub name: String,
@@ -108,7 +106,7 @@ pub struct Function {
 }
 
 /// A module: one or more functions sharing a value-id space.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Module {
     /// The functions.
     pub functions: Vec<Function>,

@@ -2,16 +2,18 @@
 //! modules must never panic the analyses, and every reported edge must be
 //! between registered/registerable pointers.
 
-use proptest::prelude::*;
 use prodigy_compiler::analysis::{analyze, SymCall};
 use prodigy_compiler::codegen::{bind, Binding};
 use prodigy_compiler::ir::{FnBuilder, Operand, ValueId};
+use proptest::prelude::*;
 
 /// A tiny random-program generator: a straight-line prologue of allocs,
 /// then a loop performing a random chain of geps/loads/adds/stores.
 fn build_random(ops: &[(u8, u8, u8)], allocs: u8) -> (prodigy_compiler::ir::Module, Vec<ValueId>) {
     let mut f = FnBuilder::new("fuzz");
-    let bases: Vec<ValueId> = (0..allocs.max(1)).map(|i| f.alloc(64 + i as u64, 4)).collect();
+    let bases: Vec<ValueId> = (0..allocs.max(1))
+        .map(|i| f.alloc(64 + i as u64, 4))
+        .collect();
     let bases2 = bases.clone();
     f.loop_(Operand::Imm(0), Operand::Imm(64), false, |f, iv| {
         let mut vals: Vec<ValueId> = vec![iv];

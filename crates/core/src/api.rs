@@ -12,10 +12,9 @@
 use crate::dig::{Dig, EdgeKind, TriggerSpec};
 use crate::prefetcher::ProdigyPrefetcher;
 use prodigy_sim::prefetch::Prefetcher;
-use serde::{Deserialize, Serialize};
 
 /// One registration call.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ApiCall {
     /// `registerNode(base, num_elems, elem_size, node_id)`.
     RegisterNode {
@@ -67,7 +66,7 @@ pub enum ApiCall {
 /// prologue.apply(&mut none);          // harmless on anything else
 /// assert!(prologue.classifier()(0x1010));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DigProgram {
     calls: Vec<ApiCall>,
 }
@@ -100,7 +99,8 @@ impl DigProgram {
         }
         if let Some((t, spec)) = dig.trigger_spec() {
             if let Some(n) = dig.get(t) {
-                p.calls.push(ApiCall::RegisterTrigEdge { addr: n.base, spec });
+                p.calls
+                    .push(ApiCall::RegisterTrigEdge { addr: n.base, spec });
             }
         }
         p

@@ -10,12 +10,11 @@
 
 use crate::dig::{EdgeKind, TriggerSpec};
 use crate::prefetcher::ProdigyPrefetcher;
-use serde::{Deserialize, Serialize};
 
 /// A saved prefetcher context: everything software programmed.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProdigyContext {
-    nodes: Vec<(u8, u64, u64, u8)>, // (id, base, bound, elem_size)
+    nodes: Vec<(u8, u64, u64, u8)>,   // (id, base, bound, elem_size)
     edges: Vec<(u64, u64, EdgeKind)>, // (src base, dst base, kind)
     trigger: Option<(u64, TriggerSpec)>,
 }
@@ -36,10 +35,7 @@ impl ProdigyPrefetcher {
             .iter()
             .map(|e| (by_id(e.src), by_id(e.dst), e.kind))
             .collect();
-        let trigger = self
-            .node_table()
-            .trigger()
-            .map(|(r, spec)| (r.base, spec));
+        let trigger = self.node_table().trigger().map(|(r, spec)| (r.base, spec));
         ProdigyContext {
             nodes,
             edges,

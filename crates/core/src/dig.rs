@@ -6,14 +6,12 @@
 //! data-dependent indirection patterns, and one node carries a trigger
 //! self-edge describing how prefetch sequences are initialised.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a DIG node (index into the node table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u8);
 
 /// The two data-dependent indirection patterns Prodigy supports (Fig. 5c/d).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// `w0`: `dst[src[i]]` — one value indexes the destination (e.g. edge
     /// list → visited list in BFS).
@@ -25,7 +23,7 @@ pub enum EdgeKind {
 
 /// Traversal direction of the trigger structure (§IV-C1: ascending or
 /// descending order of memory addresses; symgs' backward sweep descends).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum TraversalDirection {
     /// Addresses increase as the algorithm advances.
     #[default]
@@ -36,7 +34,7 @@ pub enum TraversalDirection {
 
 /// Parameters carried by a trigger (`w2`) edge: how many prefetch sequences
 /// to initialise per trigger event and from what look-ahead distance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TriggerSpec {
     /// Look-ahead distance in trigger-structure elements (`j` in Fig. 10).
     /// `None` selects the paper's depth heuristic at programming time.
@@ -58,7 +56,7 @@ impl Default for TriggerSpec {
 }
 
 /// A DIG node: the memory layout of one array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DigNode {
     /// Base virtual address.
     pub base: u64,
@@ -81,7 +79,7 @@ impl DigNode {
 }
 
 /// A DIG traversal edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DigEdge {
     /// Source node.
     pub src: NodeId,
@@ -122,7 +120,7 @@ impl std::error::Error for DigError {}
 
 /// The software-side DIG: what the compiler pass or programmer annotations
 /// build, and what gets written into the prefetcher's tables.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dig {
     nodes: Vec<DigNode>,
     edges: Vec<DigEdge>,

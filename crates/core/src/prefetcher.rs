@@ -18,15 +18,14 @@
 use crate::dig::{Dig, EdgeKind, NodeId, TraversalDirection, TriggerSpec};
 use crate::pfhr::{PfhrFile, RangeCont};
 use crate::tables::{EdgeRecord, EdgeTable, NodeRecord, NodeTable};
-use prodigy_sim::prefetch::{DemandAccess, FillEvent, PrefetchCtx, Prefetcher};
 use prodigy_sim::line_of;
-use serde::{Deserialize, Serialize};
+use prodigy_sim::prefetch::{DemandAccess, FillEvent, PrefetchCtx, Prefetcher};
 use std::any::Any;
 use std::collections::BTreeSet;
 
 /// Hardware sizing knobs (defaults follow §VI-E: 16-entry DIG tables,
 /// 16-entry PFHR file, 0.8 KB total).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProdigyConfig {
     /// PFHR registers (Fig. 12 explores 4–32; 16 is the chosen design).
     pub pfhr_entries: usize,
@@ -67,7 +66,7 @@ impl Default for ProdigyConfig {
 }
 
 /// Prefetcher-internal counters (beyond what the simulator records).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProdigyStats {
     /// Prefetch sequences initialised.
     pub sequences_initiated: u64,
@@ -334,7 +333,15 @@ impl ProdigyPrefetcher {
                     self.advance_element(ctx, node, ea, trigger, depth + 1);
                 }
                 if let Some(c) = entry.cont {
-                    self.expand_range(ctx, node, c.next_line, c.next_line, c.last_elem, trigger, depth + 1);
+                    self.expand_range(
+                        ctx,
+                        node,
+                        c.next_line,
+                        c.next_line,
+                        c.last_elem,
+                        trigger,
+                        depth + 1,
+                    );
                 }
             }
         }
@@ -485,9 +492,7 @@ impl Prefetcher for ProdigyPrefetcher {
         // beyond them, so a just-in-time chain finishes its work.
         let stale: Vec<u64> = match spec.direction {
             TraversalDirection::Ascending => self.live.range(..elem_addr).copied().collect(),
-            TraversalDirection::Descending => {
-                self.live.range(elem_addr + 1..).copied().collect()
-            }
+            TraversalDirection::Descending => self.live.range(elem_addr + 1..).copied().collect(),
         };
         for t in stale {
             self.live.remove(&t);
@@ -496,12 +501,11 @@ impl Prefetcher for ProdigyPrefetcher {
             }
         }
 
-        let lookahead = self
-            .cfg
-            .lookahead_override
-            .or(spec.lookahead)
-            .unwrap_or_else(|| Dig::heuristic_lookahead(self.cached_depth))
-            as u64;
+        let lookahead =
+            self.cfg
+                .lookahead_override
+                .or(spec.lookahead)
+                .unwrap_or_else(|| Dig::heuristic_lookahead(self.cached_depth)) as u64;
         let mut sequences = self.cfg.sequences_override.unwrap_or(spec.sequences);
         if let Some(t) = &mut self.throttle {
             sequences = t.sequences(sequences, &ctx.prefetch_usefulness());
@@ -545,7 +549,15 @@ impl Prefetcher for ProdigyPrefetcher {
         }
         // Self-sustaining ranged stream: this fill issues the next window.
         if let Some(c) = entry.cont {
-            self.expand_range(ctx, node, c.next_line, c.next_line, c.last_elem, entry.trigger_addr, 0);
+            self.expand_range(
+                ctx,
+                node,
+                c.next_line,
+                c.next_line,
+                c.last_elem,
+                entry.trigger_addr,
+                0,
+            );
         }
     }
 
@@ -583,8 +595,14 @@ mod tests {
         }
 
         fn demand(&mut self, pf: &mut ProdigyPrefetcher, vaddr: u64, now: u64) {
-            let mut ctx =
-                PrefetchCtx::new(0, now, &mut self.mem, &self.space, &mut self.stats, &mut self.fills);
+            let mut ctx = PrefetchCtx::new(
+                0,
+                now,
+                &mut self.mem,
+                &self.space,
+                &mut self.stats,
+                &mut self.fills,
+            );
             pf.on_demand(
                 &mut ctx,
                 &DemandAccess {
@@ -637,7 +655,8 @@ mod tests {
         for v in 0..n {
             rig.space.write_u32(off + v * 4, e);
             for k in 1..=4u64 {
-                rig.space.write_u32(edg + e as u64 * 4, ((v + k) % n) as u32);
+                rig.space
+                    .write_u32(edg + e as u64 * 4, ((v + k) % n) as u32);
                 e += 1;
             }
         }
@@ -695,7 +714,9 @@ mod tests {
         // of the neighbour entries of the vertex at look-ahead distance 1.
         let _ = (off, edg);
         let u = rig.space.read_u32(wq + 4) as u64; // wq[1] = vertex 1
-        let w0 = rig.space.read_u32(rig.space.read_u32(off + u * 4) as u64 * 4 + edg) as u64;
+        let w0 = rig
+            .space
+            .read_u32(rig.space.read_u32(off + u * 4) as u64 * 4 + edg) as u64;
         assert!(
             rig.mem.l1_contains(0, vis + w0 * 4),
             "first neighbour's visited entry prefetched"

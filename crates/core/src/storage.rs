@@ -90,10 +90,7 @@ mod tests {
             pfhr_entries: 32,
             ..ProdigyConfig::default()
         };
-        assert_eq!(
-            pfhr_bits(&big) - pfhr_bits(&small),
-            28 * pfhr_entry_bits()
-        );
+        assert_eq!(pfhr_bits(&big) - pfhr_bits(&small), 28 * pfhr_entry_bits());
         assert!(total_bits(&big) > total_bits(&small));
     }
 }

@@ -12,10 +12,9 @@
 //! `examples/design_space.rs` and the ablation bench exercise it.
 
 use prodigy_sim::stats::PrefetchUse;
-use serde::{Deserialize, Serialize};
 
 /// Throttle parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThrottleSpec {
     /// Re-evaluate after this many newly resolved prefetches.
     pub window: u64,
@@ -124,7 +123,11 @@ mod tests {
         t.sequences(4, &use_counts(5, 95)); // drop to 2
         assert_eq!(t.sequences(4, &use_counts(105, 95)), 3); // 100% window
         assert_eq!(t.sequences(4, &use_counts(205, 95)), 4);
-        assert_eq!(t.sequences(4, &use_counts(305, 95)), 4, "capped at requested");
+        assert_eq!(
+            t.sequences(4, &use_counts(305, 95)),
+            4,
+            "capped at requested"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Property-based tests of the Prodigy hardware structures.
 
-use proptest::prelude::*;
 use prodigy::dig::NodeId;
 use prodigy::pfhr::RangeCont;
 use prodigy::{Dig, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpec};
+use proptest::prelude::*;
 
 fn arb_edge_kind() -> impl Strategy<Value = EdgeKind> {
     prop_oneof![Just(EdgeKind::SingleValued), Just(EdgeKind::Ranged)]

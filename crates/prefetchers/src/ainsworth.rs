@@ -218,7 +218,8 @@ mod tests {
             rig.space.write_u32(wq + v * 4, v as u32);
             rig.space.write_u32(off + v * 4, e);
             for k in 1..=4u64 {
-                rig.space.write_u32(edg + e as u64 * 4, ((v + k) % n) as u32);
+                rig.space
+                    .write_u32(edg + e as u64 * 4, ((v + k) % n) as u32);
                 e += 1;
             }
         }
@@ -326,10 +327,26 @@ mod bounds_tests {
             rig.space.write_u32(edg + i * 8, u32::MAX);
         }
         let hint = GraphLayoutHint {
-            trigger: ArrayRef { base: wq, bound: wq + n * 4, elem_size: 4 },
-            offsets: Some(ArrayRef { base: off, bound: off + (n + 1) * 4, elem_size: 4 }),
-            edges: Some(ArrayRef { base: edg, bound: edg + n * 8, elem_size: 4 }),
-            properties: vec![ArrayRef { base: vis, bound: vis + n * 4, elem_size: 4 }],
+            trigger: ArrayRef {
+                base: wq,
+                bound: wq + n * 4,
+                elem_size: 4,
+            },
+            offsets: Some(ArrayRef {
+                base: off,
+                bound: off + (n + 1) * 4,
+                elem_size: 4,
+            }),
+            edges: Some(ArrayRef {
+                base: edg,
+                bound: edg + n * 8,
+                elem_size: 4,
+            }),
+            properties: vec![ArrayRef {
+                base: vis,
+                bound: vis + n * 4,
+                elem_size: 4,
+            }],
         };
         let mut pf = AinsworthJonesPrefetcher::new(hint, 2);
         for i in 0..n {
@@ -357,9 +374,21 @@ mod bounds_tests {
         }
         rig.space.write_u32(off + n * 4, n as u32);
         let hint = GraphLayoutHint {
-            trigger: ArrayRef { base: wq, bound: wq + n * 4, elem_size: 4 },
-            offsets: Some(ArrayRef { base: off, bound: off + (n + 1) * 4, elem_size: 4 }),
-            edges: Some(ArrayRef { base: edg, bound: edg + n * 4, elem_size: 4 }),
+            trigger: ArrayRef {
+                base: wq,
+                bound: wq + n * 4,
+                elem_size: 4,
+            },
+            offsets: Some(ArrayRef {
+                base: off,
+                bound: off + (n + 1) * 4,
+                elem_size: 4,
+            }),
+            edges: Some(ArrayRef {
+                base: edg,
+                bound: edg + n * 4,
+                elem_size: 4,
+            }),
             properties: vec![],
         };
         let mut pf = AinsworthJonesPrefetcher::new(hint, 4);
@@ -367,6 +396,10 @@ mod bounds_tests {
         for i in 0..n {
             rig.notify(&mut pf, wq + i * 4, 1, prodigy_sim::ServedBy::Dram);
         }
-        assert!(pf.pending.len() <= 32, "pending grew to {}", pf.pending.len());
+        assert!(
+            pf.pending.len() <= 32,
+            "pending grew to {}",
+            pf.pending.len()
+        );
     }
 }

@@ -181,8 +181,8 @@ mod tests {
         let edg = hint.edges.unwrap();
         let vis = hint.properties[0];
         let mut pf = DropletPrefetcher::new(hint, 0); // no streaming
-        // Warm the edge line into the hierarchy first (no prefetcher
-        // involvement), then demand it again: served from cache → MPP quiet.
+                                                      // Warm the edge line into the hierarchy first (no prefetcher
+                                                      // involvement), then demand it again: served from cache → MPP quiet.
         rig.demand(&mut pf, edg.base, 1); // cold, DRAM — MPP fires once
         let after_cold = rig.stats.prefetches_issued;
         rig.now += 10_000;
@@ -199,6 +199,9 @@ mod tests {
         let b = d.node(0x2000, 16, 4);
         d.edge(a, b, EdgeKind::SingleValued);
         d.trigger(a, TriggerSpec::default());
-        assert!(DropletPrefetcher::from_dig(&d).is_none(), "no CSR, no DROPLET");
+        assert!(
+            DropletPrefetcher::from_dig(&d).is_none(),
+            "no CSR, no DROPLET"
+        );
     }
 }

@@ -121,7 +121,10 @@ impl ImpPrefetcher {
                     continue;
                 };
                 let cands = self.candidates.entry(spc).or_default();
-                if let Some(c) = cands.iter_mut().find(|c| c.shift == shift && c.base == base) {
+                if let Some(c) = cands
+                    .iter_mut()
+                    .find(|c| c.shift == shift && c.base == base)
+                {
                     c.hits = c.hits.saturating_add(1);
                     if c.hits >= 2 {
                         self.learned.insert(spc, Learned { shift, base });

@@ -38,7 +38,10 @@ impl StridePrefetcher {
     /// # Panics
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, degree: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         StridePrefetcher {
             table: vec![StrideEntry::default(); entries],
             degree,

@@ -2,15 +2,12 @@
 //! streams must never panic any of them, and their issue volume must stay
 //! bounded relative to the demand volume.
 
-use proptest::prelude::*;
 use prodigy_prefetchers::{GhbGdcPrefetcher, ImpPrefetcher, StridePrefetcher};
 use prodigy_sim::prefetch::{DemandAccess, FillQueue, PrefetchCtx, Prefetcher};
 use prodigy_sim::{AddressSpace, MemorySystem, ServedBy, Stats, SystemConfig};
+use proptest::prelude::*;
 
-fn drive(
-    pf: &mut dyn Prefetcher,
-    accesses: &[(u64, u8, bool)],
-) -> Stats {
+fn drive(pf: &mut dyn Prefetcher, accesses: &[(u64, u8, bool)]) -> Stats {
     let mut mem = MemorySystem::new(SystemConfig::scaled(64).with_cores(1));
     let space = AddressSpace::new();
     let mut stats = Stats::default();
@@ -26,16 +23,16 @@ fn drive(
                     size: 4,
                     is_write: write,
                     pc: pc as u32,
-                    served: if t % 3 == 0 { ServedBy::Dram } else { ServedBy::L1 },
+                    served: if t % 3 == 0 {
+                        ServedBy::Dram
+                    } else {
+                        ServedBy::L1
+                    },
                 },
             );
         }
         // Deliver matured fills.
-        while fills
-            .peek()
-            .map(|r| r.0.at <= now)
-            .unwrap_or(false)
-        {
+        while fills.peek().map(|r| r.0.at <= now).unwrap_or(false) {
             let q = fills.pop().unwrap().0;
             let ev = prodigy_sim::prefetch::FillEvent {
                 line_addr: q.line_addr,

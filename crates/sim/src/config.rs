@@ -8,10 +8,8 @@
 //! cache capacities by a factor while data-set generators in
 //! `prodigy-workloads` shrink data proportionally, preserving those ratios.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes (per core for private levels, per slice for L3).
     pub capacity: u64,
@@ -45,7 +43,7 @@ impl CacheConfig {
 }
 
 /// Core microarchitecture parameters (Table I, "Core").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Dispatch/issue width in instructions per cycle (paper: 4).
     pub width: u32,
@@ -63,7 +61,7 @@ pub struct CoreConfig {
 }
 
 /// DRAM / memory-controller parameters (Table I, "Main Memory").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Uncontended access latency in cycles (paper: 120).
     pub access_latency: u64,
@@ -78,7 +76,7 @@ pub struct DramConfig {
 }
 
 /// Full system configuration (Table I plus prefetcher-neutral knobs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Number of cores (paper: 8).
     pub cores: u32,
@@ -88,8 +86,12 @@ pub struct SystemConfig {
     pub l1d: CacheConfig,
     /// Private L2, per core.
     pub l2: CacheConfig,
-    /// Shared L3; `l3.capacity` is *per slice* and there is one slice per core.
+    /// Shared L3; `l3.capacity` is *per slice*.
     pub l3: CacheConfig,
+    /// Number of L3 slices (banks). Table I pairs 8 cores with 8 slices, but
+    /// the two are distinct knobs: a single-core run still spreads lines over
+    /// all slices, keeping bank-queueing statistics meaningful.
+    pub l3_slices: u32,
     /// DRAM parameters.
     pub dram: DramConfig,
     /// Demand-miss MSHRs per core (outstanding L1D misses).
@@ -133,6 +135,7 @@ impl SystemConfig {
                 data_latency: 27,
                 tag_latency: 8,
             },
+            l3_slices: 8,
             dram: DramConfig {
                 access_latency: 120,
                 channels: 8,
@@ -176,25 +179,34 @@ impl SystemConfig {
     pub fn bench() -> Self {
         let p = Self::paper();
         SystemConfig {
-            l1d: p.l1d.scaled(2),  // 16 KB (prefetch bursts must fit, as in the paper)
-            l2: p.l2.scaled(8),    // 32 KB
-            l3: p.l3.scaled(32),   // 64 KB/slice → 512 KB LLC at 8 cores
+            l1d: p.l1d.scaled(2), // 16 KB (prefetch bursts must fit, as in the paper)
+            l2: p.l2.scaled(8),   // 32 KB
+            l3: p.l3.scaled(32),  // 64 KB/slice → 512 KB LLC at 8 cores
             tlb_entries: 32,
             scale: 32,
             ..p
         }
     }
 
-    /// Returns a copy with a different core count (keeps per-core/slice sizes).
+    /// Returns a copy with a different core count. The shared L3 topology
+    /// (`l3_slices`) is deliberately *not* coupled to the core count: a
+    /// single-core run of the Table I machine still has an 8-slice LLC.
     pub fn with_cores(mut self, cores: u32) -> Self {
         assert!(cores >= 1, "need at least one core");
         self.cores = cores;
         self
     }
 
+    /// Returns a copy with a different number of L3 slices.
+    pub fn with_l3_slices(mut self, slices: u32) -> Self {
+        assert!(slices >= 1, "need at least one L3 slice");
+        self.l3_slices = slices;
+        self
+    }
+
     /// Total shared LLC capacity in bytes (slice size × number of slices).
     pub fn llc_capacity(&self) -> u64 {
-        self.l3.capacity * self.cores as u64
+        self.l3.capacity * self.l3_slices as u64
     }
 }
 
@@ -244,9 +256,19 @@ mod tests {
     }
 
     #[test]
-    fn with_cores_changes_llc_total() {
-        let c = SystemConfig::paper().with_cores(4);
+    fn llc_total_follows_slices_not_cores() {
+        // Dropping the core count must not shrink the shared LLC: the
+        // Table I machine keeps its 8 × 2 MB slices however many cores run.
+        let c = SystemConfig::paper().with_cores(1);
+        assert_eq!(c.llc_capacity(), 16 * 1024 * 1024);
+        let c = SystemConfig::paper().with_l3_slices(4);
         assert_eq!(c.llc_capacity(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one L3 slice")]
+    fn zero_slices_rejected() {
+        let _ = SystemConfig::paper().with_l3_slices(0);
     }
 
     #[test]

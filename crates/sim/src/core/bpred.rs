@@ -112,7 +112,10 @@ mod tests {
             }
         }
         let rate = correct as f64 / n as f64;
-        assert!(rate < 0.65, "random branches should not be predictable ({rate})");
+        assert!(
+            rate < 0.65,
+            "random branches should not be predictable ({rate})"
+        );
     }
 
     #[test]

@@ -229,7 +229,9 @@ mod tests {
     fn stream_collects_from_iterator() {
         let s: InsnStream = (0..4)
             .map(|i| Insn {
-                op: Op::Compute { latency: i as u8 + 1 },
+                op: Op::Compute {
+                    latency: i as u8 + 1,
+                },
                 dep1: 0,
                 dep2: 0,
             })

@@ -266,7 +266,12 @@ mod tests {
         )
     }
 
-    fn run(core: &mut CoreTiming, mem: &mut MemorySystem, stats: &mut Stats, s: &crate::core::InsnStream) {
+    fn run(
+        core: &mut CoreTiming,
+        mem: &mut MemorySystem,
+        stats: &mut Stats,
+        s: &crate::core::InsnStream,
+    ) {
         for i in s.iter() {
             core.step(i, mem, 0, stats);
         }
@@ -372,7 +377,9 @@ mod tests {
         let mut b = StreamBuilder::new();
         let mut x = 12345u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 16) % (64 << 20);
             let l = b.load_at(2, addr, 4, &[]);
             b.compute(1, &[l]);

@@ -9,10 +9,9 @@
 
 use crate::config::SystemConfig;
 use crate::stats::Stats;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energies (joules) and static powers (watts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Core dynamic energy per retired instruction.
     pub core_epi: f64,
@@ -51,7 +50,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy split by component, matching Fig. 19's categories.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Core static + dynamic energy (J).
     pub core: f64,
@@ -80,8 +79,7 @@ impl EnergyModel {
         let l3 = stats.l3.accesses();
         let dram = stats.dram_reads + stats.dram_writes;
         EnergyBreakdown {
-            core: stats.instructions as f64 * self.core_epi
-                + self.core_static_w * cores * seconds,
+            core: stats.instructions as f64 * self.core_epi + self.core_static_w * cores * seconds,
             cache: l1 as f64 * self.l1_epa
                 + l2 as f64 * self.l2_epa
                 + l3 as f64 * self.l3_epa
@@ -97,10 +95,12 @@ mod tests {
     use super::*;
 
     fn stats_with(cycles: u64, insns: u64, dram: u64) -> Stats {
-        let mut s = Stats::default();
-        s.cycles = cycles;
-        s.instructions = insns;
-        s.dram_reads = dram;
+        let mut s = Stats {
+            cycles,
+            instructions: insns,
+            dram_reads: dram,
+            ..Stats::default()
+        };
         s.l1d.hits = insns / 2;
         s
     }
@@ -114,7 +114,8 @@ mod tests {
         assert!(fast.total() < slow.total());
         // Same dynamic work, so the gap is entirely static.
         let gap = slow.total() - fast.total();
-        let static_w = (m.core_static_w + m.cache_static_w) * 8.0 + m.dram_static_w + m.other_static_w;
+        let static_w =
+            (m.core_static_w + m.cache_static_w) * 8.0 + m.dram_static_w + m.other_static_w;
         let expect = static_w * 6_000_000.0 / cfg.core.frequency_hz as f64;
         assert!((gap - expect).abs() / expect < 1e-9);
     }

@@ -44,7 +44,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use mem::address_space::AddressSpace;
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
-pub use stats::{CpiStack, Stats};
+pub use stats::{CpiStack, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).

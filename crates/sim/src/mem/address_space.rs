@@ -75,7 +75,10 @@ impl AddressSpace {
     /// # Panics
     /// Panics if `size` is not 1, 2, 4, or 8.
     pub fn read_uint(&self, addr: u64, size: u8) -> u64 {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported read size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported read size {size}"
+        );
         let mut v = 0u64;
         for i in 0..size as u64 {
             v |= (self.read_u8(addr + i) as u64) << (8 * i);
@@ -88,7 +91,10 @@ impl AddressSpace {
     /// # Panics
     /// Panics if `size` is not 1, 2, 4, or 8.
     pub fn write_uint(&mut self, addr: u64, v: u64, size: u8) {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported write size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported write size {size}"
+        );
         for i in 0..size as u64 {
             self.write_u8(addr + i, (v >> (8 * i)) as u8);
         }

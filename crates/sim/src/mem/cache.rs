@@ -56,7 +56,9 @@ impl Cache {
         let sets = cfg.sets() as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways as usize)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(cfg.ways as usize))
+                .collect(),
             ways: cfg.ways as usize,
             set_mask: sets as u64 - 1,
             clock: 0,
@@ -78,16 +80,21 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let idx = self.set_index(line);
-        self.sets[idx].iter_mut().find(|l| l.addr == line).map(|l| {
-            l.last_use = clock;
-            l
-        })
+        match self.sets[idx].iter_mut().find(|l| l.addr == line) {
+            Some(l) => {
+                l.last_use = clock;
+                Some(l)
+            }
+            None => None,
+        }
     }
 
     /// Looks up without disturbing LRU (for snoops and assertions).
     pub fn peek(&self, addr: u64) -> Option<&Line> {
         let line = line_of(addr);
-        self.sets[self.set_index(line)].iter().find(|l| l.addr == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|l| l.addr == line)
     }
 
     /// Mutable peek without LRU update (for coherence state changes).
@@ -239,8 +246,8 @@ mod tests {
         c.insert(p);
         c.insert(line(0x080));
         c.insert(line(0x100)); // evicts 0x000 (LRU)
-        // 0x000 was the least-recently-used and prefetched+never demanded.
-        // (insert refreshes LRU, so victim is 0x000.)
+                               // 0x000 was the least-recently-used and prefetched+never demanded.
+                               // (insert refreshes LRU, so victim is 0x000.)
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! directory: each L3 line tracks which cores' private caches hold the line
 //! and whether one of them owns it in Modified state.
 
-use serde::{Deserialize, Serialize};
-
 /// Classic MESI line states for private-cache lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mesi {
     /// Modified: dirty, exclusive to one core.
     Modified,

@@ -14,11 +14,10 @@ use super::tlb::Tlb;
 use crate::config::SystemConfig;
 use crate::stats::Stats;
 use crate::{line_of, LINE_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Which level ultimately serviced an access (used for CPI-stack
 /// attribution: L2/L3 → cache-stall, DRAM → DRAM-stall).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServedBy {
     /// L1D hit (no stall attribution).
     L1,
@@ -96,13 +95,16 @@ impl std::fmt::Debug for MemorySystem {
 }
 
 impl MemorySystem {
-    /// Builds the hierarchy described by `cfg`.
+    /// Builds the hierarchy described by `cfg`: one private L1D/L2/TLB per
+    /// core, and `cfg.l3_slices` shared L3 slices (decoupled from the core
+    /// count — see [`SystemConfig::l3_slices`]).
     pub fn new(cfg: SystemConfig) -> Self {
         let n = cfg.cores as usize;
+        let slices = cfg.l3_slices as usize;
         MemorySystem {
             l1d: (0..n).map(|_| Cache::new(&cfg.l1d)).collect(),
             l2: (0..n).map(|_| Cache::new(&cfg.l2)).collect(),
-            l3: (0..n).map(|_| Cache::new(&cfg.l3)).collect(),
+            l3: (0..slices).map(|_| Cache::new(&cfg.l3)).collect(),
             tlb: (0..n).map(|_| Tlb::new(cfg.tlb_entries)).collect(),
             mshr: vec![Vec::new(); n],
             dram: Dram::new(cfg.dram),
@@ -122,9 +124,22 @@ impl MemorySystem {
         &self.cfg
     }
 
+    /// Residual wait on an in-flight fill: cycles remaining between the
+    /// request's *arrival at this level* and the line's `ready_at`. Zero
+    /// means the fill already landed — the common case, not a silent clamp.
+    /// Every call site must pass the arrival time with all latency accrued
+    /// so far (`now + lat`, where `lat` includes the TLB walk and each tag
+    /// lookup already paid); passing bare `now` would treat in-flight lines
+    /// as ready and under-charge merged accesses. Audited sites: L1 hit,
+    /// L2 hit, L3 hit, prefetch-promote-from-L2, prefetch-promote-from-L3.
+    #[inline]
+    fn residual_wait(ready_at: u64, arrival: u64) -> u64 {
+        ready_at.saturating_sub(arrival)
+    }
+
     #[inline]
     fn slice_of(&self, line: u64) -> usize {
-        ((line / LINE_BYTES) % self.cfg.cores as u64) as usize
+        ((line / LINE_BYTES) % self.cfg.l3_slices as u64) as usize
     }
 
     fn tlb_latency(&mut self, core: usize, vaddr: u64, stats: &mut Stats) -> u64 {
@@ -288,7 +303,7 @@ impl MemorySystem {
 
         // ---- L1 ----
         if let Some(l) = self.l1d[core].lookup(vaddr) {
-            let residual = l.ready_at.saturating_sub(now + lat);
+            let residual = Self::residual_wait(l.ready_at, now + lat);
             let was_pf = l.prefetched;
             let fill_src = l.fill_src;
             let state = l.state;
@@ -320,7 +335,10 @@ impl MemorySystem {
             let t = now + lat;
             self.mshr[core].retain(|&r| r > t);
             if self.mshr[core].len() >= self.cfg.mshrs as usize {
-                let free_at = *self.mshr[core].iter().min().expect("mshr full implies nonempty");
+                let free_at = *self.mshr[core]
+                    .iter()
+                    .min()
+                    .expect("mshr full implies nonempty");
                 let wait = free_at.saturating_sub(t);
                 lat += wait;
                 let t = now + lat;
@@ -330,7 +348,7 @@ impl MemorySystem {
 
         // ---- L2 ----
         if let Some(l) = self.l2[core].lookup(vaddr) {
-            let residual = l.ready_at.saturating_sub(now + lat);
+            let residual = Self::residual_wait(l.ready_at, now + lat);
             let was_pf = l.prefetched;
             let fill_src = l.fill_src;
             let state = l.state;
@@ -354,7 +372,10 @@ impl MemorySystem {
             if !write {
                 self.mshr[core].push(ready);
             }
-            return AccessResult { latency: lat, served };
+            return AccessResult {
+                latency: lat,
+                served,
+            };
         }
         stats.l2.misses += 1;
         lat += self.cfg.l2.tag_latency;
@@ -362,7 +383,7 @@ impl MemorySystem {
         // ---- L3 ----
         let slice = self.slice_of(line);
         if let Some((residual, was_pf, fill_src, dir)) = self.l3[slice].lookup(vaddr).map(|l| {
-            let residual = l.ready_at.saturating_sub(now + lat);
+            let residual = Self::residual_wait(l.ready_at, now + lat);
             let info = (residual, l.prefetched, l.fill_src, l.dir);
             l.prefetched = false;
             info
@@ -410,7 +431,10 @@ impl MemorySystem {
             if !write {
                 self.mshr[core].push(ready);
             }
-            return AccessResult { latency: lat, served };
+            return AccessResult {
+                latency: lat,
+                served,
+            };
         }
         stats.l3.misses += 1;
         lat += self.cfg.l3.tag_latency;
@@ -440,7 +464,11 @@ impl MemorySystem {
         l3fill.dir = dir;
         self.insert_l3(slice, l3fill, now, stats);
 
-        let state = if write { Mesi::Modified } else { Mesi::Exclusive };
+        let state = if write {
+            Mesi::Modified
+        } else {
+            Mesi::Exclusive
+        };
         let mut fill = super::cache::demand_line(line, state, ready, served);
         fill.dirty = write;
         self.insert_l2(core, fill.clone(), stats);
@@ -448,7 +476,10 @@ impl MemorySystem {
         if !write {
             self.mshr[core].push(ready);
         }
-        AccessResult { latency: lat, served }
+        AccessResult {
+            latency: lat,
+            served,
+        }
     }
 
     /// Issues a non-binding prefetch of the line containing `vaddr` into
@@ -473,7 +504,7 @@ impl MemorySystem {
 
         // Already in this core's L2: promote to L1.
         if let Some(l) = self.l2[core].peek(line) {
-            let residual = l.ready_at.saturating_sub(now + lat);
+            let residual = Self::residual_wait(l.ready_at, now + lat);
             let state = l.state;
             lat += self.cfg.l2.data_latency + residual;
             let ready = now + lat;
@@ -491,7 +522,7 @@ impl MemorySystem {
 
         let slice = self.slice_of(line);
         if let Some(l) = self.l3[slice].peek(line) {
-            let residual = l.ready_at.saturating_sub(now + lat);
+            let residual = Self::residual_wait(l.ready_at, now + lat);
             let remote_owner = l.dir.owner().map(|o| o != core).unwrap_or(false);
             lat += self.cfg.l3.data_latency + residual;
             if remote_owner {
@@ -567,8 +598,7 @@ impl MemorySystem {
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         let ready = now + lat + dr.latency;
-        let mut l3fill =
-            super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
+        let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.prefetched = true;
         l3fill.dir = Directory::empty();
         self.insert_l3(slice, l3fill, now, stats);
@@ -610,7 +640,10 @@ mod tests {
     use crate::mem::address_space::PAGE_BYTES;
 
     fn tiny() -> (MemorySystem, Stats) {
-        (MemorySystem::new(SystemConfig::scaled(64).with_cores(2)), Stats::default())
+        (
+            MemorySystem::new(SystemConfig::scaled(64).with_cores(2)),
+            Stats::default(),
+        )
     }
 
     #[test]
@@ -698,9 +731,15 @@ mod tests {
         cfg.mshrs = 2;
         let mut m = MemorySystem::new(cfg);
         let mut s = Stats::default();
-        let l0 = m.demand_access(0, 0x10_0000, AccessKind::Read, 0, &mut s).latency;
-        let l1 = m.demand_access(0, 0x20_0000, AccessKind::Read, 0, &mut s).latency;
-        let l2 = m.demand_access(0, 0x30_0000, AccessKind::Read, 0, &mut s).latency;
+        let l0 = m
+            .demand_access(0, 0x10_0000, AccessKind::Read, 0, &mut s)
+            .latency;
+        let l1 = m
+            .demand_access(0, 0x20_0000, AccessKind::Read, 0, &mut s)
+            .latency;
+        let l2 = m
+            .demand_access(0, 0x30_0000, AccessKind::Read, 0, &mut s)
+            .latency;
         assert!(l1 >= l0, "second miss at least as slow (queueing)");
         assert!(l2 > l0, "third miss waits for an MSHR");
     }
@@ -710,13 +749,16 @@ mod tests {
         // 1-core system with tiny caches: stream enough lines through to
         // evict a prefetched-but-never-demanded line from the whole
         // hierarchy.
+        // The LLC keeps all `l3_slices` slices even at 1 core, so the
+        // stream must cover the *total* LLC footprint to force the
+        // prefetched line out of its slice.
         let cfg = SystemConfig::scaled(1024).with_cores(1);
-        let lines_in_l3 = cfg.l3.capacity / LINE_BYTES;
+        let lines_in_llc = cfg.llc_capacity() / LINE_BYTES;
         let mut m = MemorySystem::new(cfg);
         let mut s = Stats::default();
         m.prefetch(0, 0, 0, &mut s).expect("issued");
         let mut t = 1000;
-        for i in 1..=(lines_in_l3 * 4) {
+        for i in 1..=(lines_in_llc * 4) {
             m.demand_access(0, i * LINE_BYTES * 3, AccessKind::Read, t, &mut s);
             t += 200;
         }

@@ -20,7 +20,10 @@ impl Tlb {
     /// # Panics
     /// Panics if `entries` is not a multiple of 4 or not ≥ 4.
     pub fn new(entries: u32) -> Self {
-        assert!(entries >= 4 && entries % 4 == 0, "TLB entries must be a multiple of 4");
+        assert!(
+            entries >= 4 && entries.is_multiple_of(4),
+            "TLB entries must be a multiple of 4"
+        );
         let sets = (entries / 4).next_power_of_two() as usize;
         Tlb {
             sets: vec![Vec::with_capacity(4); sets],

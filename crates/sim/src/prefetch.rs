@@ -122,7 +122,10 @@ impl<'a> PrefetchCtx<'a> {
     /// designs like DROPLET cannot fill a core's private caches). The fill
     /// is still delivered to [`Prefetcher::on_fill`].
     pub fn prefetch_llc(&mut self, vaddr: u64) -> bool {
-        match self.mem.prefetch_llc(self.core, vaddr, self.now, self.stats) {
+        match self
+            .mem
+            .prefetch_llc(self.core, vaddr, self.now, self.stats)
+        {
             Some(issued) => {
                 self.fills.push(Reverse(QueuedFill {
                     at: issued.fill_time,

@@ -1,12 +1,10 @@
 //! Run statistics: per-level cache counters, prefetch effectiveness, and the
 //! CPI stack used by Figures 4, 14 and 19 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Where stalled dispatch cycles are attributed, mirroring the paper's CPI
 /// stack categories (Fig. 4): no-stall, DRAM, cache, branch, dependency,
 /// other (which includes synchronisation idle time at phase barriers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCause {
     /// Waiting on a load serviced by DRAM (fully or partially).
     Dram,
@@ -22,7 +20,7 @@ pub enum StallCause {
 
 /// Cycle breakdown of one run. All fields are cycle counts; `total()` equals
 /// the run's wall-clock cycles (summed over cores when aggregated).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CpiStack {
     /// Ideal dispatch cycles (instructions / width).
     pub no_stall: f64,
@@ -83,7 +81,7 @@ impl CpiStack {
 }
 
 /// Counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LevelStats {
     /// Demand accesses that hit at this level.
     pub hits: u64,
@@ -101,7 +99,7 @@ impl LevelStats {
 }
 
 /// Where a demanded, previously-prefetched line was found (Fig. 15).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchUse {
     /// Demanded while resident in L1.
     pub hit_l1: u64,
@@ -131,7 +129,7 @@ impl PrefetchUse {
 }
 
 /// All counters for one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     /// Retired instructions (all cores).
     pub instructions: u64,
@@ -229,14 +227,48 @@ impl Stats {
     }
 }
 
+/// Host-side wall-clock timing of one simulated run.
+///
+/// Deliberately kept *outside* [`Stats`]: timing varies between hosts and
+/// between serial and parallel sweeps, while `Stats` must be bit-identical
+/// for the same seed. Comparing `Stats` (plus the workload checksum) is the
+/// determinism contract; `RunTiming` is telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTiming {
+    /// Wall-clock nanoseconds the host spent inside `run_workload`.
+    pub host_nanos: u64,
+}
+
+impl RunTiming {
+    /// Captures an elapsed duration (saturating at `u64::MAX` ns ≈ 584 y).
+    pub fn from_elapsed(d: std::time::Duration) -> Self {
+        RunTiming {
+            host_nanos: u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Milliseconds as a float, for human-facing reports.
+    pub fn millis(&self) -> f64 {
+        self.host_nanos as f64 / 1e6
+    }
+
+    /// Serializes to a JSON object (the offline build has no serde; the
+    /// format is a single integer field, stable for tooling).
+    pub fn to_json(&self) -> String {
+        format!("{{\"host_nanos\":{}}}", self.host_nanos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn cpi_stack_total_and_normalize() {
-        let mut s = CpiStack::default();
-        s.no_stall = 10.0;
+        let mut s = CpiStack {
+            no_stall: 10.0,
+            ..CpiStack::default()
+        };
         s.add(StallCause::Dram, 30.0);
         s.add(StallCause::Branch, 10.0);
         assert_eq!(s.total(), 50.0);
@@ -266,10 +298,12 @@ mod tests {
     #[test]
     fn stats_accumulate_sums_everything() {
         let mut a = Stats::default();
-        let mut b = Stats::default();
-        b.instructions = 5;
+        let mut b = Stats {
+            instructions: 5,
+            dram_reads: 2,
+            ..Stats::default()
+        };
         b.l1d.hits = 3;
-        b.dram_reads = 2;
         b.cpi.no_stall = 1.0;
         a.accumulate(&b);
         a.accumulate(&b);
@@ -283,5 +317,13 @@ mod tests {
     fn ipc_handles_zero_cycles() {
         let s = Stats::default();
         assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn run_timing_serializes_and_converts() {
+        let t = RunTiming::from_elapsed(std::time::Duration::from_micros(1500));
+        assert_eq!(t.host_nanos, 1_500_000);
+        assert!((t.millis() - 1.5).abs() < 1e-9);
+        assert_eq!(t.to_json(), "{\"host_nanos\":1500000}");
     }
 }

@@ -17,10 +17,9 @@ use crate::mem::address_space::AddressSpace;
 use crate::mem::hierarchy::MemorySystem;
 use crate::prefetch::{FillEvent, FillQueue, NullPrefetcher, PrefetchCtx, Prefetcher};
 use crate::stats::Stats;
-use serde::{Deserialize, Serialize};
 
 /// Statistics of a single phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseStats {
     /// Cycles the phase took (barrier to barrier).
     pub cycles: u64,
@@ -29,7 +28,7 @@ pub struct PhaseStats {
 }
 
 /// End-of-run summary combining counters and derived metrics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// All raw counters.
     pub stats: Stats,
@@ -331,7 +330,10 @@ mod tests {
         light.compute(1, &[]);
         sys.run_phase(vec![heavy.finish(), light.finish()]);
         let cpi = &sys.stats().cpi;
-        assert!(cpi.other > 0.0, "idle core should accrue sync time: {cpi:?}");
+        assert!(
+            cpi.other > 0.0,
+            "idle core should accrue sync time: {cpi:?}"
+        );
     }
 
     /// A prefetcher that fetches the next line on every demand access.

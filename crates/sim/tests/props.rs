@@ -1,11 +1,11 @@
 //! Property-based tests of the simulator's primitive models.
 
-use proptest::prelude::*;
 use prodigy_sim::mem::address_space::AddressSpace;
 use prodigy_sim::mem::dram::Dram;
 use prodigy_sim::mem::tlb::Tlb;
 use prodigy_sim::stats::{CpiStack, StallCause};
 use prodigy_sim::DramConfig;
+use proptest::prelude::*;
 
 proptest! {
     /// Address-space reads return exactly what was written, for arbitrary

@@ -5,7 +5,9 @@ use prodigy_sim::core::StreamBuilder;
 use prodigy_sim::{AccessKind, MemorySystem, ServedBy, Stats, System, SystemConfig};
 
 fn lcg(x: &mut u64) -> u64 {
-    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *x >> 17
 }
 
@@ -96,7 +98,10 @@ fn dram_bandwidth_is_respected_under_load() {
         "achieved {achieved:.1} B/cy exceeds peak {peak:.1}"
     );
     // And the workload should get reasonably close to saturation.
-    assert!(achieved > peak * 0.3, "only {achieved:.1} of {peak:.1} B/cy");
+    assert!(
+        achieved > peak * 0.3,
+        "only {achieved:.1} of {peak:.1} B/cy"
+    );
 }
 
 #[test]
@@ -149,7 +154,13 @@ fn served_by_is_monotone_in_rereference_distance() {
     assert_eq!(hot.served, ServedBy::L1);
     // Evict from L1 by filling its sets, then re-touch: L2 or deeper.
     for i in 1..=4096u64 {
-        mem.demand_access(0, addr + i * 64, AccessKind::Read, 10_000 + i * 200, &mut stats);
+        mem.demand_access(
+            0,
+            addr + i * 64,
+            AccessKind::Read,
+            10_000 + i * 200,
+            &mut stats,
+        );
     }
     let later = mem.demand_access(0, addr, AccessKind::Read, 2_000_000, &mut stats);
     assert_ne!(later.served, ServedBy::L1, "line must have left the L1");

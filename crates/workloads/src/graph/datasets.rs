@@ -9,10 +9,9 @@
 
 use super::csr::Csr;
 use super::generators;
-use serde::{Deserialize, Serialize};
 
 /// Which generator family a data set uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// RMAT power-law (social networks: pokec, livejournal, orkut).
     Social,
@@ -21,7 +20,7 @@ pub enum Family {
 }
 
 /// A named synthetic stand-in for one of the paper's graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dataset {
     /// Short name used in the paper's x-axis labels (po, lj, or, sk, wb).
     pub name: &'static str,

@@ -10,18 +10,17 @@
 //! heavy-tailed ranges and no cache-friendly locality — is preserved.
 
 use super::csr::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 /// Uniform random directed graph (Erdős–Rényi-ish): `m` edges sampled
 /// uniformly, self-loops excluded.
 pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
     assert!(n >= 2, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m as usize);
     while (edges.len() as u64) < m {
-        let s = rng.gen_range(0..n);
-        let d = rng.gen_range(0..n);
+        let s = rng.gen_range_u32(0, n);
+        let d = rng.gen_range_u32(0, n);
         if s != d {
             edges.push((s, d));
         }
@@ -46,16 +45,19 @@ pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
 ///   deterministic permutation scatters them.
 pub fn rmat(n: u32, m: u64, seed: u64, (a, b, c): (f64, f64, f64)) -> Csr {
     assert!(n >= 2);
-    assert!(a + b + c < 1.0, "quadrant probabilities must leave room for d");
+    assert!(
+        a + b + c < 1.0,
+        "quadrant probabilities must leave room for d"
+    );
     let scale = 32 - (n - 1).leading_zeros();
     let side = 1u64 << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m as usize);
     while (edges.len() as u64) < m {
         let (mut x, mut y) = (0u64, 0u64);
         let mut half = side / 2;
         while half > 0 {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             if r < a {
                 // top-left: nothing to add
             } else if r < a + b {
@@ -79,10 +81,10 @@ pub fn rmat(n: u32, m: u64, seed: u64, (a, b, c): (f64, f64, f64)) -> Csr {
     let mut degree = vec![0u32; n as usize];
     for e in &mut edges {
         if degree[e.0 as usize] >= cap {
-            let mut s = rng.gen_range(0..n);
+            let mut s = rng.gen_range_u32(0, n);
             let mut guard = 0;
             while (degree[s as usize] >= cap || s == e.1) && guard < 64 {
-                s = rng.gen_range(0..n);
+                s = rng.gen_range_u32(0, n);
                 guard += 1;
             }
             e.0 = s;
@@ -92,7 +94,7 @@ pub fn rmat(n: u32, m: u64, seed: u64, (a, b, c): (f64, f64, f64)) -> Csr {
     // Deterministic vertex-id shuffle.
     let mut perm: Vec<u32> = (0..n).collect();
     for i in (1..n as usize).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.gen_index(i + 1);
         perm.swap(i, j);
     }
     for e in &mut edges {
@@ -108,17 +110,17 @@ pub fn rmat(n: u32, m: u64, seed: u64, (a, b, c): (f64, f64, f64)) -> Csr {
 pub fn webby(n: u32, m: u64, host_size: u32, local_fraction: f64, seed: u64) -> Csr {
     assert!(n >= 2 && host_size >= 1);
     assert!((0.0..=1.0).contains(&local_fraction));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m as usize);
     while (edges.len() as u64) < m {
-        let s = rng.gen_range(0..n);
-        let d = if rng.gen::<f64>() < local_fraction {
+        let s = rng.gen_range_u32(0, n);
+        let d = if rng.gen_f64() < local_fraction {
             let host = s / host_size;
             let lo = host * host_size;
             let hi = (lo + host_size).min(n);
-            rng.gen_range(lo..hi)
+            rng.gen_range_u32(lo, hi)
         } else {
-            rng.gen_range(0..n)
+            rng.gen_range_u32(0, n)
         };
         if s != d {
             edges.push((s, d));
@@ -140,8 +142,7 @@ pub fn stencil27(nx: u32, ny: u32, nz: u32) -> Csr {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0

@@ -170,12 +170,9 @@ impl Kernel for Bfs {
         }
 
         // Checksum: depth-weighted vertex sum (stable across prefetchers).
-        self.depths
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (v, &d)| {
-                acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
-            })
+        self.depths.iter().enumerate().fold(0u64, |acc, (v, &d)| {
+            acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
+        })
     }
 }
 

@@ -55,7 +55,7 @@ impl Cc {
     pub fn reference_components(g: &Csr) -> Vec<u32> {
         let n = g.n() as usize;
         let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+        fn find(p: &mut [u32], x: u32) -> u32 {
             let mut r = x;
             while p[r as usize] != r {
                 r = p[r as usize];

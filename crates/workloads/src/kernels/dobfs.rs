@@ -214,9 +214,7 @@ impl Kernel for DoBfs {
                                 // Parent found: claim v and stop scanning.
                                 self.depths[v as usize] = depth + 1;
                                 next.push(v as u32);
-                                runner
-                                    .space_mut()
-                                    .write_u32(h.depth.addr(v), depth + 1);
+                                runner.space_mut().write_u32(h.depth.addr(v), depth + 1);
                                 b.store_at(PC_ST, h.depth.addr(v), 4, &[ld_f]);
                                 break;
                             }
@@ -269,12 +267,9 @@ impl Kernel for DoBfs {
             depth += 1;
         }
 
-        self.depths
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (v, &d)| {
-                acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
-            })
+        self.depths.iter().enumerate().fold(0u64, |acc, (v, &d)| {
+            acc.wrapping_add((d as u64).wrapping_mul(v as u64 + 1))
+        })
     }
 }
 

@@ -41,7 +41,9 @@ impl IntSort {
         let mut s = seed | 1;
         let keys = (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 33) as u32 % buckets
             })
             .collect();
@@ -154,12 +156,9 @@ impl Kernel for IntSort {
         }
         runner.run_streams(streams);
 
-        self.ranks
-            .iter()
-            .enumerate()
-            .fold(0u64, |a, (i, &r)| {
-                a.wrapping_add((r as u64).wrapping_mul(i as u64 + 1))
-            })
+        self.ranks.iter().enumerate().fold(0u64, |a, (i, &r)| {
+            a.wrapping_add((r as u64).wrapping_mul(i as u64 + 1))
+        })
     }
 }
 

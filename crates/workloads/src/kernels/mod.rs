@@ -22,8 +22,8 @@ pub mod is;
 pub mod pr;
 pub mod spmv;
 pub mod sssp;
-pub mod tc;
 pub mod symgs;
+pub mod tc;
 
 pub use bc::Bc;
 pub use bfs::Bfs;

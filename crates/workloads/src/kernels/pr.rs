@@ -89,9 +89,13 @@ impl PageRank {
                     }
                 })
                 .collect();
-            for u in 0..n {
-                let sum: f64 = csc.neighbors(u as u32).iter().map(|&v| contrib[v as usize]).sum();
-                score[u] = base + DAMPING * sum;
+            for (u, s) in score.iter_mut().enumerate().take(n) {
+                let sum: f64 = csc
+                    .neighbors(u as u32)
+                    .iter()
+                    .map(|&v| contrib[v as usize])
+                    .sum();
+                *s = base + DAMPING * sum;
             }
         }
         score

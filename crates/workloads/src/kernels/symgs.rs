@@ -60,7 +60,9 @@ impl Symgs {
         // Diagonally dominant values: off-diag in (−1, 1), diag = row degree + 1.
         let mut s = seed | 1;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut values = vec![0.0; matrix.m() as usize];
@@ -94,12 +96,12 @@ impl Symgs {
                 let (lo, hi) = (matrix.offsets[r] as usize, matrix.offsets[r + 1] as usize);
                 let mut sum = rhs[r];
                 let mut diag = 1.0;
-                for k in lo..hi {
-                    let c = matrix.edges[k] as usize;
+                for (&col, &val) in matrix.edges[lo..hi].iter().zip(&values[lo..hi]) {
+                    let c = col as usize;
                     if c == r {
-                        diag = values[k];
+                        diag = val;
                     } else {
-                        sum -= values[k] * x[c];
+                        sum -= val * x[c];
                     }
                 }
                 x[r] = sum / diag;
@@ -167,7 +169,9 @@ impl Symgs {
                     }
                 }
                 self.x[r as usize] = sum / diag;
-                runner.space_mut().write_f64(h.x.addr(r), self.x[r as usize]);
+                runner
+                    .space_mut()
+                    .write_f64(h.x.addr(r), self.x[r as usize]);
                 b.store_at(PC_ST_X, h.x.addr(r), 8, &[acc]);
             }
             streams.push(b.finish());

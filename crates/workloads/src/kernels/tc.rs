@@ -211,7 +211,7 @@ mod tests {
     }
 
     #[test]
-    fn dig_is_offset_triggered_csr(){
+    fn dig_is_offset_triggered_csr() {
         let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
         let mut k = Tc::new(g);
         let mut r = FunctionalRunner::new(1);

@@ -24,6 +24,7 @@
 pub mod graph;
 pub mod kernels;
 pub mod layout;
+pub mod rng;
 pub mod runner;
 pub mod swpf;
 

@@ -15,10 +15,9 @@ use prodigy_prefetchers::{
 };
 use prodigy_sim::prefetch::Prefetcher;
 use prodigy_sim::{NullPrefetcher, RunSummary, System, SystemConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which prefetcher to attach to every core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefetcherKind {
     /// The non-prefetching baseline.
     None,
@@ -86,6 +85,13 @@ pub struct RunConfig {
     pub prodigy: ProdigyConfig,
     /// Install the DIG-bounds LLC-miss classifier (Fig. 13/16).
     pub classify_llc: bool,
+    /// Deterministic seed of this run, recorded in the outcome for
+    /// provenance. Workload inputs are seeded at instantiation time (see
+    /// `prodigy-bench`'s `WorkloadSpec::instantiate_seeded`); the simulator
+    /// itself is deterministic and uses no randomness, so two runs with the
+    /// same kernel and config always produce identical [`RunOutcome`] stats
+    /// regardless of host, thread, or execution order.
+    pub seed: u64,
 }
 
 impl Default for RunConfig {
@@ -95,6 +101,7 @@ impl Default for RunConfig {
             prefetcher: PrefetcherKind::None,
             prodigy: ProdigyConfig::default(),
             classify_llc: false,
+            seed: 0,
         }
     }
 }
@@ -111,10 +118,24 @@ pub struct RunOutcome {
     pub prodigy: Option<ProdigyStats>,
     /// Prefetcher storage requirement in bits.
     pub storage_bits: u64,
+    /// Seed this run was configured with (provenance; see
+    /// [`RunConfig::seed`]).
+    pub seed: u64,
+    /// Host wall-clock time spent simulating. Telemetry only — excluded
+    /// from all determinism comparisons (see [`prodigy_sim::RunTiming`]).
+    pub timing: prodigy_sim::RunTiming,
 }
 
 /// Runs `kernel` once under `cfg`.
+///
+/// Thread-safe by construction: every call builds its own [`System`] and
+/// touches no shared mutable state, so any number of `run_workload` calls
+/// may execute concurrently (the parallel sweep in `prodigy-bench` relies
+/// on this). Determinism: given the same kernel state and `cfg`, the
+/// returned stats and checksum are bit-identical on every host and under
+/// any thread interleaving.
 pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
+    let host_start = std::time::Instant::now();
     let mut sys = System::new(cfg.sys);
     let dig = kernel.prepare(sys.address_space_mut());
     let program = DigProgram::from_dig(&dig);
@@ -142,7 +163,8 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
     // hardware is Prodigy).
     sys.program_prefetchers(|p| program.apply(p));
     if cfg.classify_llc {
-        sys.memory_mut().set_llc_miss_classifier(Some(program.classifier()));
+        sys.memory_mut()
+            .set_llc_miss_classifier(Some(program.classifier()));
     }
 
     let checksum = kernel.run(&mut sys);
@@ -171,6 +193,8 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
         checksum,
         prodigy: prodigy_stats,
         storage_bits,
+        seed: cfg.seed,
+        timing: prodigy_sim::RunTiming::from_elapsed(host_start.elapsed()),
     }
 }
 

@@ -14,10 +14,8 @@
 //! CGO'17 pass conservatively skips dynamically-sized structures it cannot
 //! prove safe — which is why only a subset of kernels carry the transform.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the software-prefetching transformation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwPrefetchSpec {
     /// Static look-ahead distance in inner-loop iterations.
     pub distance: u64,

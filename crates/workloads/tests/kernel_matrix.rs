@@ -15,23 +15,76 @@ fn graph() -> Csr {
     rmat(1024, 8192, 77, (0.57, 0.19, 0.19))
 }
 
-fn all_kernels() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Kernel>>)> {
+type KernelBuilder = Box<dyn Fn() -> Box<dyn Kernel>>;
+
+fn all_kernels() -> Vec<(&'static str, KernelBuilder)> {
     let g = graph();
     let st = stencil27(6, 6, 6);
     let pat = uniform(300, 1800, 5);
     vec![
-        ("bfs", boxed({ let g = g.clone(); move || Box::new(Bfs::new(g.clone(), 0)) as _ })),
-        ("dobfs", boxed({ let g = g.clone(); move || Box::new(DoBfs::new(g.clone(), 0, 15)) as _ })),
-        ("bc", boxed({ let g = g.clone(); move || Box::new(Bc::new(g.clone(), 0)) as _ })),
-        ("cc", boxed({ let g = g.clone(); move || Box::new(Cc::new(g.clone(), 6)) as _ })),
-        ("pr", boxed({ let g = g.clone(); move || Box::new(PageRank::new(g.clone(), 2)) as _ })),
-        ("sssp", boxed({
-            let g = g.clone();
-            move || Box::new(Sssp::new(WeightedCsr::from_csr(g.clone(), 3, 16), 0, 50)) as _
-        })),
-        ("spmv", boxed({ let s = st.clone(); move || Box::new(Spmv::new(s.clone(), 9)) as _ })),
-        ("symgs", boxed({ let s = st.clone(); move || Box::new(Symgs::new(s.clone(), 9)) as _ })),
-        ("cg", boxed({ let p = pat.clone(); move || Box::new(Cg::new(&p, 3, 9)) as _ })),
+        (
+            "bfs",
+            boxed({
+                let g = g.clone();
+                move || Box::new(Bfs::new(g.clone(), 0)) as _
+            }),
+        ),
+        (
+            "dobfs",
+            boxed({
+                let g = g.clone();
+                move || Box::new(DoBfs::new(g.clone(), 0, 15)) as _
+            }),
+        ),
+        (
+            "bc",
+            boxed({
+                let g = g.clone();
+                move || Box::new(Bc::new(g.clone(), 0)) as _
+            }),
+        ),
+        (
+            "cc",
+            boxed({
+                let g = g.clone();
+                move || Box::new(Cc::new(g.clone(), 6)) as _
+            }),
+        ),
+        (
+            "pr",
+            boxed({
+                let g = g.clone();
+                move || Box::new(PageRank::new(g.clone(), 2)) as _
+            }),
+        ),
+        (
+            "sssp",
+            boxed({
+                let g = g.clone();
+                move || Box::new(Sssp::new(WeightedCsr::from_csr(g.clone(), 3, 16), 0, 50)) as _
+            }),
+        ),
+        (
+            "spmv",
+            boxed({
+                let s = st.clone();
+                move || Box::new(Spmv::new(s.clone(), 9)) as _
+            }),
+        ),
+        (
+            "symgs",
+            boxed({
+                let s = st.clone();
+                move || Box::new(Symgs::new(s.clone(), 9)) as _
+            }),
+        ),
+        (
+            "cg",
+            boxed({
+                let p = pat.clone();
+                move || Box::new(Cg::new(&p, 3, 9)) as _
+            }),
+        ),
         ("is", boxed(|| Box::new(IntSort::new(5000, 512, 9)) as _)),
     ]
 }
@@ -94,7 +147,8 @@ fn every_kernel_runs_on_the_simulated_machine_unchanged() {
                 },
             );
             assert_eq!(
-                out.checksum, functional,
+                out.checksum,
+                functional,
                 "{name}/{}: simulated result diverged from functional run",
                 kind.name()
             );

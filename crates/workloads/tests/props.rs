@@ -1,10 +1,10 @@
 //! Property-based tests of the workload substrate.
 
-use proptest::prelude::*;
 use prodigy_sim::AddressSpace;
 use prodigy_workloads::graph::csr::{Csr, WeightedCsr};
 use prodigy_workloads::kernels::{partition, FunctionalRunner, IntSort, Kernel, PhaseRunner};
 use prodigy_workloads::ArrayHandle;
+use proptest::prelude::*;
 
 proptest! {
     /// partition() covers 0..total exactly once, in order.

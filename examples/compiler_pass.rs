@@ -63,7 +63,10 @@ fn main() {
             binding(vis, 0x8_0000, n),
         ],
     );
-    println!("=== bound registration prologue ===\n{:#?}\n", program.calls());
+    println!(
+        "=== bound registration prologue ===\n{:#?}\n",
+        program.calls()
+    );
 
     // Equivalent hand annotation (paper Fig. 6).
     let mut dig = Dig::new();

@@ -70,7 +70,10 @@ fn main() {
                 base_cycles = out.summary.stats.cycles;
                 base_checksum = out.checksum;
             } else {
-                assert_eq!(out.checksum, base_checksum, "{alg}/{kind:?} result diverged");
+                assert_eq!(
+                    out.checksum, base_checksum,
+                    "{alg}/{kind:?} result diverged"
+                );
                 cells.push(base_cycles as f64 / out.summary.stats.cycles as f64);
             }
         }

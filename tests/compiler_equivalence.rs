@@ -10,9 +10,9 @@ use prodigy_compiler::analysis::analyze;
 use prodigy_compiler::codegen::{bind, Binding};
 use prodigy_compiler::ir::{FnBuilder, Module, Operand, ValueId};
 use prodigy_sim::AddressSpace;
-use prodigy_workloads::kernels::{Bfs, IntSort, Kernel, PageRank, Spmv};
 use prodigy_workloads::graph::csr::Csr;
 use prodigy_workloads::graph::generators::stencil27;
+use prodigy_workloads::kernels::{Bfs, IntSort, Kernel, PageRank, Spmv};
 
 /// Compare the compiler-derived registration against the kernel's
 /// hand-annotated DIG by programming two prefetchers and comparing tables
@@ -36,7 +36,10 @@ fn assert_equivalent(
     let mut manual = ProdigyPrefetcher::default();
     manual.program(&hand_dig).expect("valid");
 
-    assert_eq!(auto.node_table().rows().len(), manual.node_table().rows().len());
+    assert_eq!(
+        auto.node_table().rows().len(),
+        manual.node_table().rows().len()
+    );
     let norm = |p: &ProdigyPrefetcher| {
         let mut nodes: Vec<(u64, u64, u8, bool)> = p
             .node_table()
@@ -45,9 +48,8 @@ fn assert_equivalent(
             .map(|r| (r.base, r.bound, r.data_size, r.trigger))
             .collect();
         nodes.sort_unstable();
-        let ids = |pp: &ProdigyPrefetcher, id| {
-            pp.node_table().by_id(id).map(|r| r.base).unwrap_or(0)
-        };
+        let ids =
+            |pp: &ProdigyPrefetcher, id| pp.node_table().by_id(id).map(|r| r.base).unwrap_or(0);
         let mut edges: Vec<(u64, u64, K)> = p
             .edge_table()
             .rows()
@@ -123,19 +125,24 @@ fn pagerank_ir_analysis_matches_kernel_annotation() {
     let p_off = f.alloc(off.elems, 4);
     let p_edg = f.alloc(edg.elems, 4);
     let p_con = f.alloc(contrib.elems, 8);
-    f.loop_(Operand::Imm(0), Operand::Imm(off.elems - 1), false, |f, u| {
-        let plo = f.gep(p_off, Operand::Value(u), 4);
-        let lo = f.load(plo, 4);
-        let u1 = f.add(u, Operand::Imm(1));
-        let phi = f.gep(p_off, Operand::Value(u1), 4);
-        let hi = f.load(phi, 4);
-        f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, w| {
-            let pe = f.gep(p_edg, Operand::Value(w), 4);
-            let v = f.load(pe, 4);
-            let pc = f.gep(p_con, Operand::Value(v), 8);
-            f.load(pc, 8);
-        });
-    });
+    f.loop_(
+        Operand::Imm(0),
+        Operand::Imm(off.elems - 1),
+        false,
+        |f, u| {
+            let plo = f.gep(p_off, Operand::Value(u), 4);
+            let lo = f.load(plo, 4);
+            let u1 = f.add(u, Operand::Imm(1));
+            let phi = f.gep(p_off, Operand::Value(u1), 4);
+            let hi = f.load(phi, 4);
+            f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, w| {
+                let pe = f.gep(p_edg, Operand::Value(w), 4);
+                let v = f.load(pe, 4);
+                let pc = f.gep(p_con, Operand::Value(v), 8);
+                f.load(pc, 8);
+            });
+        },
+    );
     let module = f.finish().into_module();
     let b = |ptr: ValueId, nd: &prodigy::dig::DigNode| Binding {
         ptr,
@@ -166,21 +173,26 @@ fn spmv_ir_analysis_finds_both_ranged_edges() {
     let p_col = f.alloc(col.elems, 4);
     let p_val = f.alloc(val.elems, 8);
     let p_x = f.alloc(x.elems, 8);
-    f.loop_(Operand::Imm(0), Operand::Imm(off.elems - 1), false, |f, r| {
-        let plo = f.gep(p_off, Operand::Value(r), 4);
-        let lo = f.load(plo, 4);
-        let r1 = f.add(r, Operand::Imm(1));
-        let phi = f.gep(p_off, Operand::Value(r1), 4);
-        let hi = f.load(phi, 4);
-        f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, k| {
-            let pc = f.gep(p_col, Operand::Value(k), 4);
-            let c = f.load(pc, 4);
-            let pv = f.gep(p_val, Operand::Value(k), 8);
-            f.load(pv, 8);
-            let px = f.gep(p_x, Operand::Value(c), 8);
-            f.load(px, 8);
-        });
-    });
+    f.loop_(
+        Operand::Imm(0),
+        Operand::Imm(off.elems - 1),
+        false,
+        |f, r| {
+            let plo = f.gep(p_off, Operand::Value(r), 4);
+            let lo = f.load(plo, 4);
+            let r1 = f.add(r, Operand::Imm(1));
+            let phi = f.gep(p_off, Operand::Value(r1), 4);
+            let hi = f.load(phi, 4);
+            f.loop_(Operand::Value(lo), Operand::Value(hi), false, |f, k| {
+                let pc = f.gep(p_col, Operand::Value(k), 4);
+                let c = f.load(pc, 4);
+                let pv = f.gep(p_val, Operand::Value(k), 8);
+                f.load(pv, 8);
+                let px = f.gep(p_x, Operand::Value(c), 8);
+                f.load(px, 8);
+            });
+        },
+    );
     let module = f.finish().into_module();
     let b = |ptr: ValueId, nd: &prodigy::dig::DigNode| Binding {
         ptr,

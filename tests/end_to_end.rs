@@ -26,27 +26,43 @@ fn run(kernel: &mut dyn Kernel, kind: PrefetcherKind) -> prodigy_workloads::RunO
 fn every_prefetcher_preserves_results_on_every_kernel_family() {
     let g = rmat(4096, 32768, 9, (0.57, 0.19, 0.19));
     let stencil = stencil27(10, 10, 10);
-    let builders: Vec<(&str, Box<dyn Fn() -> Box<dyn Kernel>>)> = vec![
-        ("bfs", Box::new({
-            let g = g.clone();
-            move || Box::new(Bfs::new(g.clone(), 0)) as Box<dyn Kernel>
-        })),
-        ("pr", Box::new({
-            let g = g.clone();
-            move || Box::new(PageRank::new(g.clone(), 2)) as Box<dyn Kernel>
-        })),
-        ("sssp", Box::new({
-            let g = g.clone();
-            move || {
-                Box::new(Sssp::new(WeightedCsr::from_csr(g.clone(), 3, 32), 0, 30))
-                    as Box<dyn Kernel>
-            }
-        })),
-        ("spmv", Box::new({
-            let s = stencil.clone();
-            move || Box::new(Spmv::new(s.clone(), 5)) as Box<dyn Kernel>
-        })),
-        ("is", Box::new(|| Box::new(IntSort::new(20_000, 2048, 3)) as Box<dyn Kernel>)),
+    type KernelBuilder = Box<dyn Fn() -> Box<dyn Kernel>>;
+    let builders: Vec<(&str, KernelBuilder)> = vec![
+        (
+            "bfs",
+            Box::new({
+                let g = g.clone();
+                move || Box::new(Bfs::new(g.clone(), 0)) as Box<dyn Kernel>
+            }),
+        ),
+        (
+            "pr",
+            Box::new({
+                let g = g.clone();
+                move || Box::new(PageRank::new(g.clone(), 2)) as Box<dyn Kernel>
+            }),
+        ),
+        (
+            "sssp",
+            Box::new({
+                let g = g.clone();
+                move || {
+                    Box::new(Sssp::new(WeightedCsr::from_csr(g.clone(), 3, 32), 0, 30))
+                        as Box<dyn Kernel>
+                }
+            }),
+        ),
+        (
+            "spmv",
+            Box::new({
+                let s = stencil.clone();
+                move || Box::new(Spmv::new(s.clone(), 5)) as Box<dyn Kernel>
+            }),
+        ),
+        (
+            "is",
+            Box::new(|| Box::new(IntSort::new(20_000, 2048, 3)) as Box<dyn Kernel>),
+        ),
     ];
     for (name, make) in &builders {
         let mut checksums = Vec::new();

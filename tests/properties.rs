@@ -1,7 +1,6 @@
 //! Property-based tests over the core data structures and cross-crate
 //! invariants (proptest).
 
-use proptest::prelude::*;
 use prodigy::dig::NodeId;
 use prodigy::{Dig, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpec};
 use prodigy_sim::mem::cache::{demand_line, Cache};
@@ -13,6 +12,7 @@ use prodigy_sim::{
 use prodigy_workloads::graph::csr::Csr;
 use prodigy_workloads::graph::reorder::{apply, hubsort};
 use prodigy_workloads::kernels::{Bfs, FunctionalRunner, Kernel, PhaseRunner};
+use proptest::prelude::*;
 
 proptest! {
     /// The cache never exceeds its capacity and always finds what it just

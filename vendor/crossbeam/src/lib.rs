@@ -1,0 +1,206 @@
+//! A minimal, dependency-free stand-in for the `crossbeam` crate, vendored
+//! so the workspace builds without network access.
+//!
+//! Two pieces are provided, matching what `prodigy-bench`'s sweep executor
+//! needs:
+//!
+//! * [`scope`] — structured scoped threads, implemented over
+//!   [`std::thread::scope`] (which has provided crossbeam's original
+//!   borrowing guarantees in std since Rust 1.63);
+//! * [`channel`] — clonable multi-producer **multi-consumer** channels,
+//!   implemented as [`std::sync::mpsc`] behind an `Arc<Mutex<..>>` receiver.
+//!   Throughput is mutex-bound, which is irrelevant here: the sweep sends
+//!   one message per simulation cell, and a cell simulates for milliseconds
+//!   to seconds.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+type PanicStore = Arc<Mutex<Vec<Box<dyn Any + Send>>>>;
+
+/// Spawns scoped threads that may borrow from the enclosing stack frame.
+///
+/// Mirrors `crossbeam::scope`: the closure receives a [`Scope`] whose
+/// `spawn` hands the closure a `&Scope` argument (ignored by most callers),
+/// and the call returns `Err` with the first panic payload if any spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: PanicStore = Arc::new(Mutex::new(Vec::new()));
+    let result = {
+        let panics = Arc::clone(&panics);
+        std::thread::scope(move |s| {
+            let wrapper = Scope { inner: s, panics };
+            f(&wrapper)
+            // std::thread::scope joins all threads before returning, so once
+            // we are back out every spawned closure has finished and the
+            // panic store is fully populated.
+        })
+    };
+    let first = panics.lock().unwrap().drain(..).next();
+    match first {
+        Some(p) => Err(p),
+        None => Ok(result),
+    }
+}
+
+/// A scope handle; `spawn` mirrors crossbeam's signature (the closure takes
+/// the scope again, for nested spawns).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panics: PanicStore,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. Panics are captured and surfaced as the
+    /// `Err` of the enclosing [`scope`] call instead of aborting the join.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&'s Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let panics = Arc::clone(&self.panics);
+        let inner = self.inner;
+        inner.spawn(move || {
+            let wrapper = Scope {
+                inner,
+                panics: Arc::clone(&panics),
+            };
+            if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&wrapper))) {
+                panics.lock().unwrap().push(p);
+            }
+        });
+    }
+}
+
+pub mod channel {
+    //! Clonable MPMC channels over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(value),
+                Tx::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half; clonable (consumers share the underlying queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap().recv()
+        }
+
+        /// Blocks up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.lock().unwrap().recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap().try_recv()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(Tx::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// A bounded channel: `send` blocks once `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mpmc_channel_distributes_work() {
+        let (tx, rx) = super::channel::bounded::<u64>(4);
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            for v in 1..=100u64 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), 5050);
+    }
+}

@@ -1,0 +1,409 @@
+//! A minimal, dependency-free, deterministic stand-in for the `proptest`
+//! crate, vendored so the workspace builds and tests without network access.
+//!
+//! It implements exactly the strategy surface this repository's property
+//! tests use:
+//!
+//! * integer and `f64` range strategies (`0u64..1u64 << 30`, `0.0f64..1e6`),
+//! * tuple strategies of arity 2 and 3,
+//! * [`collection::vec`] with a fixed size or a size range,
+//! * [`sample::select`] over a `Vec` of values,
+//! * [`Just`], [`any`], and the [`prop_oneof!`] union,
+//! * the [`proptest!`] test macro plus [`prop_assert!`]/[`prop_assert_eq!`].
+//!
+//! Unlike the real crate there is **no shrinking** and **no persisted
+//! failure corpus**: every test runs a fixed number of cases (default 64,
+//! override with `PROPTEST_CASES`) from seeds derived deterministically from
+//! the test name, so failures are reproducible across runs and machines.
+
+use std::ops::Range;
+
+// ------------------------------------------------------------------ RNG
+
+/// SplitMix64: tiny, high-quality, deterministic. Good enough for test-case
+/// generation (we are not doing cryptography or statistics here).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`. `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ------------------------------------------------------------- Strategy
+
+/// A value generator. The real proptest `Strategy` also carries a shrinking
+/// value tree; this stand-in only samples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+// ------------------------------------------------------------ Arbitrary
+
+/// Types with a canonical "any value" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ----------------------------------------------------------- collection
+
+/// `prop::collection` — sized collections of a sub-strategy.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Anything usable as a `vec` size: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+// --------------------------------------------------------------- sample
+
+/// `prop::sample` — choosing among explicit values.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed set of values.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(vec![...])`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a over the test name: a stable per-test seed base.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` for [`cases`] deterministic seeds derived from `name`.
+pub fn run_cases(name: &str, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..cases() {
+        let mut rng = TestRng::from_seed(seed_of(name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(&mut rng);
+    }
+}
+
+/// The property-test macro: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` looping over deterministic sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_oneof![a, b, ...]` — uniform union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The `prop::` facade module (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, Strategy, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_compose() {
+        let mut rng = crate::TestRng::from_seed(2);
+        let s = prop::collection::vec((0u8..4, prop::sample::select(vec![10u8, 20])), 1..9);
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((1..9).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!(b == 10 || b == 20);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = crate::TestRng::from_seed(seed);
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, flips in prop::collection::vec(crate::any::<bool>(), 4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flips.len(), 4);
+        }
+    }
+}
