@@ -29,4 +29,21 @@ trap 'rm -rf "$tmp"' EXIT
 cmp "$tmp/t1.txt" "$tmp/t2.txt"
 echo "   byte-identical: OK"
 
+echo "== trace smoke: Chrome trace JSON validity + determinism"
+./target/release/prodigy-eval --scale 64 --cores 2 \
+    --trace "$tmp/trace1.json" >/dev/null
+./target/release/prodigy-eval --scale 64 --cores 2 \
+    --trace "$tmp/trace2.json" >/dev/null
+cmp "$tmp/trace1.json" "$tmp/trace2.json"
+python3 - "$tmp/trace1.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+evs = d["traceEvents"]
+cats = {e["cat"] for e in evs}
+assert len(cats) >= 4, f"want >= 4 event categories, got {sorted(cats)}"
+ts = [e["ts"] for e in evs]
+assert all(a <= b for a, b in zip(ts, ts[1:])), "timestamps must be non-decreasing"
+print(f"   {len(evs)} events, categories {sorted(cats)}: OK")
+PY
+
 echo "CI green."

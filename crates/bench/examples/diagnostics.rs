@@ -56,6 +56,7 @@ fn main() {
                 prodigy: ProdigyConfig::default(),
                 classify_llc: false,
                 seed: 0,
+                trace: false,
             },
         );
         let s = &out.summary.stats;
@@ -82,6 +83,16 @@ fn main() {
             s.prefetch_use.hit_l2,
             s.prefetch_use.hit_l3,
             s.prefetch_use.evicted_unused,
+        );
+        let t = &out.telemetry.timeliness;
+        println!(
+            "  timeliness: timely {:>4.1}%  late {:>4.1}%  inaccurate {:>4.1}%  dropped {:>4.1}%  coverage {:>4.0}%  load-to-use mean {:>5.1} cy",
+            t.share(t.timely) * 100.0,
+            t.share(t.late) * 100.0,
+            t.share(t.inaccurate) * 100.0,
+            t.share(t.dropped) * 100.0,
+            s.prefetch_coverage() * 100.0,
+            out.telemetry.load_to_use.mean(),
         );
         if let Some(p) = out.prodigy {
             println!(

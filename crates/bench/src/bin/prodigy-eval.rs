@@ -6,6 +6,7 @@
 //! cargo run --release -p prodigy-bench --bin prodigy-eval -- \
 //!     [--scale N] [--cores N] [--threads N] [--seed N] \
 //!     [--timeout-secs N] [--out report.txt] [--json report.json] \
+//!     [--trace trace.json [--trace-events cat,cat]] \
 //!     [experiment substrings...]
 //! ```
 //!
@@ -14,9 +15,23 @@
 //! summary goes to stderr and, with `--json`, to a JSON file beside the
 //! figure text. The figure tables are deterministic: any `--threads` value
 //! produces byte-identical output for the same `--scale`/`--seed`.
+//!
+//! `--trace FILE` switches to tracing mode: one Prodigy run of GAP BFS on
+//! the scaled LiveJournal graph (with the feedback throttle enabled, so
+//! throttle events appear) is captured cycle-by-cycle and written as Chrome
+//! trace-event JSON — load it in Perfetto / `chrome://tracing`. The trace
+//! is deterministic: same `--scale`/`--cores`/`--seed` → identical bytes.
+//! `--trace-events` restricts the output to a comma-separated category list
+//! (`cache,dram,prefetcher,throttle,tlb,core`).
 
+use prodigy::throttle::ThrottleSpec;
+use prodigy::ProdigyConfig;
 use prodigy_bench::experiments::{run_all, Ctx};
 use prodigy_bench::sweep::SweepConfig;
+use prodigy_bench::workload_set::WorkloadSpec;
+use prodigy_sim::telemetry::parse_category_filter;
+use prodigy_sim::{chrome_trace_json, TraceCategory};
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
 use std::time::Duration;
 
 fn main() {
@@ -24,6 +39,8 @@ fn main() {
     let mut cores: Option<u32> = None;
     let mut out: Option<String> = None;
     let mut json: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut trace_events: Option<String> = None;
     let mut sweep = SweepConfig::default();
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -68,6 +85,15 @@ fn main() {
             "--json" => {
                 json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
             }
+            "--trace" => {
+                trace = Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
+            }
+            "--trace-events" => {
+                trace_events = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-events needs a category list")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => filters.push(other.to_string()),
@@ -77,6 +103,16 @@ fn main() {
     let mut ctx = Ctx::new(scale).with_sweep(sweep);
     if let Some(c) = cores {
         ctx.sys = ctx.sys.with_cores(c);
+    }
+    if let Some(path) = trace {
+        let filter = trace_events.as_deref().map(|s| {
+            parse_category_filter(s).unwrap_or_else(|e| usage(&format!("--trace-events: {e}")))
+        });
+        run_traced(&ctx, &path, filter.as_deref());
+        return;
+    }
+    if trace_events.is_some() {
+        usage("--trace-events requires --trace");
     }
     println!(
         "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}, {} sweep threads, seed {}\n",
@@ -104,19 +140,80 @@ fn main() {
     }
 }
 
+/// Tracing mode: one traced Prodigy BFS run on the scaled LiveJournal
+/// graph, written as Chrome trace-event JSON, with a timeliness summary on
+/// stdout.
+fn run_traced(ctx: &Ctx, path: &str, filter: Option<&[TraceCategory]>) {
+    let spec = WorkloadSpec::graph("bfs", "lj", ctx.scale);
+    println!(
+        "prodigy-eval --trace: bfs-lj under prodigy (throttled), scale 1/{}, {} cores, seed {}",
+        ctx.scale, ctx.sys.cores, ctx.sweep.base_seed
+    );
+    let mut kernel = spec.instantiate_seeded(ctx.sweep.base_seed);
+    let outcome = run_workload(
+        kernel.as_mut(),
+        &RunConfig {
+            sys: ctx.sys,
+            prefetcher: PrefetcherKind::Prodigy,
+            prodigy: ProdigyConfig {
+                throttle: Some(ThrottleSpec::default()),
+                ..ProdigyConfig::default()
+            },
+            classify_llc: false,
+            seed: spec.identity_hash() ^ ctx.sweep.base_seed,
+            trace: true,
+        },
+    );
+    let events = outcome.trace.as_deref().unwrap_or(&[]);
+    let json = chrome_trace_json(events, filter);
+    std::fs::write(path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    let tel = &outcome.telemetry;
+    let t = &tel.timeliness;
+    println!("trace written to {path} ({} events)", events.len());
+    println!(
+        "prefetch timeliness: {} timely ({:.1}%), {} late ({:.1}%), {} inaccurate ({:.1}%), {} dropped ({:.1}%)",
+        t.timely,
+        t.share(t.timely) * 100.0,
+        t.late,
+        t.share(t.late) * 100.0,
+        t.inaccurate,
+        t.share(t.inaccurate) * 100.0,
+        t.dropped,
+        t.share(t.dropped) * 100.0,
+    );
+    println!(
+        "latency: load-to-use mean {:.1} cy ({} samples), dram round-trip mean {:.1} cy, late-prefetch wait mean {:.1} cy",
+        tel.load_to_use.mean(),
+        tel.load_to_use.count(),
+        tel.dram_round_trip.mean(),
+        tel.late_wait.mean(),
+    );
+    println!(
+        "activity: {} dig transitions, {} throttle ups, {} throttle downs",
+        tel.dig_transitions, tel.throttle_ups, tel.throttle_downs
+    );
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
     eprintln!(
         "usage: prodigy-eval [--scale N] [--cores N] [--threads N] [--seed N]\n\
-         \x20                  [--timeout-secs N] [--out FILE] [--json FILE] [experiments...]\n\
+         \x20                  [--timeout-secs N] [--out FILE] [--json FILE]\n\
+         \x20                  [--trace FILE [--trace-events cat,cat]] [experiments...]\n\
          experiments: table1 table2 fig02 fig04 fig12 fig13 fig14 fig15 fig16 \
          fig17 table3 fig18 fig19 ranged swpf storage scalability limits_tc \
          ext_dobfs ext_throttle\n\
+         --trace FILE: skip the experiments; capture one throttled Prodigy\n\
+         bfs-lj run as Chrome trace-event JSON (Perfetto-viewable) instead.\n\
+         --trace-events: comma list of cache,dram,prefetcher,throttle,tlb,core.\n\
          determinism: any --threads value yields byte-identical figure tables\n\
-         for the same --scale/--seed; --seed 0 keeps the seed inputs.\n\
-         exit status 3 if any cell failed (see stderr / --json)."
+         (and traces) for the same --scale/--seed; --seed 0 keeps the seed\n\
+         inputs. exit status 3 if any cell failed (see stderr / --json)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -92,6 +92,7 @@ fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64) -> RunOutcome {
         },
         classify_llc: cell.classify,
         seed: cell.spec.identity_hash() ^ base_seed,
+        trace: false,
     };
     run_workload(kernel.as_mut(), &cfg)
 }
@@ -139,10 +140,11 @@ impl Ctx {
             let out = run_isolated(&key, self.sweep.cell_timeout, move || {
                 execute_cell(&owned, sys, base_seed)
             });
-            let (res, timing, error) = match out {
+            let (res, timing, telemetry, error) = match out {
                 Ok(o) => {
                     let timing = o.timing;
-                    (Ok(Arc::new(o)), timing, None)
+                    let telemetry = o.telemetry.clone();
+                    (Ok(Arc::new(o)), timing, Some(telemetry), None)
                 }
                 Err(reason) => (
                     Err(CellError {
@@ -150,6 +152,7 @@ impl Ctx {
                         reason: reason.clone(),
                     }),
                     prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
+                    None,
                     Some(reason),
                 ),
             };
@@ -157,6 +160,7 @@ impl Ctx {
                 key: key.clone(),
                 timing,
                 worker,
+                telemetry,
                 error,
             });
             res
@@ -1058,6 +1062,7 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
             },
             classify_llc: false,
             seed: 0,
+            trace: false,
         },
     );
     let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);

@@ -280,6 +280,9 @@ pub struct CellTiming {
     pub timing: prodigy_sim::RunTiming,
     /// Executing worker ([`CALLER_THREAD`] when run outside a pool).
     pub worker: usize,
+    /// Always-on telemetry counters of the simulated run (histograms,
+    /// prefetch timeliness); `None` for failed cells.
+    pub telemetry: Option<prodigy_sim::TelemetrySummary>,
     /// The recorded failure, if the cell diverged or panicked.
     pub error: Option<String>,
 }
@@ -407,10 +410,14 @@ impl SweepReport {
                 t.worker.to_string()
             };
             s.push_str(&format!(
-                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"error\":{}}}",
+                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"telemetry\":{},\"error\":{}}}",
                 json_escape(&t.key),
                 t.timing.to_json(),
                 worker,
+                match &t.telemetry {
+                    Some(tel) => tel.to_json(),
+                    None => "null".to_string(),
+                },
                 match &t.error {
                     Some(e) => format!("\"{}\"", json_escape(e)),
                     None => "null".to_string(),
@@ -556,6 +563,7 @@ mod tests {
                 key: "k".into(),
                 timing: prodigy_sim::RunTiming { host_nanos: 42 },
                 worker: CALLER_THREAD,
+                telemetry: Some(prodigy_sim::TelemetrySummary::default()),
                 error: None,
             }],
         };
@@ -565,6 +573,10 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"cells_simulated\":5"));
         assert!(json.contains("\"worker\":null"), "caller-thread cell");
+        assert!(
+            json.contains("\"telemetry\":{"),
+            "per-cell telemetry section present"
+        );
         assert!((report.utilization() - 0.5).abs() < 1e-9);
         assert!((report.cells_per_sec() - 5.0 / 1.5).abs() < 1e-9);
     }

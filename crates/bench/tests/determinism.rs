@@ -6,8 +6,8 @@
 use prodigy_bench::experiments::{Cell, Ctx};
 use prodigy_bench::sweep::SweepConfig;
 use prodigy_bench::workload_set::WorkloadSpec;
-use prodigy_sim::SystemConfig;
-use prodigy_workloads::PrefetcherKind;
+use prodigy_sim::{chrome_trace_json, SystemConfig};
+use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
 
 /// A 12-cell grid: 3 workloads × 4 prefetchers (≥ 8 cells per the
 /// acceptance criterion), mixing graph and non-graph kernels.
@@ -106,6 +106,50 @@ fn base_seed_perturbs_seeded_workloads_only() {
     let g0 = ctx0.run(&bfs_cell);
     let g1 = ctx1.run(&bfs_cell);
     assert_eq!(g0.checksum, g1.checksum, "graphs are not re-randomized");
+}
+
+/// One bfs-lj Prodigy run, traced or not, under the determinism machine
+/// config used by the sweep tests above.
+fn bfs_run(trace: bool) -> RunOutcome {
+    let spec = WorkloadSpec::graph("bfs", "lj", 64);
+    let mut kernel = spec.instantiate_seeded(0);
+    run_workload(
+        kernel.as_mut(),
+        &RunConfig {
+            sys: SystemConfig::scaled(64).with_cores(2),
+            prefetcher: PrefetcherKind::Prodigy,
+            seed: spec.identity_hash(),
+            trace,
+            ..RunConfig::default()
+        },
+    )
+}
+
+#[test]
+fn traced_runs_are_deterministic_and_do_not_perturb_stats() {
+    let untraced = bfs_run(false);
+    let a = bfs_run(true);
+    let b = bfs_run(true);
+    // Tracing must never change simulation results.
+    assert!(untraced.trace.is_none());
+    assert_eq!(
+        format!("{:?}", untraced.summary.stats),
+        format!("{:?}", a.summary.stats),
+        "tracing perturbed Stats"
+    );
+    assert_eq!(untraced.checksum, a.checksum);
+    // Two same-seed traced runs: identical trace bytes, non-trivial volume.
+    let ea = a.trace.expect("traced run collects events");
+    let eb = b.trace.expect("traced run collects events");
+    assert!(!ea.is_empty());
+    assert_eq!(
+        chrome_trace_json(&ea, None),
+        chrome_trace_json(&eb, None),
+        "same-seed trace files must be byte-identical"
+    );
+    // The always-on telemetry counters are deterministic too.
+    assert_eq!(untraced.telemetry, a.telemetry);
+    assert_eq!(a.telemetry, b.telemetry);
 }
 
 #[test]

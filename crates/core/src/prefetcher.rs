@@ -129,6 +129,9 @@ pub struct ProdigyPrefetcher {
     cached_depth: u32,
     stats: ProdigyStats,
     throttle: Option<crate::throttle::FeedbackThrottle>,
+    /// Last sequences-per-trigger value reported to the telemetry layer
+    /// (None until the first throttled trigger).
+    traced_level: Option<u32>,
 }
 
 impl Default for ProdigyPrefetcher {
@@ -150,6 +153,7 @@ impl ProdigyPrefetcher {
             throttle: cfg
                 .throttle
                 .map(|spec| crate::throttle::FeedbackThrottle::new(spec, 4)),
+            traced_level: None,
             cfg,
         }
     }
@@ -439,6 +443,7 @@ impl ProdigyPrefetcher {
                         continue;
                     }
                     self.stats.single_prefetches += 1;
+                    ctx.trace_dig_transition(node.id.0 as u16, dst.id.0 as u16, false, elem_addr);
                     self.request(ctx, dst, target, trigger, depth + 1);
                 }
                 EdgeKind::Ranged => {
@@ -457,6 +462,7 @@ impl ProdigyPrefetcher {
                     if !dst.contains(first) || !dst.contains(last) {
                         continue;
                     }
+                    ctx.trace_dig_transition(node.id.0 as u16, dst.id.0 as u16, true, elem_addr);
                     self.expand_range(ctx, dst, line_of(first), first, last, trigger, depth);
                 }
             }
@@ -509,6 +515,12 @@ impl Prefetcher for ProdigyPrefetcher {
         let mut sequences = self.cfg.sequences_override.unwrap_or(spec.sequences);
         if let Some(t) = &mut self.throttle {
             sequences = t.sequences(sequences, &ctx.prefetch_usefulness());
+            // Report the applied aggressiveness to the telemetry layer on
+            // the first trigger and whenever a window adaptation moves it.
+            if self.traced_level != Some(sequences) {
+                ctx.trace_throttle(self.traced_level.unwrap_or(sequences), sequences);
+                self.traced_level = Some(sequences);
+            }
         }
         let elems = trec.elems();
         for s in 0..sequences as u64 {

@@ -78,6 +78,12 @@ impl FeedbackThrottle {
         }
         self.level.min(requested.max(1))
     }
+
+    /// Current aggressiveness level (sequences per trigger before the
+    /// requested-maximum clamp).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,7 @@ impl Prefetcher for GhbGdcPrefetcher {
         let prev = self.index.insert(key, pos);
         if let Some(p) = prev {
             if self.pos_is_live(p) {
+                ctx.trace_note("ghb-correlation-hit", a.vaddr);
                 // Replay the deltas that followed the previous occurrence.
                 let mut predicted = a.vaddr as i64;
                 for k in 1..=self.degree as usize {

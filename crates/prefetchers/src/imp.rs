@@ -33,7 +33,7 @@ struct Candidate {
     hits: u8,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Learned {
     shift: u8,
     base: u64,
@@ -110,7 +110,10 @@ impl ImpPrefetcher {
         }
     }
 
-    fn learn_from_miss(&mut self, miss_addr: u64) {
+    /// Returns the base of a newly learned (or re-learned) coefficient so
+    /// the caller can report the detection.
+    fn learn_from_miss(&mut self, miss_addr: u64) -> Option<u64> {
+        let mut newly_learned = None;
         for &(spc, v) in &self.recent_values {
             if v >= 1 << 40 {
                 continue; // not an index (e.g. raw floating-point bits)
@@ -127,7 +130,10 @@ impl ImpPrefetcher {
                 {
                     c.hits = c.hits.saturating_add(1);
                     if c.hits >= 2 {
-                        self.learned.insert(spc, Learned { shift, base });
+                        let fresh = self.learned.insert(spc, Learned { shift, base });
+                        if fresh != Some(Learned { shift, base }) {
+                            newly_learned = Some(base);
+                        }
                     }
                 } else if cands.len() < 16 {
                     cands.push(Candidate {
@@ -138,6 +144,7 @@ impl ImpPrefetcher {
                 }
             }
         }
+        newly_learned
     }
 }
 
@@ -187,7 +194,9 @@ impl Prefetcher for ImpPrefetcher {
                 }
             }
         } else if matches!(a.served, ServedBy::L3 | ServedBy::Dram) {
-            self.learn_from_miss(a.vaddr);
+            if let Some(base) = self.learn_from_miss(a.vaddr) {
+                ctx.trace_note("imp-pattern-learned", base);
+            }
         }
     }
 

@@ -66,6 +66,9 @@ impl Prefetcher for StreamPrefetcher {
                 s.confidence = s.confidence.saturating_add(1);
             }
             s.last_line = line;
+            if s.confidence == 2 {
+                ctx.trace_note("stream-confirmed", a.vaddr);
+            }
             if s.confidence >= 2 {
                 for d in 1..=self.degree {
                     ctx.prefetch(line + d * LINE_BYTES);

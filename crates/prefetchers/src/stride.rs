@@ -81,6 +81,9 @@ impl Prefetcher for StridePrefetcher {
         }
         if e.confidence >= self.confidence_threshold {
             let stride = e.stride;
+            if e.confidence == self.confidence_threshold {
+                ctx.trace_note("stride-lock", a.vaddr);
+            }
             for d in 1..=self.degree as i64 {
                 let target = a.vaddr as i64 + stride * d;
                 if target > 0 {

@@ -38,6 +38,7 @@ pub mod mem;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -46,6 +47,10 @@ pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
 pub use stats::{CpiStack, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
+pub use telemetry::{
+    chrome_trace_json, Log2Hist, MemorySink, NullSink, TelemetrySummary, TraceCategory, TraceEvent,
+    TraceEventKind, TraceSink, Tracer,
+};
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).
 pub const LINE_BYTES: u64 = 64;

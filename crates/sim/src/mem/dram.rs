@@ -70,6 +70,14 @@ impl Dram {
         backlog > self.cfg.queue_depth as u64 * self.cfg.cycles_per_transfer
     }
 
+    /// Channel index and controller backlog (in cycles still queued) for
+    /// the channel servicing `line_addr` at `now` — the telemetry layer's
+    /// queue-depth sample.
+    pub fn queue_backlog(&self, line_addr: u64, now: u64) -> (u32, u64) {
+        let ch = self.channel(line_addr);
+        (ch as u32, self.next_free[ch].saturating_sub(now))
+    }
+
     /// Peak bandwidth in bytes per cycle, for the scalability analysis.
     pub fn peak_bytes_per_cycle(&self) -> f64 {
         self.cfg.channels as f64 * crate::LINE_BYTES as f64 / self.cfg.cycles_per_transfer as f64
@@ -133,6 +141,18 @@ mod tests {
         d.write(0x1000, 0);
         let r = d.read(0x1000, 0);
         assert_eq!(r.queue_wait, 10, "read waits behind the write transfer");
+    }
+
+    #[test]
+    fn queue_backlog_tracks_outstanding_transfers() {
+        let mut d = Dram::new(cfg());
+        assert_eq!(d.queue_backlog(0x1000, 0).1, 0);
+        d.read(0x1000, 0);
+        d.read(0x1000, 0);
+        let (ch, backlog) = d.queue_backlog(0x1000, 0);
+        assert!(ch < 2);
+        assert_eq!(backlog, 20, "two queued transfers at 10 cycles each");
+        assert_eq!(d.queue_backlog(0x1000, 25).1, 0, "drains by cycle 25");
     }
 
     #[test]

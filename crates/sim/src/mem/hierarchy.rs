@@ -13,6 +13,7 @@ use super::dram::Dram;
 use super::tlb::Tlb;
 use crate::config::SystemConfig;
 use crate::stats::Stats;
+use crate::telemetry::{TelemetrySummary, TraceEvent, TraceEventKind, Tracer};
 use crate::{line_of, LINE_BYTES};
 
 /// Which level ultimately serviced an access (used for CPI-stack
@@ -79,6 +80,7 @@ pub struct MemorySystem {
     mshr: Vec<Vec<u64>>,
     dram: Dram,
     classifier: Option<ClassifierFn>,
+    tel: Tracer,
 }
 
 /// Predicate over LLC-miss addresses used by the Fig. 13/16 experiments.
@@ -109,8 +111,21 @@ impl MemorySystem {
             mshr: vec![Vec::new(); n],
             dram: Dram::new(cfg.dram),
             classifier: None,
+            tel: Tracer::new(),
             cfg,
         }
+    }
+
+    /// The telemetry hub: always-on counters plus the optional event sink.
+    /// Drivers install a sink here to trace a run, and prefetchers reach it
+    /// through [`crate::PrefetchCtx`] to emit their own events.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tel
+    }
+
+    /// The run's accumulated telemetry counters (histograms + timeliness).
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        self.tel.counters()
     }
 
     /// Installs a predicate that classifies LLC-miss addresses as
@@ -142,13 +157,58 @@ impl MemorySystem {
         ((line / LINE_BYTES) % self.cfg.l3_slices as u64) as usize
     }
 
-    fn tlb_latency(&mut self, core: usize, vaddr: u64, stats: &mut Stats) -> u64 {
+    fn tlb_latency(&mut self, core: usize, vaddr: u64, now: u64, stats: &mut Stats) -> u64 {
         if self.tlb[core].access(vaddr) {
             stats.tlb_hits += 1;
             0
         } else {
             stats.tlb_misses += 1;
+            self.tel.emit(|| TraceEvent {
+                cycle: now,
+                dur: 0,
+                core: core as u32,
+                kind: TraceEventKind::TlbMiss { vaddr },
+            });
             self.cfg.tlb_miss_latency
+        }
+    }
+
+    /// Emits the issue→fill span of an accepted prefetch (id assignment is
+    /// skipped entirely when no sink is installed).
+    fn trace_prefetch_issued(
+        &mut self,
+        core: usize,
+        now: u64,
+        ready: u64,
+        line: u64,
+        src: ServedBy,
+    ) {
+        if self.tel.is_tracing() {
+            let id = self.tel.next_prefetch_id();
+            self.tel.emit(|| TraceEvent {
+                cycle: now,
+                dur: ready - now,
+                core: core as u32,
+                kind: TraceEventKind::PrefetchIssued {
+                    id,
+                    line,
+                    served: src,
+                },
+            });
+        }
+    }
+
+    /// Samples the DRAM controller backlog for `line` at `at` (right after a
+    /// read was enqueued) into the trace.
+    fn sample_dram_queue(&mut self, core: usize, line: u64, at: u64) {
+        if self.tel.is_tracing() {
+            let (channel, backlog) = self.dram.queue_backlog(line, at);
+            self.tel.emit(|| TraceEvent {
+                cycle: at,
+                dur: 0,
+                core: core as u32,
+                kind: TraceEventKind::DramQueueSample { channel, backlog },
+            });
         }
     }
 
@@ -263,6 +323,7 @@ impl MemorySystem {
         }
         if prefetched_unused {
             stats.prefetch_use.evicted_unused += 1;
+            self.tel.prefetch_evicted_unused(now, ev.addr);
         }
     }
 
@@ -299,14 +360,16 @@ impl MemorySystem {
     ) -> AccessResult {
         let line = line_of(vaddr);
         let write = kind == AccessKind::Write;
-        let mut lat = self.tlb_latency(core, vaddr, stats);
+        let mut lat = self.tlb_latency(core, vaddr, now, stats);
 
         // ---- L1 ----
         if let Some(l) = self.l1d[core].lookup(vaddr) {
-            let residual = Self::residual_wait(l.ready_at, now + lat);
+            let arrival = now + lat;
+            let residual = Self::residual_wait(l.ready_at, arrival);
             let was_pf = l.prefetched;
             let fill_src = l.fill_src;
             let state = l.state;
+            let ready_at = l.ready_at;
             l.prefetched = false;
             if write {
                 l.dirty = true;
@@ -316,16 +379,24 @@ impl MemorySystem {
             if was_pf {
                 stats.prefetch_use.hit_l1 += 1;
                 self.clear_prefetch_flag(core, line);
+                self.tel.prefetch_used(
+                    core,
+                    arrival,
+                    line,
+                    fill_src,
+                    residual,
+                    arrival.saturating_sub(ready_at),
+                );
             }
             let mut extra = 0;
             if write && !state.can_write_silently() {
                 extra = self.rfo(core, line, stats);
             }
             let served = if residual > 0 { fill_src } else { ServedBy::L1 };
-            return AccessResult {
-                latency: lat + self.cfg.l1d.data_latency + residual + extra,
-                served,
-            };
+            let latency = lat + self.cfg.l1d.data_latency + residual + extra;
+            self.tel
+                .demand_done(core, now, latency, served, line, false);
+            return AccessResult { latency, served };
         }
         stats.l1d.misses += 1;
         lat += self.cfg.l1d.tag_latency;
@@ -348,15 +419,25 @@ impl MemorySystem {
 
         // ---- L2 ----
         if let Some(l) = self.l2[core].lookup(vaddr) {
-            let residual = Self::residual_wait(l.ready_at, now + lat);
+            let arrival = now + lat;
+            let residual = Self::residual_wait(l.ready_at, arrival);
             let was_pf = l.prefetched;
             let fill_src = l.fill_src;
             let state = l.state;
+            let ready_at = l.ready_at;
             l.prefetched = false;
             stats.l2.hits += 1;
             if was_pf {
                 stats.prefetch_use.hit_l2 += 1;
                 self.clear_prefetch_flag(core, line);
+                self.tel.prefetch_used(
+                    core,
+                    arrival,
+                    line,
+                    fill_src,
+                    residual,
+                    arrival.saturating_sub(ready_at),
+                );
             }
             let mut extra = 0;
             if write && !state.can_write_silently() {
@@ -372,6 +453,7 @@ impl MemorySystem {
             if !write {
                 self.mshr[core].push(ready);
             }
+            self.tel.demand_done(core, now, lat, served, line, true);
             return AccessResult {
                 latency: lat,
                 served,
@@ -382,16 +464,27 @@ impl MemorySystem {
 
         // ---- L3 ----
         let slice = self.slice_of(line);
-        if let Some((residual, was_pf, fill_src, dir)) = self.l3[slice].lookup(vaddr).map(|l| {
-            let residual = Self::residual_wait(l.ready_at, now + lat);
-            let info = (residual, l.prefetched, l.fill_src, l.dir);
-            l.prefetched = false;
-            info
-        }) {
+        let l3_arrival = now + lat;
+        if let Some((residual, was_pf, fill_src, dir, ready_at)) =
+            self.l3[slice].lookup(vaddr).map(|l| {
+                let residual = Self::residual_wait(l.ready_at, l3_arrival);
+                let info = (residual, l.prefetched, l.fill_src, l.dir, l.ready_at);
+                l.prefetched = false;
+                info
+            })
+        {
             stats.l3.hits += 1;
             if was_pf {
                 stats.prefetch_use.hit_l3 += 1;
                 self.clear_prefetch_flag(core, line);
+                self.tel.prefetch_used(
+                    core,
+                    l3_arrival,
+                    line,
+                    fill_src,
+                    residual,
+                    l3_arrival.saturating_sub(ready_at),
+                );
             }
             // Coherence: a remote Modified owner must supply the data.
             let mut extra = 0;
@@ -431,6 +524,7 @@ impl MemorySystem {
             if !write {
                 self.mshr[core].push(ready);
             }
+            self.tel.demand_done(core, now, lat, served, line, true);
             return AccessResult {
                 latency: lat,
                 served,
@@ -447,9 +541,15 @@ impl MemorySystem {
         }
 
         // ---- DRAM ----
-        let dr = self.dram.read(line, now + lat);
+        let at = now + lat;
+        let dr = self.dram.read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
+        self.tel
+            .counters_mut()
+            .dram_queue_wait
+            .record(dr.queue_wait);
+        self.sample_dram_queue(core, line, at);
         lat += dr.latency;
         let ready = now + lat;
         let served = ServedBy::Dram;
@@ -476,6 +576,7 @@ impl MemorySystem {
         if !write {
             self.mshr[core].push(ready);
         }
+        self.tel.demand_done(core, now, lat, served, line, true);
         AccessResult {
             latency: lat,
             served,
@@ -498,9 +599,10 @@ impl MemorySystem {
         let line = line_of(vaddr);
         if self.l1d[core].contains(line) {
             stats.prefetches_redundant += 1;
+            self.tel.prefetch_dropped(core, now, line);
             return None;
         }
-        let mut lat = self.tlb_latency(core, vaddr, stats) + self.cfg.l1d.tag_latency;
+        let mut lat = self.tlb_latency(core, vaddr, now, stats) + self.cfg.l1d.tag_latency;
 
         // Already in this core's L2: promote to L1.
         if let Some(l) = self.l2[core].peek(line) {
@@ -512,6 +614,7 @@ impl MemorySystem {
             fill.prefetched = true;
             self.insert_l1(core, fill, stats);
             stats.prefetches_issued += 1;
+            self.trace_prefetch_issued(core, now, ready, line, ServedBy::L2);
             return Some(PrefetchIssued {
                 line_addr: line,
                 fill_time: ready,
@@ -539,6 +642,7 @@ impl MemorySystem {
             self.insert_l2(core, fill.clone(), stats);
             self.insert_l1(core, fill, stats);
             stats.prefetches_issued += 1;
+            self.trace_prefetch_issued(core, now, ready, line, ServedBy::L3);
             return Some(PrefetchIssued {
                 line_addr: line,
                 fill_time: ready,
@@ -551,9 +655,15 @@ impl MemorySystem {
         // leaves throttling to future work (§IV-G). Contention is modelled
         // naturally — prefetch transfers occupy DRAM channels and delay
         // demand fills behind them.
-        let dr = self.dram.read(line, now + lat);
+        let at = now + lat;
+        let dr = self.dram.read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
+        self.tel
+            .counters_mut()
+            .dram_queue_wait
+            .record(dr.queue_wait);
+        self.sample_dram_queue(core, line, at);
         lat += dr.latency;
         let ready = now + lat;
 
@@ -568,6 +678,7 @@ impl MemorySystem {
         self.insert_l2(core, fill.clone(), stats);
         self.insert_l1(core, fill, stats);
         stats.prefetches_issued += 1;
+        self.trace_prefetch_issued(core, now, ready, line, ServedBy::Dram);
         Some(PrefetchIssued {
             line_addr: line,
             fill_time: ready,
@@ -591,19 +702,26 @@ impl MemorySystem {
         let slice = self.slice_of(line);
         if self.l3[slice].contains(line) {
             stats.prefetches_redundant += 1;
+            self.tel.prefetch_dropped(core, now, line);
             return None;
         }
         let lat = self.cfg.l3.tag_latency;
-        let dr = self.dram.read(line, now + lat);
+        let at = now + lat;
+        let dr = self.dram.read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
+        self.tel
+            .counters_mut()
+            .dram_queue_wait
+            .record(dr.queue_wait);
+        self.sample_dram_queue(core, line, at);
         let ready = now + lat + dr.latency;
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.prefetched = true;
         l3fill.dir = Directory::empty();
         self.insert_l3(slice, l3fill, now, stats);
         stats.prefetches_issued += 1;
-        let _ = core;
+        self.trace_prefetch_issued(core, now, ready, line, ServedBy::Dram);
         Some(PrefetchIssued {
             line_addr: line,
             fill_time: ready,

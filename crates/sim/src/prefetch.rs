@@ -11,6 +11,7 @@
 use crate::mem::address_space::AddressSpace;
 use crate::mem::hierarchy::{MemorySystem, ServedBy};
 use crate::stats::Stats;
+use crate::telemetry::{TraceEvent, TraceEventKind};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -154,6 +155,57 @@ impl<'a> PrefetchCtx<'a> {
     /// throttling mechanism (paper §IV-G) adapts to.
     pub fn prefetch_usefulness(&self) -> crate::stats::PrefetchUse {
         self.stats.prefetch_use
+    }
+
+    /// Records a feedback-throttle aggressiveness report: counts the
+    /// direction change and emits a `throttle-level` event. Call with
+    /// `prev == level` for the initial report (event only, no counter).
+    pub fn trace_throttle(&mut self, prev: u32, level: u32) {
+        let tel = self.mem.tracer_mut();
+        if level > prev {
+            tel.counters_mut().throttle_ups += 1;
+        } else if level < prev {
+            tel.counters_mut().throttle_downs += 1;
+        }
+        let (core, now) = (self.core as u32, self.now);
+        tel.emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core,
+            kind: TraceEventKind::ThrottleLevel { level, prev },
+        });
+    }
+
+    /// Records the Prodigy walker traversing a DIG edge for the element at
+    /// `addr` (counts it, and emits a `dig-transition` event when tracing).
+    pub fn trace_dig_transition(&mut self, src: u16, dst: u16, ranged: bool, addr: u64) {
+        let tel = self.mem.tracer_mut();
+        tel.counters_mut().dig_transitions += 1;
+        let (core, now) = (self.core as u32, self.now);
+        tel.emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core,
+            kind: TraceEventKind::DigTransition {
+                src,
+                dst,
+                ranged,
+                addr,
+            },
+        });
+    }
+
+    /// Emits a free-form prefetcher event (baseline internals: stride lock,
+    /// stream allocation, GHB correlation hit, ...). `label` becomes the
+    /// Chrome event name; nothing happens when tracing is off.
+    pub fn trace_note(&mut self, label: &'static str, addr: u64) {
+        let (core, now) = (self.core as u32, self.now);
+        self.mem.tracer_mut().emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core,
+            kind: TraceEventKind::PrefetcherNote { label, addr },
+        });
     }
 }
 

@@ -63,19 +63,88 @@ impl CpiStack {
         self.other += o.other;
     }
 
-    /// Returns the stack normalised so that `total() == 1`, or zeros if empty.
+    /// Returns the stack normalised so that `total() == 1.0` exactly, or
+    /// zeros if empty.
+    ///
+    /// Naive per-bucket division drifts: with six independent roundings the
+    /// bucket sum can miss 1.0 by several ulps, and accumulating many
+    /// near-zero stacks (subnormal totals) loses whole bits per division.
+    /// Two defences restore the invariant: tiny totals are first rescaled
+    /// by an exact power of two so every division happens at full
+    /// precision, and the remaining rounding residual is folded into the
+    /// largest bucket (changing it by at most a few ulps) until the sum is
+    /// exact.
     pub fn normalized(&self) -> CpiStack {
-        let t = self.total();
-        if t == 0.0 {
+        let mut s = *self;
+        let mut t = s.total();
+        if t == 0.0 || !t.is_finite() {
             return CpiStack::default();
         }
-        CpiStack {
-            no_stall: self.no_stall / t,
-            dram: self.dram / t,
-            cache: self.cache / t,
-            branch: self.branch / t,
-            dependency: self.dependency / t,
-            other: self.other / t,
+        // Scaling by a power of two is exact unless it overflows; lift
+        // subnormal-range stacks into the well-normalised range first.
+        if t < 1e-300 {
+            let scale = 2f64.powi(600);
+            for b in [
+                &mut s.no_stall,
+                &mut s.dram,
+                &mut s.cache,
+                &mut s.branch,
+                &mut s.dependency,
+                &mut s.other,
+            ] {
+                *b *= scale;
+            }
+            t = s.total();
+        }
+        let mut n = CpiStack {
+            no_stall: s.no_stall / t,
+            dram: s.dram / t,
+            cache: s.cache / t,
+            branch: s.branch / t,
+            dependency: s.dependency / t,
+            other: s.other / t,
+        };
+        // Pin the bucket sum to exactly 1.0 by recomputing `other` — the
+        // *last* term in total()'s fixed summation order — as the
+        // complement of the leading partial sum: for partial ∈ [0, 1],
+        // `partial + fl(1 - partial)` rounds to exactly 1.0 (Sterbenz for
+        // partial ≥ 0.5, sub-half-ulp residual below). When rounding
+        // pushed the partial sum above 1, first shave the ulp-level
+        // overshoot off the largest leading bucket (≥ partial/5, so the
+        // shave is well-conditioned and strictly decreasing).
+        for _ in 0..8 {
+            let partial = n.no_stall + n.dram + n.cache + n.branch + n.dependency;
+            if partial <= 1.0 {
+                n.other = 1.0 - partial;
+                break;
+            }
+            *n.largest_leading_mut() -= partial - 1.0;
+        }
+        n
+    }
+
+    /// The largest of the five buckets preceding `other` in summation
+    /// order (ties broken in field order).
+    fn largest_leading_mut(&mut self) -> &mut f64 {
+        let vals = [
+            self.no_stall,
+            self.dram,
+            self.cache,
+            self.branch,
+            self.dependency,
+        ];
+        let mut idx = 0;
+        for (i, v) in vals.iter().enumerate() {
+            if *v > vals[idx] {
+                idx = i;
+            }
+        }
+        match idx {
+            0 => &mut self.no_stall,
+            1 => &mut self.dram,
+            2 => &mut self.cache,
+            3 => &mut self.branch,
+            _ => &mut self.dependency,
         }
     }
 }
@@ -117,6 +186,11 @@ impl PrefetchUse {
         self.hit_l1 + self.hit_l2 + self.hit_l3 + self.evicted_unused
     }
 
+    /// Prefetched lines that were demanded before eviction (at any level).
+    pub fn useful(&self) -> u64 {
+        self.hit_l1 + self.hit_l2 + self.hit_l3
+    }
+
     /// Fraction of resolved prefetches that were demanded before eviction
     /// (the paper's "accuracy", 62.7% on average for Prodigy).
     pub fn accuracy(&self) -> f64 {
@@ -124,7 +198,19 @@ impl PrefetchUse {
         if r == 0 {
             return 0.0;
         }
-        (self.hit_l1 + self.hit_l2 + self.hit_l3) as f64 / r as f64
+        self.useful() as f64 / r as f64
+    }
+
+    /// The paper's "coverage": the fraction of would-be misses eliminated
+    /// by prefetching — prefetch hits over prefetch hits plus the demand
+    /// misses that still happened. The caller supplies `demand_misses`
+    /// (typically LLC demand misses; see [`Stats::prefetch_coverage`]).
+    pub fn coverage(&self, demand_misses: u64) -> f64 {
+        let useful = self.useful();
+        if useful + demand_misses == 0 {
+            return 0.0;
+        }
+        useful as f64 / (useful + demand_misses) as f64
     }
 }
 
@@ -190,6 +276,14 @@ impl Stats {
     /// Total LLC (L3) misses.
     pub fn llc_misses(&self) -> u64 {
         self.l3.misses
+    }
+
+    /// Prefetch coverage over the run: useful prefetches against the LLC
+    /// demand misses that still went to memory. `l3.misses` counts only
+    /// demand-path lookups (the prefetch path never touches it), so it is
+    /// exactly the uncovered-miss term of the paper's Fig. 19 metric.
+    pub fn prefetch_coverage(&self) -> f64 {
+        self.prefetch_use.coverage(self.l3.misses)
     }
 
     /// Merges another run's counters into this one (used across phases).
@@ -283,6 +377,29 @@ mod tests {
     }
 
     #[test]
+    fn normalized_is_exact_for_accumulated_near_zero_stacks() {
+        // Accumulating many near-zero (subnormal-range) stacks used to
+        // leave normalized().total() several ulps — or, with subnormal
+        // division, whole bits — away from 1.0.
+        let tiny = CpiStack {
+            no_stall: 3.1e-310,
+            dram: 7.3e-312,
+            cache: 1.9e-311,
+            branch: 4.0e-313,
+            dependency: 2.2e-312,
+            other: 5.5e-311,
+        };
+        let mut acc = CpiStack::default();
+        for _ in 0..997 {
+            acc.accumulate(&tiny);
+        }
+        let n = acc.normalized();
+        assert_eq!(n.total(), 1.0, "bucket sum must be exactly 1.0: {n:?}");
+        // Proportions survive the rescale (no precision collapse).
+        assert!((n.no_stall / n.dram - 3.1e-310 / 7.3e-312).abs() < 1e-3);
+    }
+
+    #[test]
     fn prefetch_accuracy() {
         let p = PrefetchUse {
             hit_l1: 6,
@@ -291,8 +408,37 @@ mod tests {
             evicted_unused: 2,
         };
         assert_eq!(p.resolved(), 10);
+        assert_eq!(p.useful(), 8);
         assert!((p.accuracy() - 0.8).abs() < 1e-12);
         assert_eq!(PrefetchUse::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_coverage_mirrors_paper_averages() {
+        // The paper reports ~62.7% average accuracy for Prodigy alongside
+        // high miss coverage; a run shaped like that average:
+        let p = PrefetchUse {
+            hit_l1: 500,
+            hit_l2: 80,
+            hit_l3: 47,
+            evicted_unused: 373,
+        };
+        assert!((p.accuracy() - 0.627).abs() < 1e-3);
+        // 627 useful prefetches against 244 remaining demand misses →
+        // ~72% of would-be misses covered.
+        assert!((p.coverage(244) - 627.0 / 871.0).abs() < 1e-12);
+        // Edge cases: no activity at all, and full coverage.
+        assert_eq!(PrefetchUse::default().coverage(0), 0.0);
+        assert_eq!(p.coverage(0), 1.0);
+    }
+
+    #[test]
+    fn stats_level_coverage_uses_llc_misses() {
+        let mut s = Stats::default();
+        s.prefetch_use.hit_l1 = 30;
+        s.l3.misses = 10;
+        assert!((s.prefetch_coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(Stats::default().prefetch_coverage(), 0.0);
     }
 
     #[test]

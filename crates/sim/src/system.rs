@@ -17,6 +17,7 @@ use crate::mem::address_space::AddressSpace;
 use crate::mem::hierarchy::MemorySystem;
 use crate::prefetch::{FillEvent, FillQueue, NullPrefetcher, PrefetchCtx, Prefetcher};
 use crate::stats::Stats;
+use crate::telemetry::{TelemetrySummary, TraceEvent, TraceEventKind, TraceSink};
 
 /// Statistics of a single phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +49,7 @@ pub struct System {
     fills: Vec<FillQueue>,
     stats: Stats,
     time: u64,
+    phase_idx: u64,
     energy_model: EnergyModel,
 }
 
@@ -82,9 +84,28 @@ impl System {
             fills: (0..n).map(|_| FillQueue::new()).collect(),
             stats: Stats::default(),
             time: 0,
+            phase_idx: 0,
             energy_model: EnergyModel::default(),
             cfg,
         }
+    }
+
+    /// Installs an event sink on the memory system's tracer; every
+    /// component emits structured [`TraceEvent`]s into it from now on.
+    pub fn install_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.mem.tracer_mut().install_sink(sink);
+    }
+
+    /// Removes and returns the trace sink, if one was installed.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.mem.tracer_mut().take_sink()
+    }
+
+    /// The run's accumulated telemetry counters (latency histograms and the
+    /// prefetch-timeliness breakdown; always collected, never part of
+    /// [`Stats`]).
+    pub fn telemetry(&self) -> &TelemetrySummary {
+        self.mem.telemetry()
     }
 
     /// The configuration in use.
@@ -242,6 +263,17 @@ impl System {
         self.fills = fills;
         self.time = barrier;
         let cycles = barrier - phase_start;
+        let index = self.phase_idx;
+        self.phase_idx += 1;
+        self.mem.tracer_mut().emit(|| TraceEvent {
+            cycle: phase_start,
+            dur: cycles,
+            core: 0,
+            kind: TraceEventKind::Phase {
+                index,
+                cores: participating as u32,
+            },
+        });
         self.stats.cycles += cycles;
         PhaseStats {
             cycles,

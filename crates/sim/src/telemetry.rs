@@ -1,0 +1,899 @@
+//! Cycle-level telemetry: structured event tracing, log2-bucketed latency
+//! histograms, and per-prefetch timeliness attribution.
+//!
+//! The simulator keeps two tiers of observability:
+//!
+//! 1. **Always-on counters** ([`TelemetrySummary`]): cheap histograms and
+//!    the timely / late / inaccurate / dropped prefetch breakdown (the
+//!    paper's Fig. 19 taxonomy). These are collected on every run and
+//!    merged into sweep reports, but deliberately kept *outside*
+//!    [`crate::Stats`] so the determinism fingerprint of existing runs is
+//!    byte-for-byte unchanged.
+//! 2. **Opt-in event tracing** ([`TraceSink`]): when a sink is installed on
+//!    the [`Tracer`], every component (cache hierarchy, DRAM controller,
+//!    TLB, prefetchers, the Prodigy DIG walker and throttle) emits
+//!    structured [`TraceEvent`]s. With no sink installed — the default —
+//!    the emit path is a single predicted branch and no event is even
+//!    constructed, so untraced runs pay nothing.
+//!
+//! Traces serialize to Chrome trace-event JSON ([`chrome_trace_json`]),
+//! loadable in Perfetto / `chrome://tracing`. Output is fully
+//! deterministic: events are ordered by `(cycle, core, sequence)`, IDs are
+//! sequential per run, and no host time is ever recorded.
+
+use crate::mem::hierarchy::ServedBy;
+use std::any::Any;
+
+/// Number of buckets in a [`Log2Hist`] (bucket `i` holds values whose
+/// bit-length is `i`, i.e. `v in [2^(i-1), 2^i)`; bucket 0 holds zeros).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Coarse grouping of trace events, used for filtering (`--trace-events`)
+/// and as the Chrome `cat` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceCategory {
+    /// Cache-hierarchy events (demand misses serviced by L2/L3).
+    Cache,
+    /// DRAM events (memory-serviced misses, controller queue samples).
+    Dram,
+    /// Prefetcher events (issue, use, eviction, drop, DIG transitions).
+    Prefetcher,
+    /// Feedback-throttle adaptation events.
+    Throttle,
+    /// TLB miss events.
+    Tlb,
+    /// Core/phase structure events (phase spans).
+    Core,
+}
+
+impl TraceCategory {
+    /// Every category, in display order.
+    pub const ALL: [TraceCategory; 6] = [
+        TraceCategory::Cache,
+        TraceCategory::Dram,
+        TraceCategory::Prefetcher,
+        TraceCategory::Throttle,
+        TraceCategory::Tlb,
+        TraceCategory::Core,
+    ];
+
+    /// Stable lowercase name (the Chrome `cat` string).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceCategory::Cache => "cache",
+            TraceCategory::Dram => "dram",
+            TraceCategory::Prefetcher => "prefetcher",
+            TraceCategory::Throttle => "throttle",
+            TraceCategory::Tlb => "tlb",
+            TraceCategory::Core => "core",
+        }
+    }
+
+    /// Parses a category name as produced by [`TraceCategory::name`].
+    pub fn parse(s: &str) -> Option<TraceCategory> {
+        TraceCategory::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// Parses a comma-separated category filter ("cache,dram,prefetcher").
+///
+/// # Errors
+/// Returns the offending token when it names no known category.
+pub fn parse_category_filter(s: &str) -> Result<Vec<TraceCategory>, String> {
+    let mut out = Vec::new();
+    for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match TraceCategory::parse(tok) {
+            Some(c) => {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            None => return Err(tok.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// The payload of one structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A demand access missed the L1 and was serviced deeper in the
+    /// hierarchy (`served` is L2/L3/DRAM).
+    DemandMiss {
+        /// Line-aligned address.
+        line: u64,
+        /// Level that serviced the miss.
+        served: ServedBy,
+    },
+    /// A prefetch request was accepted; the event spans issue → fill.
+    PrefetchIssued {
+        /// Sequential per-run prefetch id.
+        id: u64,
+        /// Line-aligned address.
+        line: u64,
+        /// Where the data came from.
+        served: ServedBy,
+    },
+    /// A previously-prefetched line was demanded for the first time.
+    PrefetchUsed {
+        /// Line-aligned address.
+        line: u64,
+        /// Level the line was found at.
+        level: ServedBy,
+        /// Residual in-flight wait the demand paid (0 ⇒ timely).
+        wait: u64,
+    },
+    /// A prefetched line left the hierarchy without ever being demanded.
+    PrefetchEvictedUnused {
+        /// Line-aligned address.
+        line: u64,
+    },
+    /// A prefetch request was dropped before issue (already resident or in
+    /// flight).
+    PrefetchDropped {
+        /// Line-aligned address.
+        line: u64,
+    },
+    /// The feedback throttle published its aggressiveness level
+    /// (sequences-per-trigger), either initially or after a window
+    /// adaptation.
+    ThrottleLevel {
+        /// Current sequences-per-trigger.
+        level: u32,
+        /// Previous level (equal to `level` on the initial report).
+        prev: u32,
+    },
+    /// The Prodigy walker traversed a DIG edge for one element.
+    DigTransition {
+        /// Source node id.
+        src: u16,
+        /// Destination node id.
+        dst: u16,
+        /// Whether the edge is a ranged indirection.
+        ranged: bool,
+        /// Address of the element that triggered the transition.
+        addr: u64,
+    },
+    /// A free-form single-address prefetcher event (baseline internals:
+    /// stride lock, stream allocation, GHB correlation hit, ...).
+    PrefetcherNote {
+        /// Short static label, used as the Chrome event name.
+        label: &'static str,
+        /// Address associated with the event.
+        addr: u64,
+    },
+    /// Sample of one DRAM channel's controller backlog, taken after a read
+    /// was enqueued.
+    DramQueueSample {
+        /// Channel index.
+        channel: u32,
+        /// Backlog in cycles still queued at the controller.
+        backlog: u64,
+    },
+    /// A demand-side TLB miss.
+    TlbMiss {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+    /// One parallel phase, spanning start → barrier.
+    Phase {
+        /// Zero-based phase index.
+        index: u64,
+        /// Number of participating cores.
+        cores: u32,
+    },
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event begins at.
+    pub cycle: u64,
+    /// Duration in cycles (0 for instant events).
+    pub dur: u64,
+    /// Core the event is attributed to (system-wide events use core 0).
+    pub core: u32,
+    /// The structured payload.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The category this event belongs to.
+    pub fn category(&self) -> TraceCategory {
+        match self.kind {
+            TraceEventKind::DemandMiss { served, .. } => {
+                if served == ServedBy::Dram {
+                    TraceCategory::Dram
+                } else {
+                    TraceCategory::Cache
+                }
+            }
+            TraceEventKind::PrefetchIssued { .. }
+            | TraceEventKind::PrefetchUsed { .. }
+            | TraceEventKind::PrefetchEvictedUnused { .. }
+            | TraceEventKind::PrefetchDropped { .. }
+            | TraceEventKind::DigTransition { .. }
+            | TraceEventKind::PrefetcherNote { .. } => TraceCategory::Prefetcher,
+            TraceEventKind::ThrottleLevel { .. } => TraceCategory::Throttle,
+            TraceEventKind::DramQueueSample { .. } => TraceCategory::Dram,
+            TraceEventKind::TlbMiss { .. } => TraceCategory::Tlb,
+            TraceEventKind::Phase { .. } => TraceCategory::Core,
+        }
+    }
+
+    /// The Chrome event name.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            TraceEventKind::DemandMiss { .. } => "demand-miss",
+            TraceEventKind::PrefetchIssued { .. } => "prefetch",
+            TraceEventKind::PrefetchUsed { .. } => "prefetch-used",
+            TraceEventKind::PrefetchEvictedUnused { .. } => "prefetch-evicted-unused",
+            TraceEventKind::PrefetchDropped { .. } => "prefetch-dropped",
+            TraceEventKind::ThrottleLevel { .. } => "throttle-level",
+            TraceEventKind::DigTransition { .. } => "dig-transition",
+            TraceEventKind::PrefetcherNote { label, .. } => label,
+            TraceEventKind::DramQueueSample { .. } => "dram-queue",
+            TraceEventKind::TlbMiss { .. } => "tlb-miss",
+            TraceEventKind::Phase { .. } => "phase",
+        }
+    }
+
+    fn args_json(&self) -> String {
+        fn served(s: ServedBy) -> &'static str {
+            match s {
+                ServedBy::L1 => "l1",
+                ServedBy::L2 => "l2",
+                ServedBy::L3 => "l3",
+                ServedBy::Dram => "dram",
+            }
+        }
+        match self.kind {
+            TraceEventKind::DemandMiss { line, served: s } => {
+                format!("{{\"line\":{line},\"served\":\"{}\"}}", served(s))
+            }
+            TraceEventKind::PrefetchIssued {
+                id,
+                line,
+                served: s,
+            } => {
+                format!(
+                    "{{\"id\":{id},\"line\":{line},\"served\":\"{}\"}}",
+                    served(s)
+                )
+            }
+            TraceEventKind::PrefetchUsed { line, level, wait } => format!(
+                "{{\"line\":{line},\"level\":\"{}\",\"wait\":{wait},\"timely\":{}}}",
+                served(level),
+                wait == 0
+            ),
+            TraceEventKind::PrefetchEvictedUnused { line }
+            | TraceEventKind::PrefetchDropped { line } => format!("{{\"line\":{line}}}"),
+            TraceEventKind::ThrottleLevel { level, prev } => {
+                format!("{{\"level\":{level},\"prev\":{prev}}}")
+            }
+            TraceEventKind::DigTransition {
+                src,
+                dst,
+                ranged,
+                addr,
+            } => format!("{{\"src\":{src},\"dst\":{dst},\"ranged\":{ranged},\"addr\":{addr}}}"),
+            TraceEventKind::PrefetcherNote { addr, .. } => format!("{{\"addr\":{addr}}}"),
+            TraceEventKind::DramQueueSample { channel, backlog } => {
+                format!("{{\"channel\":{channel},\"backlog\":{backlog}}}")
+            }
+            TraceEventKind::TlbMiss { vaddr } => format!("{{\"vaddr\":{vaddr}}}"),
+            TraceEventKind::Phase { index, cores } => {
+                format!("{{\"index\":{index},\"cores\":{cores}}}")
+            }
+        }
+    }
+
+    /// Serializes to one Chrome trace-event object. Span events (nonzero
+    /// duration, and phases) use `ph:"X"`; everything else is an instant.
+    pub fn to_chrome_json(&self) -> String {
+        let span = self.dur > 0 || matches!(self.kind, TraceEventKind::Phase { .. });
+        let ph = if span {
+            format!("\"ph\":\"X\",\"dur\":{}", self.dur)
+        } else {
+            "\"ph\":\"i\",\"s\":\"t\"".to_string()
+        };
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",{},\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+            self.name(),
+            self.category().name(),
+            ph,
+            self.cycle,
+            self.core,
+            self.args_json()
+        )
+    }
+}
+
+/// Serializes events to a complete Chrome trace-event JSON document,
+/// optionally keeping only the given categories.
+///
+/// Events are sorted by `(cycle, core, insertion order)`, so output cycles
+/// are monotonically non-decreasing and byte-identical across runs with the
+/// same seed regardless of emission interleaving.
+pub fn chrome_trace_json(events: &[TraceEvent], filter: Option<&[TraceCategory]>) -> String {
+    let mut picked: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| filter.map(|f| f.contains(&e.category())).unwrap_or(true))
+        .collect();
+    picked.sort_by_key(|e| (e.cycle, e.core));
+    let mut out = String::with_capacity(64 + picked.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in picked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&e.to_chrome_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Consumer of trace events. Implementations must be cheap: the hierarchy
+/// calls [`TraceSink::record`] on hot paths whenever a sink is installed.
+pub trait TraceSink: Send {
+    /// Receives one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Downcasting hook so drivers can recover a concrete sink (and its
+    /// collected events) after a run.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A sink that discards every event. Installing it exercises the full emit
+/// path (event construction included) without retaining anything — the
+/// no-op-path tests use it to prove tracing never perturbs `Stats`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A sink that buffers every event in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Collected events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A log2-bucketed histogram of cycle counts.
+///
+/// Bucket `i` (for `i ≥ 1`) counts values with bit-length `i`, i.e. in
+/// `[2^(i-1), 2^i)`; bucket 0 counts zeros; values at or beyond
+/// `2^(HIST_BUCKETS-1)` land in the last bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Hist::default()
+    }
+
+    /// Bucket index for `v`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` covered by `bucket`.
+    pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+        match bucket {
+            0 => (0, 1),
+            b if b >= HIST_BUCKETS - 1 => (1 << (HIST_BUCKETS - 2), u64::MAX),
+            b => (1 << (b - 1), 1 << b),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in `bucket`.
+    pub fn bucket(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+
+    /// Adds another histogram's contents into this one.
+    pub fn merge(&mut self, o: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += o.count;
+        self.sum = self.sum.saturating_add(o.sum);
+    }
+
+    /// Serializes to a JSON object with sparse `[bucket, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut pairs = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !pairs.is_empty() {
+                    pairs.push(',');
+                }
+                pairs.push_str(&format!("[{i},{n}]"));
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"buckets\":[{pairs}]}}",
+            self.count, self.sum
+        )
+    }
+}
+
+/// The Fig. 19 prefetch-timeliness taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeliness {
+    /// Demanded after the fill completed (full latency hidden).
+    pub timely: u64,
+    /// Demanded while still in flight (latency partially hidden).
+    pub late: u64,
+    /// Evicted from the hierarchy without ever being demanded.
+    pub inaccurate: u64,
+    /// Dropped before issue (already resident or in flight).
+    pub dropped: u64,
+}
+
+impl Timeliness {
+    /// Total classified prefetch requests.
+    pub fn total(&self) -> u64 {
+        self.timely + self.late + self.inaccurate + self.dropped
+    }
+
+    /// `part / total()`, or 0 when nothing was classified.
+    pub fn share(&self, part: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            part as f64 / t as f64
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &Timeliness) {
+        self.timely += o.timely;
+        self.late += o.late;
+        self.inaccurate += o.inaccurate;
+        self.dropped += o.dropped;
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"timely\":{},\"late\":{},\"inaccurate\":{},\"dropped\":{}}}",
+            self.timely, self.late, self.inaccurate, self.dropped
+        )
+    }
+}
+
+/// Always-on telemetry counters for one run: latency histograms plus the
+/// timeliness breakdown. Kept outside [`crate::Stats`] so the determinism
+/// fingerprint of existing reports never changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Timely/late/inaccurate/dropped prefetch classification.
+    pub timeliness: Timeliness,
+    /// Latency of every demand access, issue → data (load-to-use).
+    pub load_to_use: Log2Hist,
+    /// Cycles a prefetched line sat ready in the hierarchy before its first
+    /// demand (timely prefetches only).
+    pub fill_to_use: Log2Hist,
+    /// Residual cycles a demand waited on an in-flight prefetch (late
+    /// prefetches only).
+    pub late_wait: Log2Hist,
+    /// Latency of DRAM-serviced demand accesses (memory round-trip).
+    pub dram_round_trip: Log2Hist,
+    /// Memory-controller queueing delay per DRAM read.
+    pub dram_queue_wait: Log2Hist,
+    /// Feedback-throttle aggressiveness increases.
+    pub throttle_ups: u64,
+    /// Feedback-throttle aggressiveness reductions.
+    pub throttle_downs: u64,
+    /// DIG edge transitions walked by the Prodigy prefetcher.
+    pub dig_transitions: u64,
+}
+
+impl TelemetrySummary {
+    /// Accumulates another run's telemetry into this one.
+    pub fn merge(&mut self, o: &TelemetrySummary) {
+        self.timeliness.merge(&o.timeliness);
+        self.load_to_use.merge(&o.load_to_use);
+        self.fill_to_use.merge(&o.fill_to_use);
+        self.late_wait.merge(&o.late_wait);
+        self.dram_round_trip.merge(&o.dram_round_trip);
+        self.dram_queue_wait.merge(&o.dram_queue_wait);
+        self.throttle_ups += o.throttle_ups;
+        self.throttle_downs += o.throttle_downs;
+        self.dig_transitions += o.dig_transitions;
+    }
+
+    /// Serializes to the JSON object embedded per cell in sweep reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"timeliness\":{},",
+                "\"load_to_use\":{},",
+                "\"fill_to_use\":{},",
+                "\"late_wait\":{},",
+                "\"dram_round_trip\":{},",
+                "\"dram_queue_wait\":{},",
+                "\"throttle_ups\":{},\"throttle_downs\":{},\"dig_transitions\":{}}}"
+            ),
+            self.timeliness.to_json(),
+            self.load_to_use.to_json(),
+            self.fill_to_use.to_json(),
+            self.late_wait.to_json(),
+            self.dram_round_trip.to_json(),
+            self.dram_queue_wait.to_json(),
+            self.throttle_ups,
+            self.throttle_downs,
+            self.dig_transitions,
+        )
+    }
+}
+
+/// The telemetry hub owned by the memory system: always-on counters plus an
+/// optional event sink.
+#[derive(Default)]
+pub struct Tracer {
+    counters: TelemetrySummary,
+    sink: Option<Box<dyn TraceSink>>,
+    next_prefetch_id: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("counters", &self.counters)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with no sink installed.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Installs (or replaces) the event sink.
+    pub fn install_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is installed (events are being constructed).
+    pub fn is_tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The always-on counters.
+    pub fn counters(&self) -> &TelemetrySummary {
+        &self.counters
+    }
+
+    /// Mutable access to the counters (component instrumentation).
+    pub fn counters_mut(&mut self) -> &mut TelemetrySummary {
+        &mut self.counters
+    }
+
+    /// Emits an event if a sink is installed. The closure runs only when
+    /// tracing is on, so disabled runs never construct events.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(s) = &mut self.sink {
+            s.record(&f());
+        }
+    }
+
+    /// Hands out the next sequential prefetch id (deterministic per run).
+    pub fn next_prefetch_id(&mut self) -> u64 {
+        let id = self.next_prefetch_id;
+        self.next_prefetch_id += 1;
+        id
+    }
+
+    /// Records a demand access completing: feeds the load-to-use histogram
+    /// and, for L1 misses, emits a `demand-miss` span.
+    #[inline]
+    pub fn demand_done(
+        &mut self,
+        core: usize,
+        issue: u64,
+        latency: u64,
+        served: ServedBy,
+        line: u64,
+        l1_miss: bool,
+    ) {
+        self.counters.load_to_use.record(latency);
+        if served == ServedBy::Dram {
+            self.counters.dram_round_trip.record(latency);
+        }
+        if l1_miss {
+            self.emit(|| TraceEvent {
+                cycle: issue,
+                dur: latency,
+                core: core as u32,
+                kind: TraceEventKind::DemandMiss { line, served },
+            });
+        }
+    }
+
+    /// Records the first demand of a prefetched line: classifies it timely
+    /// (`residual == 0`) or late, feeds the matching histogram, and emits a
+    /// `prefetch-used` event. `slack` is how long the line sat ready before
+    /// this demand (meaningful only when timely).
+    #[inline]
+    pub fn prefetch_used(
+        &mut self,
+        core: usize,
+        now: u64,
+        line: u64,
+        level: ServedBy,
+        residual: u64,
+        slack: u64,
+    ) {
+        if residual == 0 {
+            self.counters.timeliness.timely += 1;
+            self.counters.fill_to_use.record(slack);
+        } else {
+            self.counters.timeliness.late += 1;
+            self.counters.late_wait.record(residual);
+        }
+        self.emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core: core as u32,
+            kind: TraceEventKind::PrefetchUsed {
+                line,
+                level,
+                wait: residual,
+            },
+        });
+    }
+
+    /// Records a prefetched line leaving the hierarchy unused.
+    #[inline]
+    pub fn prefetch_evicted_unused(&mut self, now: u64, line: u64) {
+        self.counters.timeliness.inaccurate += 1;
+        self.emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core: 0,
+            kind: TraceEventKind::PrefetchEvictedUnused { line },
+        });
+    }
+
+    /// Records a prefetch request dropped before issue.
+    #[inline]
+    pub fn prefetch_dropped(&mut self, core: usize, now: u64, line: u64) {
+        self.counters.timeliness.dropped += 1;
+        self.emit(|| TraceEvent {
+            cycle: now,
+            dur: 0,
+            core: core as u32,
+            kind: TraceEventKind::PrefetchDropped { line },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_hist_buckets_and_moments() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 2, 3, 4, 1023, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 2057);
+        assert_eq!(h.bucket(0), 1, "zeros");
+        assert_eq!(h.bucket(1), 1, "[1,2)");
+        assert_eq!(h.bucket(2), 2, "[2,4)");
+        assert_eq!(h.bucket(3), 1, "[4,8)");
+        assert_eq!(h.bucket(10), 1, "[512,1024)");
+        assert_eq!(h.bucket(11), 1, "[1024,2048)");
+        assert!((h.mean() - 2057.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_hist_saturates_in_last_bucket() {
+        let mut h = Log2Hist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(HIST_BUCKETS - 1), 1);
+        let (lo, hi) = Log2Hist::bucket_bounds(HIST_BUCKETS - 1);
+        assert_eq!(lo, 1 << (HIST_BUCKETS - 2));
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn log2_hist_merge_and_json() {
+        let mut a = Log2Hist::new();
+        a.record(5);
+        let mut b = Log2Hist::new();
+        b.record(5);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(
+            a.to_json(),
+            "{\"count\":3,\"sum\":10,\"buckets\":[[0,1],[3,2]]}"
+        );
+    }
+
+    #[test]
+    fn timeliness_shares() {
+        let t = Timeliness {
+            timely: 6,
+            late: 2,
+            inaccurate: 1,
+            dropped: 1,
+        };
+        assert_eq!(t.total(), 10);
+        assert!((t.share(t.timely) - 0.6).abs() < 1e-12);
+        assert_eq!(Timeliness::default().share(0), 0.0);
+    }
+
+    #[test]
+    fn tracer_disabled_collects_counters_but_no_events() {
+        let mut t = Tracer::new();
+        assert!(!t.is_tracing());
+        t.prefetch_used(0, 100, 0x1000, ServedBy::L1, 0, 7);
+        t.prefetch_dropped(0, 101, 0x1040);
+        assert_eq!(t.counters().timeliness.timely, 1);
+        assert_eq!(t.counters().timeliness.dropped, 1);
+        assert_eq!(t.counters().fill_to_use.count(), 1);
+        assert!(t.take_sink().is_none());
+    }
+
+    #[test]
+    fn tracer_with_memory_sink_records_events() {
+        let mut t = Tracer::new();
+        t.install_sink(Box::new(MemorySink::new()));
+        t.demand_done(1, 10, 150, ServedBy::Dram, 0x2000, true);
+        t.prefetch_used(1, 20, 0x2040, ServedBy::Dram, 30, 0);
+        let mut sink = t.take_sink().expect("sink installed");
+        let events = &sink
+            .as_any_mut()
+            .downcast_mut::<MemorySink>()
+            .expect("memory sink")
+            .events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].category(), TraceCategory::Dram);
+        assert_eq!(events[0].dur, 150);
+        assert_eq!(events[1].category(), TraceCategory::Prefetcher);
+        assert_eq!(t.counters().timeliness.late, 1);
+    }
+
+    #[test]
+    fn chrome_json_is_cycle_sorted_and_filterable() {
+        let ev = |cycle, kind| TraceEvent {
+            cycle,
+            dur: 0,
+            core: 0,
+            kind,
+        };
+        let events = vec![
+            ev(30, TraceEventKind::TlbMiss { vaddr: 1 }),
+            ev(10, TraceEventKind::PrefetchDropped { line: 64 }),
+            ev(
+                20,
+                TraceEventKind::DramQueueSample {
+                    channel: 0,
+                    backlog: 5,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&events, None);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        let d = json.find("prefetch-dropped").unwrap();
+        let q = json.find("dram-queue").unwrap();
+        let t = json.find("tlb-miss").unwrap();
+        assert!(d < q && q < t, "events sorted by cycle");
+        let only_dram = chrome_trace_json(&events, Some(&[TraceCategory::Dram]));
+        assert!(only_dram.contains("dram-queue"));
+        assert!(!only_dram.contains("tlb-miss"));
+    }
+
+    #[test]
+    fn category_filter_parses_and_rejects() {
+        assert_eq!(
+            parse_category_filter("cache, dram,prefetcher").unwrap(),
+            vec![
+                TraceCategory::Cache,
+                TraceCategory::Dram,
+                TraceCategory::Prefetcher
+            ]
+        );
+        assert_eq!(parse_category_filter("bogus").unwrap_err(), "bogus");
+        assert!(parse_category_filter("").unwrap().is_empty());
+        for c in TraceCategory::ALL {
+            assert_eq!(TraceCategory::parse(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn summary_merge_and_json_shape() {
+        let mut a = TelemetrySummary::default();
+        a.timeliness.timely = 2;
+        a.load_to_use.record(4);
+        let mut b = TelemetrySummary::default();
+        b.timeliness.dropped = 1;
+        b.dig_transitions = 9;
+        a.merge(&b);
+        assert_eq!(a.timeliness.total(), 3);
+        assert_eq!(a.dig_transitions, 9);
+        let j = a.to_json();
+        assert!(j.contains("\"timeliness\":{\"timely\":2,"));
+        assert!(j.contains("\"dig_transitions\":9"));
+    }
+}

@@ -73,4 +73,39 @@ proptest! {
             prop_assert!((n.total() - 1.0).abs() < 1e-9);
         }
     }
+
+    /// Normalization holds its `total() == 1.0` invariant *exactly*, even
+    /// when the stack is an accumulation of near-zero (subnormal-range)
+    /// contributions — the regime where naive per-bucket division drifts.
+    #[test]
+    fn cpi_stack_normalized_sum_never_drifts(
+        parts in prop::collection::vec((0u8..6, 1.0f64..1000.0), 1..30),
+        exponent in -320i32..-250,
+        repeats in 1usize..200,
+    ) {
+        let tiny = 10f64.powi(exponent);
+        let mut one = CpiStack::default();
+        for &(c, v) in &parts {
+            match c % 6 {
+                0 => one.no_stall += v * tiny,
+                1 => one.dram += v * tiny,
+                2 => one.cache += v * tiny,
+                3 => one.branch += v * tiny,
+                4 => one.dependency += v * tiny,
+                _ => one.other += v * tiny,
+            }
+        }
+        let mut acc = CpiStack::default();
+        for _ in 0..repeats {
+            acc.accumulate(&one);
+        }
+        if acc.total() > 0.0 {
+            let n = acc.normalized();
+            prop_assert_eq!(n.total(), 1.0, "bucket-sum drift in {:?}", n);
+            // Every bucket stays a sane proportion.
+            for b in [n.no_stall, n.dram, n.cache, n.branch, n.dependency, n.other] {
+                prop_assert!((0.0..=1.0).contains(&b), "bucket out of range: {:?}", n);
+            }
+        }
+    }
 }

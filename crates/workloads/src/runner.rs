@@ -14,7 +14,9 @@ use prodigy_prefetchers::{
     AinsworthJonesPrefetcher, DropletPrefetcher, GhbGdcPrefetcher, ImpPrefetcher, StridePrefetcher,
 };
 use prodigy_sim::prefetch::Prefetcher;
-use prodigy_sim::{NullPrefetcher, RunSummary, System, SystemConfig};
+use prodigy_sim::{
+    MemorySink, NullPrefetcher, RunSummary, System, SystemConfig, TelemetrySummary, TraceEvent,
+};
 
 /// Which prefetcher to attach to every core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +94,10 @@ pub struct RunConfig {
     /// same kernel and config always produce identical [`RunOutcome`] stats
     /// regardless of host, thread, or execution order.
     pub seed: u64,
+    /// Collect cycle-level trace events (an in-memory sink is installed and
+    /// its events returned in [`RunOutcome::trace`]). Tracing never perturbs
+    /// `Stats` — only host time and memory footprint grow.
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -102,6 +108,7 @@ impl Default for RunConfig {
             prodigy: ProdigyConfig::default(),
             classify_llc: false,
             seed: 0,
+            trace: false,
         }
     }
 }
@@ -124,6 +131,11 @@ pub struct RunOutcome {
     /// Host wall-clock time spent simulating. Telemetry only — excluded
     /// from all determinism comparisons (see [`prodigy_sim::RunTiming`]).
     pub timing: prodigy_sim::RunTiming,
+    /// Always-on telemetry counters (latency histograms, prefetch
+    /// timeliness, throttle/DIG activity).
+    pub telemetry: TelemetrySummary,
+    /// Trace events, when [`RunConfig::trace`] was set.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// Runs `kernel` once under `cfg`.
@@ -137,6 +149,9 @@ pub struct RunOutcome {
 pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
     let host_start = std::time::Instant::now();
     let mut sys = System::new(cfg.sys);
+    if cfg.trace {
+        sys.install_trace_sink(Box::new(MemorySink::new()));
+    }
     let dig = kernel.prepare(sys.address_space_mut());
     let program = DigProgram::from_dig(&dig);
 
@@ -188,6 +203,14 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
         }
     });
 
+    let telemetry = sys.telemetry().clone();
+    let trace = sys.take_trace_sink().map(|mut s| {
+        s.as_any_mut()
+            .downcast_mut::<MemorySink>()
+            .map(|m| std::mem::take(&mut m.events))
+            .unwrap_or_default()
+    });
+
     RunOutcome {
         summary: sys.summary(),
         checksum,
@@ -195,6 +218,8 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
         storage_bits,
         seed: cfg.seed,
         timing: prodigy_sim::RunTiming::from_elapsed(host_start.elapsed()),
+        telemetry,
+        trace,
     }
 }
 
