@@ -46,4 +46,33 @@ assert all(a <= b for a, b in zip(ts, ts[1:])), "timestamps must be non-decreasi
 print(f"   {len(evs)} events, categories {sorted(cats)}: OK")
 PY
 
+echo "== diff smoke: same-seed scale-1 sweep pair must diff to zero"
+./target/release/prodigy-eval --scale 1 --threads 2 \
+    --json "$tmp/d1.json" fig02 >/dev/null
+./target/release/prodigy-eval --scale 1 --threads 2 \
+    --json "$tmp/d2.json" fig02 >/dev/null
+./target/release/prodigy-diff "$tmp/d1.json" "$tmp/d2.json"
+if ! ./target/release/prodigy-diff BENCH_pr5_scale1.json "$tmp/d1.json" >/dev/null; then
+    echo "   note: results drifted from the checked-in BENCH_pr5_scale1.json"
+    echo "   baseline. If the change is intentional, regenerate it with:"
+    echo "   ./target/release/prodigy-eval --scale 1 --threads 2 --json BENCH_pr5_scale1.json fig02"
+fi
+
+echo "== metrics smoke: windowed series + attribution, same-seed identical"
+./target/release/prodigy-eval --scale 64 --cores 2 \
+    --metrics "$tmp/me1.json" --metrics-window 5000 >/dev/null
+./target/release/prodigy-eval --scale 64 --cores 2 \
+    --metrics "$tmp/me2.json" --metrics-window 5000 >/dev/null
+cmp "$tmp/me1.json" "$tmp/me2.json"
+./target/release/prodigy-diff "$tmp/me1.json" "$tmp/me2.json"
+python3 - "$tmp/me1.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["windows_closed"] >= 1 and len(d["samples"]) == d["windows_closed"]
+assert all("ipc" in s and "throttle_level" in s for s in d["samples"])
+assert d["attribution"], "Prodigy run must attribute prefetches to DIG nodes"
+assert any("->" in a["label"] for a in d["attribution"]), "edge tags expected"
+print(f"   {len(d['samples'])} windows, {len(d['attribution'])} sources: OK")
+PY
+
 echo "CI green."

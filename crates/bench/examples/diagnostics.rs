@@ -8,8 +8,16 @@
 
 use prodigy::ProdigyConfig;
 use prodigy_bench::workload_set::WorkloadSpec;
-use prodigy_sim::SystemConfig;
+use prodigy_sim::{source_tag_label, SystemConfig};
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+
+/// Renders an optional fraction as a fixed-width percentage.
+fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:>4.0}%", v * 100.0),
+        None => " n/a".to_string(),
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -57,6 +65,7 @@ fn main() {
                 classify_llc: false,
                 seed: 0,
                 trace: false,
+                metrics: None,
             },
         );
         let s = &out.summary.stats;
@@ -73,12 +82,12 @@ fn main() {
             n.dram * 100.0,
         );
         println!(
-            "  L1 miss {:>9}  LLC miss {:>9}  pf issued {:>9}  redundant {:>9}  accuracy {:>4.0}%  use L1/L2/L3/evicted {}/{}/{}/{}",
+            "  L1 miss {:>9}  LLC miss {:>9}  pf issued {:>9}  redundant {:>9}  accuracy {}  use L1/L2/L3/evicted {}/{}/{}/{}",
             s.l1d.misses,
             s.l3.misses,
             s.prefetches_issued,
             s.prefetches_redundant,
-            s.prefetch_use.accuracy() * 100.0,
+            pct(s.prefetch_use.accuracy()),
             s.prefetch_use.hit_l1,
             s.prefetch_use.hit_l2,
             s.prefetch_use.hit_l3,
@@ -86,14 +95,42 @@ fn main() {
         );
         let t = &out.telemetry.timeliness;
         println!(
-            "  timeliness: timely {:>4.1}%  late {:>4.1}%  inaccurate {:>4.1}%  dropped {:>4.1}%  coverage {:>4.0}%  load-to-use mean {:>5.1} cy",
+            "  timeliness: timely {:>4.1}%  late {:>4.1}%  inaccurate {:>4.1}%  dropped {:>4.1}%  coverage {}  load-to-use mean {:>5.1} cy",
             t.share(t.timely) * 100.0,
             t.share(t.late) * 100.0,
             t.share(t.inaccurate) * 100.0,
             t.share(t.dropped) * 100.0,
-            s.prefetch_coverage() * 100.0,
+            pct(s.prefetch_coverage()),
             out.telemetry.load_to_use.mean(),
         );
+        // Per-source attribution: rank DIG nodes/edges (or baseline
+        // streams/table rows) by how much of their issue volume was wasted.
+        let attr = &out.telemetry.attribution;
+        if !attr.is_empty() {
+            let mut worst: Vec<_> = attr
+                .iter()
+                .filter(|(_, c)| c.issued > 0)
+                .map(|(tag, c)| {
+                    let wasted = (c.late + c.inaccurate + c.dropped) as f64
+                        / (c.issued + c.dropped).max(1) as f64;
+                    (tag, *c, wasted)
+                })
+                .collect();
+            worst.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+            println!("  worst sources (late+inaccurate+dropped share of issue volume):");
+            for (tag, c, wasted) in worst.iter().take(3) {
+                println!(
+                    "    {:<10} {:>5.1}% wasted  issued {:>8}  timely {:>8}  late {:>7}  inaccurate {:>7}  dropped {:>7}",
+                    source_tag_label(*tag),
+                    wasted * 100.0,
+                    c.issued,
+                    c.timely,
+                    c.late,
+                    c.inaccurate,
+                    c.dropped,
+                );
+            }
+        }
         if let Some(p) = out.prodigy {
             println!(
                 "  prodigy: sequences {} (dropped {})  trigger/ranged/single prefetches {}/{}/{}  inline advances {}  PFHR drops {}  ranged share {:.0}%",

@@ -1,0 +1,96 @@
+//! Run-to-run diff/regression gate for benchmark artifacts.
+//!
+//! ```text
+//! prodigy-diff OLD.json NEW.json [--threshold FRAC]
+//! ```
+//!
+//! Compares two sweep reports (`prodigy-eval --json`) or two windowed
+//! metrics dumps (`prodigy-eval --metrics FILE`), prints a deterministic
+//! per-metric delta report, and exits nonzero when a tier-1 metric
+//! regresses past the threshold:
+//!
+//! - exit 0 — no regression (deltas, if any, are within budget)
+//! - exit 1 — regression: a cell's cycle count grew (or a metrics run's
+//!   mean IPC fell) beyond `--threshold` (default 0.02 = 2%), or the two
+//!   runs' result checksums disagree
+//! - exit 2 — usage, I/O, or parse error
+//!
+//! Host timing (wall/host nanos, worker utilization) is excluded from the
+//! comparison: a same-seed pair must diff to zero changes.
+
+use prodigy_bench::compare::{diff_reports, parse_json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: prodigy-diff OLD.json NEW.json [--threshold FRAC]
+
+  OLD.json / NEW.json   sweep reports (prodigy-eval --json) or metrics
+                        dumps (prodigy-eval --metrics FILE); both must be
+                        the same kind
+  --threshold FRAC      tier-1 regression budget as a fraction
+                        (default 0.02 = 2%)
+
+exit status: 0 ok, 1 regression/checksum mismatch, 2 bad input";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("prodigy-diff: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.02f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    return fail("--threshold needs a numeric fraction");
+                };
+                if !(v.is_finite() && v >= 0.0) {
+                    return fail("--threshold must be a finite fraction >= 0");
+                }
+                threshold = v;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return fail(&format!("unknown flag {flag}"));
+            }
+            p => {
+                paths.push(p);
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        return fail("expected exactly two report files");
+    }
+
+    let mut parsed = Vec::new();
+    for p in &paths {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {p}: {e}")),
+        };
+        match parse_json(&text) {
+            Ok(v) => parsed.push(v),
+            Err(e) => return fail(&format!("cannot parse {p}: {e}")),
+        }
+    }
+
+    let report = match diff_reports(&parsed[0], &parsed[1], threshold) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    print!("{}", report.render());
+    if report.regressed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

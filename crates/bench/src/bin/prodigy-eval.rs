@@ -22,15 +22,24 @@
 //! trace-event JSON — load it in Perfetto / `chrome://tracing`. The trace
 //! is deterministic: same `--scale`/`--cores`/`--seed` → identical bytes.
 //! `--trace-events` restricts the output to a comma-separated category list
-//! (`cache,dram,prefetcher,throttle,tlb,core`).
+//! (`cache,dram,prefetcher,throttle,tlb,core`). `--trace-workload NAME`
+//! swaps the traced workload for any cell of the 29-workload evaluation
+//! set (e.g. `pr-tw`, `spmv`).
+//!
+//! `--metrics FILE` captures the same single run with the windowed metrics
+//! registry installed and writes the sampled time-series (IPC, miss rates,
+//! MLP, DRAM queue depth, prefetch accuracy/coverage, throttle level) plus
+//! the per-DIG-node/edge prefetch attribution table as JSON. Deterministic
+//! like traces; `--metrics-window N` sets the window length in cycles
+//! (default 100000). `--trace` and `--metrics` compose: one run feeds both.
 
 use prodigy::throttle::ThrottleSpec;
 use prodigy::ProdigyConfig;
 use prodigy_bench::experiments::{run_all, Ctx};
 use prodigy_bench::sweep::SweepConfig;
-use prodigy_bench::workload_set::WorkloadSpec;
+use prodigy_bench::workload_set::{all_29, WorkloadSpec};
 use prodigy_sim::telemetry::parse_category_filter;
-use prodigy_sim::{chrome_trace_json, TraceCategory};
+use prodigy_sim::{chrome_trace_json, MetricsConfig, TraceCategory};
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
 use std::time::Duration;
 
@@ -41,6 +50,9 @@ fn main() {
     let mut json: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut trace_events: Option<String> = None;
+    let mut trace_workload: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut metrics_window: u64 = MetricsConfig::default().window_cycles;
     let mut sweep = SweepConfig::default();
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -94,6 +106,25 @@ fn main() {
                         .unwrap_or_else(|| usage("--trace-events needs a category list")),
                 );
             }
+            "--trace-workload" => {
+                trace_workload = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-workload needs a workload name")),
+                );
+            }
+            "--metrics" => {
+                metrics = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics needs a path")),
+                );
+            }
+            "--metrics-window" => {
+                metrics_window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--metrics-window needs a cycle count >= 1"));
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => filters.push(other.to_string()),
@@ -104,15 +135,39 @@ fn main() {
     if let Some(c) = cores {
         ctx.sys = ctx.sys.with_cores(c);
     }
-    if let Some(path) = trace {
+    if trace.is_some() || metrics.is_some() {
         let filter = trace_events.as_deref().map(|s| {
             parse_category_filter(s).unwrap_or_else(|e| usage(&format!("--trace-events: {e}")))
         });
-        run_traced(&ctx, &path, filter.as_deref());
+        // Default workload: GAP BFS on the scaled LiveJournal graph.
+        let spec = match trace_workload.as_deref() {
+            None => WorkloadSpec::graph("bfs", "lj", scale),
+            Some(name) => all_29(scale)
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| {
+                    let names: Vec<String> = all_29(scale).into_iter().map(|s| s.name).collect();
+                    usage(&format!(
+                        "--trace-workload: unknown workload {name:?}; valid names: {}",
+                        names.join(" ")
+                    ))
+                }),
+        };
+        run_single(
+            &ctx,
+            &spec,
+            trace.as_deref(),
+            filter.as_deref(),
+            metrics.as_deref(),
+            metrics_window,
+        );
         return;
     }
     if trace_events.is_some() {
         usage("--trace-events requires --trace");
+    }
+    if trace_workload.is_some() {
+        usage("--trace-workload requires --trace or --metrics");
     }
     println!(
         "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}, {} sweep threads, seed {}\n",
@@ -140,14 +195,21 @@ fn main() {
     }
 }
 
-/// Tracing mode: one traced Prodigy BFS run on the scaled LiveJournal
-/// graph, written as Chrome trace-event JSON, with a timeliness summary on
-/// stdout.
-fn run_traced(ctx: &Ctx, path: &str, filter: Option<&[TraceCategory]>) {
-    let spec = WorkloadSpec::graph("bfs", "lj", ctx.scale);
+/// Single-run mode: one Prodigy run of `spec` (throttled, so throttle
+/// events appear), optionally traced as Chrome trace-event JSON and/or
+/// metered as a windowed metrics time-series with per-DIG-node prefetch
+/// attribution. Finishes with a timeliness summary on stdout.
+fn run_single(
+    ctx: &Ctx,
+    spec: &WorkloadSpec,
+    trace_path: Option<&str>,
+    filter: Option<&[TraceCategory]>,
+    metrics_path: Option<&str>,
+    metrics_window: u64,
+) {
     println!(
-        "prodigy-eval --trace: bfs-lj under prodigy (throttled), scale 1/{}, {} cores, seed {}",
-        ctx.scale, ctx.sys.cores, ctx.sweep.base_seed
+        "prodigy-eval: {} under prodigy (throttled), scale 1/{}, {} cores, seed {}",
+        spec.name, ctx.scale, ctx.sys.cores, ctx.sweep.base_seed
     );
     let mut kernel = spec.instantiate_seeded(ctx.sweep.base_seed);
     let outcome = run_workload(
@@ -161,18 +223,47 @@ fn run_traced(ctx: &Ctx, path: &str, filter: Option<&[TraceCategory]>) {
             },
             classify_llc: false,
             seed: spec.identity_hash() ^ ctx.sweep.base_seed,
-            trace: true,
+            trace: trace_path.is_some(),
+            metrics: metrics_path.map(|_| MetricsConfig {
+                window_cycles: metrics_window,
+                ..MetricsConfig::default()
+            }),
         },
     );
-    let events = outcome.trace.as_deref().unwrap_or(&[]);
-    let json = chrome_trace_json(events, filter);
-    std::fs::write(path, &json).unwrap_or_else(|e| {
-        eprintln!("failed to write {path}: {e}");
-        std::process::exit(1);
-    });
+    if let Some(path) = trace_path {
+        let events = outcome.trace.as_deref().unwrap_or(&[]);
+        let json = chrome_trace_json(events, filter);
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("trace written to {path} ({} events)", events.len());
+    }
+    if let Some(path) = metrics_path {
+        let reg = outcome.metrics.as_ref().expect("metrics were installed");
+        let mj = reg.to_json();
+        // Splice run identity and the attribution table into the registry's
+        // own JSON object (hand-rolled like every serializer in this repo).
+        let json = format!(
+            "{{\"workload\":\"{}\",\"seed\":{},{},\"attribution\":{}}}\n",
+            spec.name,
+            ctx.sweep.base_seed,
+            &mj[1..mj.len() - 1],
+            outcome.telemetry.attribution.to_json(),
+        );
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "metrics written to {path} ({} windows of {} cycles, {} attribution sources)",
+            reg.windows_closed(),
+            reg.config().window_cycles,
+            outcome.telemetry.attribution.iter().count(),
+        );
+    }
     let tel = &outcome.telemetry;
     let t = &tel.timeliness;
-    println!("trace written to {path} ({} events)", events.len());
     println!(
         "prefetch timeliness: {} timely ({:.1}%), {} late ({:.1}%), {} inaccurate ({:.1}%), {} dropped ({:.1}%)",
         t.timely,
@@ -204,16 +295,26 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: prodigy-eval [--scale N] [--cores N] [--threads N] [--seed N]\n\
          \x20                  [--timeout-secs N] [--out FILE] [--json FILE]\n\
-         \x20                  [--trace FILE [--trace-events cat,cat]] [experiments...]\n\
+         \x20                  [--trace FILE [--trace-events cat,cat]]\n\
+         \x20                  [--metrics FILE [--metrics-window N]]\n\
+         \x20                  [--trace-workload NAME] [experiments...]\n\
          experiments: table1 table2 fig02 fig04 fig12 fig13 fig14 fig15 fig16 \
          fig17 table3 fig18 fig19 ranged swpf storage scalability limits_tc \
          ext_dobfs ext_throttle\n\
          --trace FILE: skip the experiments; capture one throttled Prodigy\n\
-         bfs-lj run as Chrome trace-event JSON (Perfetto-viewable) instead.\n\
+         run (default bfs-lj) as Chrome trace-event JSON (Perfetto-viewable).\n\
          --trace-events: comma list of cache,dram,prefetcher,throttle,tlb,core.\n\
+         --metrics FILE: capture the same single run as a windowed metrics\n\
+         time-series (IPC, miss rates, MLP, queue depth, accuracy/coverage,\n\
+         throttle level) plus per-DIG-node prefetch attribution, as JSON;\n\
+         composes with --trace. --metrics-window: cycles per window (100000).\n\
+         --trace-workload NAME: any workload of the 29-cell evaluation set\n\
+         (e.g. bfs-lj, pr-tw, spmv) for --trace/--metrics runs.\n\
          determinism: any --threads value yields byte-identical figure tables\n\
-         (and traces) for the same --scale/--seed; --seed 0 keeps the seed\n\
-         inputs. exit status 3 if any cell failed (see stderr / --json)."
+         (traces, metrics) for the same --scale/--seed; --seed 0 keeps the\n\
+         seed inputs. exit status 3 if any cell failed (see stderr / --json).\n\
+         compare two runs: prodigy-diff A.json B.json (sweep --json reports\n\
+         or --metrics dumps)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,840 @@
+//! Run-to-run diff/regression analysis for benchmark artifacts.
+//!
+//! Loads two JSON reports produced by this repo — sweep timing reports
+//! (`prodigy-eval --json`, whose cells carry the deterministic
+//! [`crate::sweep::CellStats`] summary) or windowed metrics dumps
+//! (`prodigy-eval --metrics`) — aligns their units by identity (cell cache
+//! key, or window start cycle), and reports every numeric delta plus a
+//! tier-1 regression verdict.
+//!
+//! The comparison deliberately ignores host-timing fields (`host_nanos`,
+//! `wall_nanos`, worker accounting, utilization): those vary run-to-run by
+//! construction, while every simulated counter is bit-deterministic for a
+//! given seed. A clean same-seed pair therefore diffs to *zero* changes —
+//! the CI smoke test locks that in — and any nonzero delta is a real
+//! behavioural difference.
+//!
+//! Everything is hand-rolled (parser included): the offline build has no
+//! serde.
+
+use std::collections::BTreeMap;
+
+// ------------------------------------------------------------------ JSON
+
+/// A parsed JSON value. Numbers keep their raw source text so 64-bit
+/// checksums compare exactly even where `f64` would round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number: parsed value plus raw source text.
+    Num(f64, String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is preserved as a sorted map (duplicate keys:
+    /// last wins), which is all the diff needs.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Returns a message with a byte offset on error.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut p = Parser { b, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != b.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.b.len() && self.b[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            m.insert(k, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not produced by this
+                            // repo's serializers; map lone surrogates to
+                            // the replacement character.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.b[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8")?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .map(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+        Ok(Json::Num(v, raw.to_string()))
+    }
+}
+
+// ------------------------------------------------------------------ diff
+
+/// Which artifact format a report file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A sweep timing report (`prodigy-eval --json`): cells keyed by the
+    /// sweep cache key.
+    Sweep,
+    /// A windowed metrics dump (`prodigy-eval --metrics`): samples keyed
+    /// by window start cycle, plus a prefetch-attribution table.
+    Metrics,
+}
+
+impl ReportKind {
+    fn detect(v: &Json) -> Result<ReportKind, String> {
+        if v.get("cells").is_some() {
+            Ok(ReportKind::Sweep)
+        } else if v.get("samples").is_some() {
+            Ok(ReportKind::Metrics)
+        } else {
+            Err(
+                "unrecognized report: expected a sweep --json report (\"cells\") \
+                 or a --metrics dump (\"samples\")"
+                    .to_string(),
+            )
+        }
+    }
+}
+
+/// Host-varying fields excluded from the numeric diff. Everything else in
+/// these reports is simulated state and must be deterministic.
+const EXCLUDED: &[&str] = &[
+    "host_nanos",
+    "wall_nanos",
+    "busy_nanos",
+    "cells_per_sec",
+    "utilization",
+    "timing",
+    "worker",
+    "workers",
+    "jobs",
+    "threads",
+    "cache_hits",
+];
+
+/// One changed metric in one aligned unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Alignment unit (cell key, window label, or attribution source).
+    pub unit: String,
+    /// Dotted metric path within the unit.
+    pub metric: String,
+    /// Value in the first (old/baseline) report.
+    pub old: f64,
+    /// Value in the second (new/candidate) report.
+    pub new: f64,
+}
+
+impl DiffEntry {
+    /// Relative change `(new - old) / old`; infinite when `old == 0`.
+    pub fn rel(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.new - self.old) / self.old
+        }
+    }
+}
+
+/// The full deterministic comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Detected artifact format (both inputs must agree).
+    pub kind: ReportKind,
+    /// Units present in both reports.
+    pub units_compared: usize,
+    /// Units only in the first report.
+    pub only_in_old: Vec<String>,
+    /// Units only in the second report.
+    pub only_in_new: Vec<String>,
+    /// Every metric whose value differs, sorted by unit then metric.
+    pub changes: Vec<DiffEntry>,
+    /// Units whose result checksum differs — the runs computed different
+    /// answers, not just different performance.
+    pub checksum_mismatches: Vec<String>,
+    /// Geomean of per-cell speedup `old.cycles / new.cycles` (> 1 means the
+    /// new run is faster). Sweep reports only.
+    pub geomean_speedup: Option<f64>,
+    /// Tier-1 regressions: cells whose cycle count grew (or metrics runs
+    /// whose mean IPC fell) beyond the threshold.
+    pub regressions: Vec<DiffEntry>,
+    /// The threshold the regression gate used.
+    pub threshold: f64,
+}
+
+/// Flattens numeric leaves of `v` into `out` under dotted `prefix` paths,
+/// skipping [`EXCLUDED`] fields. Array elements use their index; `null`
+/// (e.g. an `n/a` accuracy) is recorded as NaN so presence changes are
+/// visible.
+fn flatten(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n, _) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Null => {
+            out.insert(prefix.to_string(), f64::NAN);
+        }
+        Json::Bool(b) => {
+            out.insert(prefix.to_string(), if *b { 1.0 } else { 0.0 });
+        }
+        Json::Str(_) => {}
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        Json::Obj(m) => {
+            for (k, item) in m {
+                if EXCLUDED.contains(&k.as_str()) {
+                    continue;
+                }
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&p, item, out);
+            }
+        }
+    }
+}
+
+/// Numeric equality for the diff: NaN (serialized `null`) equals NaN.
+fn num_eq(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// Extracts `(unit label, flattened metrics, raw checksum text)` per
+/// alignment unit of a report.
+type Unit = (String, BTreeMap<String, f64>, Option<String>);
+
+fn units_of(kind: ReportKind, v: &Json) -> Vec<Unit> {
+    let mut units = Vec::new();
+    match kind {
+        ReportKind::Sweep => {
+            for cell in v.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+                let Some(key) = cell.get("key").and_then(Json::as_str) else {
+                    continue;
+                };
+                let mut m = BTreeMap::new();
+                if let Some(stats) = cell.get("stats") {
+                    flatten("stats", stats, &mut m);
+                }
+                if let Some(tel) = cell.get("telemetry") {
+                    flatten("telemetry", tel, &mut m);
+                }
+                let checksum = match cell.get("stats").and_then(|s| s.get("checksum")) {
+                    Some(Json::Num(_, raw)) => Some(raw.clone()),
+                    _ => None,
+                };
+                // The checksum is identity, not a metric.
+                m.remove("stats.checksum");
+                units.push((key.to_string(), m, checksum));
+            }
+        }
+        ReportKind::Metrics => {
+            for s in v.get("samples").and_then(Json::as_arr).unwrap_or(&[]) {
+                let cycle = s
+                    .get("cycle")
+                    .and_then(Json::as_f64)
+                    .map(|c| format!("{c:.0}"))
+                    .unwrap_or_else(|| "?".to_string());
+                let mut m = BTreeMap::new();
+                flatten("", s, &mut m);
+                m.remove("cycle");
+                units.push((format!("window@{cycle}"), m, None));
+            }
+            for a in v.get("attribution").and_then(Json::as_arr).unwrap_or(&[]) {
+                let label = a
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let mut m = BTreeMap::new();
+                flatten("", a, &mut m);
+                m.remove("tag");
+                units.push((format!("attribution:{label}"), m, None));
+            }
+        }
+    }
+    units
+}
+
+/// Mean IPC over a metrics dump's samples (the tier-1 gate for metrics
+/// pairs). `None` when there are no samples.
+fn mean_ipc(v: &Json) -> Option<f64> {
+    let samples = v.get("samples")?.as_arr()?;
+    let ipcs: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.get("ipc").and_then(Json::as_f64))
+        .collect();
+    if ipcs.is_empty() {
+        None
+    } else {
+        Some(ipcs.iter().sum::<f64>() / ipcs.len() as f64)
+    }
+}
+
+/// Compares two parsed reports. `threshold` is the relative tier-1 budget
+/// (0.02 = 2%): a cell whose `stats.cycles` grows past it — or a metrics
+/// pair whose mean IPC falls past it — is a regression.
+pub fn diff_reports(old: &Json, new: &Json, threshold: f64) -> Result<DiffReport, String> {
+    let kind = ReportKind::detect(old)?;
+    let new_kind = ReportKind::detect(new)?;
+    if kind != new_kind {
+        return Err(format!(
+            "report kinds differ: {kind:?} vs {new_kind:?} — compare like with like"
+        ));
+    }
+
+    let old_units = units_of(kind, old);
+    let new_units = units_of(kind, new);
+    let new_map: BTreeMap<&str, &Unit> = new_units.iter().map(|u| (u.0.as_str(), u)).collect();
+    let old_map: BTreeMap<&str, &Unit> = old_units.iter().map(|u| (u.0.as_str(), u)).collect();
+
+    let mut only_in_old: Vec<String> = old_map
+        .keys()
+        .filter(|k| !new_map.contains_key(*k))
+        .map(|k| k.to_string())
+        .collect();
+    let mut only_in_new: Vec<String> = new_map
+        .keys()
+        .filter(|k| !old_map.contains_key(*k))
+        .map(|k| k.to_string())
+        .collect();
+    only_in_old.sort();
+    only_in_new.sort();
+
+    let mut changes = Vec::new();
+    let mut checksum_mismatches = Vec::new();
+    let mut regressions = Vec::new();
+    let mut speedups = Vec::new();
+    let mut units_compared = 0usize;
+
+    for (key, (_, old_m, old_chk)) in &old_map {
+        let Some((_, new_m, new_chk)) = new_map.get(key).map(|u| (&u.0, &u.1, &u.2)) else {
+            continue;
+        };
+        units_compared += 1;
+        if let (Some(a), Some(b)) = (old_chk, new_chk) {
+            if a != b {
+                checksum_mismatches.push(key.to_string());
+            }
+        }
+        let mut metrics: Vec<&String> = old_m.keys().chain(new_m.keys()).collect();
+        metrics.sort();
+        metrics.dedup();
+        for metric in metrics {
+            let o = old_m.get(metric).copied().unwrap_or(f64::NAN);
+            let n = new_m.get(metric).copied().unwrap_or(f64::NAN);
+            if !num_eq(o, n) {
+                changes.push(DiffEntry {
+                    unit: key.to_string(),
+                    metric: metric.clone(),
+                    old: o,
+                    new: n,
+                });
+            }
+        }
+        if kind == ReportKind::Sweep {
+            if let (Some(&oc), Some(&nc)) = (old_m.get("stats.cycles"), new_m.get("stats.cycles")) {
+                if oc > 0.0 && nc > 0.0 {
+                    speedups.push(oc / nc);
+                    if nc > oc * (1.0 + threshold) {
+                        regressions.push(DiffEntry {
+                            unit: key.to_string(),
+                            metric: "stats.cycles".to_string(),
+                            old: oc,
+                            new: nc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if kind == ReportKind::Metrics {
+        if let (Some(o), Some(n)) = (mean_ipc(old), mean_ipc(new)) {
+            if n < o * (1.0 - threshold) {
+                regressions.push(DiffEntry {
+                    unit: "overall".to_string(),
+                    metric: "mean_ipc".to_string(),
+                    old: o,
+                    new: n,
+                });
+            }
+        }
+    }
+
+    changes.sort_by(|a, b| (&a.unit, &a.metric).cmp(&(&b.unit, &b.metric)));
+    regressions.sort_by(|a, b| (&a.unit, &a.metric).cmp(&(&b.unit, &b.metric)));
+    checksum_mismatches.sort();
+
+    let geomean_speedup = if speedups.is_empty() {
+        None
+    } else {
+        let ln: f64 = speedups.iter().map(|s| s.ln()).sum();
+        Some((ln / speedups.len() as f64).exp())
+    };
+
+    Ok(DiffReport {
+        kind,
+        units_compared,
+        only_in_old,
+        only_in_new,
+        changes,
+        checksum_mismatches,
+        geomean_speedup,
+        regressions,
+        threshold,
+    })
+}
+
+impl DiffReport {
+    /// Whether the tier-1 gate fails (regressions, result mismatches, or
+    /// misaligned unit sets).
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty() || !self.checksum_mismatches.is_empty()
+    }
+
+    /// Renders the deterministic human-readable report.
+    pub fn render(&self) -> String {
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "n/a".to_string()
+            } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.6}")
+            }
+        };
+        let mut out = format!(
+            "prodigy-diff: {} report, {} units aligned, {} changed metrics, threshold {:.1}%\n",
+            match self.kind {
+                ReportKind::Sweep => "sweep",
+                ReportKind::Metrics => "metrics",
+            },
+            self.units_compared,
+            self.changes.len(),
+            self.threshold * 100.0,
+        );
+        if let Some(g) = self.geomean_speedup {
+            out.push_str(&format!(
+                "geomean speedup (old/new cycles): {g:.4}x {}\n",
+                if g >= 1.0 {
+                    "(new is faster or equal)"
+                } else {
+                    "(new is slower)"
+                }
+            ));
+        }
+        for u in &self.only_in_old {
+            out.push_str(&format!("  only in old: {u}\n"));
+        }
+        for u in &self.only_in_new {
+            out.push_str(&format!("  only in new: {u}\n"));
+        }
+        for c in &self.checksum_mismatches {
+            out.push_str(&format!(
+                "  CHECKSUM MISMATCH: {c} — the two runs computed different results\n"
+            ));
+        }
+        for c in &self.changes {
+            let rel = c.rel();
+            let rel_txt = if rel.is_finite() {
+                format!("{:+.2}%", rel * 100.0)
+            } else {
+                "n/a".to_string()
+            };
+            out.push_str(&format!(
+                "  {} | {}: {} -> {} ({})\n",
+                c.unit,
+                c.metric,
+                fmt(c.old),
+                fmt(c.new),
+                rel_txt
+            ));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION: {} {} {} -> {} ({:+.2}%, budget {:.1}%)\n",
+                r.unit,
+                r.metric,
+                fmt(r.old),
+                fmt(r.new),
+                r.rel() * 100.0,
+                self.threshold * 100.0,
+            ));
+        }
+        if self.changes.is_empty() && self.only_in_old.is_empty() && self.only_in_new.is_empty() {
+            out.push_str("  no differences — the runs are identical on every compared metric\n");
+        }
+        out.push_str(if self.regressed() {
+            "verdict: REGRESSED\n"
+        } else {
+            "verdict: OK\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_json(cycles_a: u64, cycles_b: u64) -> String {
+        format!(
+            r#"{{"threads":2,"base_seed":0,"cells_simulated":2,"cache_hits":0,
+                "wall_nanos":12345,"cells_per_sec":1.0,"utilization":0.5,
+                "workers":[{{"worker":0,"busy_nanos":99,"jobs":2}}],
+                "errors":[],
+                "cells":[
+                  {{"key":"bfs|orig|prodigy|16|plain|0","timing":{{"host_nanos":5}},"worker":0,
+                    "stats":{{"cycles":{cycles_a},"instructions":2000,"ipc":1.0,"checksum":123456789123456789,
+                             "l1_misses":10,"l2_misses":5,"l3_misses":2,"dram_reads":2,
+                             "prefetches_issued":7,"prefetch_accuracy":0.5,"prefetch_coverage":null}},
+                    "telemetry":null,"error":null}},
+                  {{"key":"bfs|orig|none|16|plain|0","timing":{{"host_nanos":6}},"worker":0,
+                    "stats":{{"cycles":{cycles_b},"instructions":2000,"ipc":0.8,"checksum":123456789123456789,
+                             "l1_misses":11,"l2_misses":6,"l3_misses":3,"dram_reads":3,
+                             "prefetches_issued":0,"prefetch_accuracy":null,"prefetch_coverage":null}},
+                    "telemetry":null,"error":null}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn parser_handles_the_repo_shapes() {
+        let v = parse_json(&sweep_json(1000, 2000)).unwrap();
+        assert_eq!(ReportKind::detect(&v).unwrap(), ReportKind::Sweep);
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0]
+                .get("stats")
+                .unwrap()
+                .get("cycles")
+                .unwrap()
+                .as_f64(),
+            Some(1000.0)
+        );
+        // Raw text preserved for 64-bit-exact checksum comparison.
+        match cells[0].get("stats").unwrap().get("checksum").unwrap() {
+            Json::Num(_, raw) => assert_eq!(raw, "123456789123456789"),
+            other => panic!("expected number, got {other:?}"),
+        }
+        assert!(parse_json("{\"a\":[1,2,").is_err());
+        assert!(parse_json("nope").is_err());
+        assert_eq!(
+            parse_json("\"a\\u0041b\"").unwrap(),
+            Json::Str("aAb".into())
+        );
+    }
+
+    #[test]
+    fn identical_reports_diff_to_zero_and_pass() {
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let b = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert_eq!(d.units_compared, 2);
+        assert!(d.changes.is_empty());
+        assert!(!d.regressed());
+        assert_eq!(d.geomean_speedup, Some(1.0));
+        assert!(d.render().contains("verdict: OK"));
+    }
+
+    #[test]
+    fn five_percent_cycle_regression_trips_the_two_percent_gate() {
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let b = parse_json(&sweep_json(1050, 2000)).unwrap(); // +5% on one cell
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "stats.cycles");
+        assert!(d.regressions[0].unit.contains("prodigy"));
+        assert!(d.render().contains("verdict: REGRESSED"));
+        // The change itself is also listed (cycles + derived ipc).
+        assert!(d.changes.iter().any(|c| c.metric == "stats.cycles"));
+    }
+
+    #[test]
+    fn one_percent_drift_stays_under_the_two_percent_gate() {
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let b = parse_json(&sweep_json(1010, 2000)).unwrap(); // +1%
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert!(!d.regressed());
+        assert!(!d.changes.is_empty(), "the drift is still reported");
+        // A faster run never regresses, at any threshold.
+        let c = parse_json(&sweep_json(900, 2000)).unwrap();
+        assert!(!diff_reports(&a, &c, 0.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_failure_even_with_equal_cycles() {
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let txt = sweep_json(1000, 2000).replace("123456789123456789", "123456789123456788");
+        let b = parse_json(&txt).unwrap();
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.checksum_mismatches.len(), 2);
+    }
+
+    #[test]
+    fn metrics_dumps_align_by_window_and_gate_on_mean_ipc() {
+        let m = |ipc1: f64, ipc2: f64| {
+            format!(
+                r#"{{"workload":"bfs-lj","seed":0,"window_cycles":1000,"windows_closed":2,
+                    "samples":[
+                      {{"cycle":1000,"instructions":800,"ipc":{ipc1},"l1_miss_rate":0.1,
+                        "l2_miss_rate":null,"l3_miss_rate":null,"mlp":0.5,
+                        "dram_queue_depth":1.0,"prefetch_accuracy":null,
+                        "prefetch_coverage":null,"throttle_level":4}},
+                      {{"cycle":2000,"instructions":900,"ipc":{ipc2},"l1_miss_rate":0.1,
+                        "l2_miss_rate":null,"l3_miss_rate":null,"mlp":0.5,
+                        "dram_queue_depth":1.0,"prefetch_accuracy":0.7,
+                        "prefetch_coverage":0.4,"throttle_level":4}}],
+                    "attribution":[
+                      {{"tag":257,"label":"0->1","issued":100,"timely":80,"late":15,
+                        "inaccurate":5,"dropped":2}}]}}"#
+            )
+        };
+        let a = parse_json(&m(0.8, 0.9)).unwrap();
+        assert_eq!(ReportKind::detect(&a).unwrap(), ReportKind::Metrics);
+        let same = parse_json(&m(0.8, 0.9)).unwrap();
+        let d = diff_reports(&a, &same, 0.02).unwrap();
+        assert_eq!(d.units_compared, 3, "2 windows + 1 attribution source");
+        assert!(d.changes.is_empty() && !d.regressed());
+        // A 10% IPC drop trips the 2% gate; 1% does not.
+        let slow = parse_json(&m(0.72, 0.81)).unwrap();
+        let d = diff_reports(&a, &slow, 0.02).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.regressions[0].metric, "mean_ipc");
+        let drift = parse_json(&m(0.796, 0.896)).unwrap();
+        assert!(!diff_reports(&a, &drift, 0.02).unwrap().regressed());
+    }
+
+    #[test]
+    fn mismatched_kinds_and_missing_units_are_reported() {
+        let sweep = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let metrics = parse_json(r#"{"samples":[]}"#).unwrap();
+        assert!(diff_reports(&sweep, &metrics, 0.02).is_err());
+
+        let mut txt = sweep_json(1000, 2000);
+        txt = txt.replace("bfs|orig|none|16|plain|0", "cc|orig|none|16|plain|0");
+        let renamed = parse_json(&txt).unwrap();
+        let d = diff_reports(&sweep, &renamed, 0.02).unwrap();
+        assert_eq!(d.units_compared, 1);
+        assert_eq!(d.only_in_old, vec!["bfs|orig|none|16|plain|0"]);
+        assert_eq!(d.only_in_new, vec!["cc|orig|none|16|plain|0"]);
+    }
+
+    #[test]
+    fn host_timing_fields_never_produce_changes() {
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let txt = sweep_json(1000, 2000)
+            .replace("\"wall_nanos\":12345", "\"wall_nanos\":999999")
+            .replace("\"host_nanos\":5", "\"host_nanos\":777")
+            .replace("\"busy_nanos\":99", "\"busy_nanos\":1");
+        let b = parse_json(&txt).unwrap();
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert!(d.changes.is_empty(), "{:?}", d.changes);
+        assert!(!d.regressed());
+    }
+}

@@ -1,10 +1,10 @@
 //! One function per paper table/figure. Each returns the rendered text it
 //! also prints, so integration tests can assert on the series.
 
-use crate::report::{geomean, mean, pct, x, x_opt, Table};
+use crate::report::{geomean, mean, pct, pct_opt, x, x_opt, Table};
 use crate::sweep::{
-    run_isolated, run_pool, CellError, CellTiming, SingleFlightCache, SweepConfig, SweepReport,
-    WorkerStat, CALLER_THREAD,
+    run_isolated, run_pool, CellError, CellStats, CellTiming, SingleFlightCache, SweepConfig,
+    SweepReport, WorkerStat, CALLER_THREAD,
 };
 use crate::workload_set::{all_29, per_algorithm, WorkloadSpec};
 use prodigy::{ProdigyConfig, ProdigyPrefetcher};
@@ -93,6 +93,7 @@ fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64) -> RunOutcome {
         classify_llc: cell.classify,
         seed: cell.spec.identity_hash() ^ base_seed,
         trace: false,
+        metrics: None,
     };
     run_workload(kernel.as_mut(), &cfg)
 }
@@ -140,11 +141,12 @@ impl Ctx {
             let out = run_isolated(&key, self.sweep.cell_timeout, move || {
                 execute_cell(&owned, sys, base_seed)
             });
-            let (res, timing, telemetry, error) = match out {
+            let (res, timing, telemetry, stats, error) = match out {
                 Ok(o) => {
                     let timing = o.timing;
                     let telemetry = o.telemetry.clone();
-                    (Ok(Arc::new(o)), timing, Some(telemetry), None)
+                    let stats = CellStats::from_outcome(&o);
+                    (Ok(Arc::new(o)), timing, Some(telemetry), Some(stats), None)
                 }
                 Err(reason) => (
                     Err(CellError {
@@ -152,6 +154,7 @@ impl Ctx {
                         reason: reason.clone(),
                     }),
                     prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
+                    None,
                     None,
                     Some(reason),
                 ),
@@ -161,6 +164,7 @@ impl Ctx {
                 timing,
                 worker,
                 telemetry,
+                stats,
                 error,
             });
             res
@@ -514,7 +518,7 @@ pub fn fig15(ctx: &Ctx) -> String {
         let out = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::Prodigy));
         let u = out.summary.stats.prefetch_use;
         let total = u.resolved().max(1) as f64;
-        accs.push(u.accuracy());
+        accs.extend(u.accuracy());
         t.row(vec![
             spec.alg.to_string(),
             pct(u.hit_l1 as f64 / total),
@@ -1035,7 +1039,7 @@ pub fn limits_tc(ctx: &Ctx) -> String {
         ));
     }
     for (name, sp, acc) in rows {
-        t.row(vec![name.into(), x(sp), pct(acc)]);
+        t.row(vec![name.into(), x(sp), pct_opt(acc)]);
     }
     format!(
         "§VI-G — limitations: tc's ID-pruned traversal gives Prodigy less to win (paper predicts muted gains)\n{}",
@@ -1063,10 +1067,11 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
             classify_llc: false,
             seed: 0,
             trace: false,
+            metrics: None,
         },
     );
     let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);
-    let acc = |o: &RunOutcome| pct(o.summary.stats.prefetch_use.accuracy());
+    let acc = |o: &RunOutcome| pct_opt(o.summary.stats.prefetch_use.accuracy());
     t.row(vec![
         "prodigy".into(),
         x(speedup(&base, &plain)),

@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
 pub mod workload_set;
 
+pub use compare::{diff_reports, parse_json, DiffReport, ReportKind};
 pub use experiments::{run_all, Cell, Ctx};
-pub use sweep::{SweepConfig, SweepReport};
+pub use sweep::{CellStats, SweepConfig, SweepReport};
 pub use workload_set::{WorkloadSpec, GRAPH_ALGS, NON_GRAPH_ALGS};

@@ -122,6 +122,14 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// Formats an optional fraction; `None` (no resolved samples) renders `n/a`.
+pub fn pct_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => pct(v),
+        None => "n/a".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

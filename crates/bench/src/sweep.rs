@@ -271,6 +271,82 @@ where
     v
 }
 
+/// Deterministic numeric summary of one successful cell — the values
+/// `prodigy-diff` aligns by cell key and compares run-to-run. Everything
+/// here comes from simulated [`prodigy_sim::Stats`] (never host timing), so
+/// two same-seed sweeps serialize bit-identical `stats` objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Simulated cycles (the tier-1 regression metric).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Kernel result checksum (semantic identity across runs).
+    pub checksum: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC misses.
+    pub l3_misses: u64,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// Prefetches issued.
+    pub prefetches_issued: u64,
+    /// Prefetch accuracy; `None` when no prefetch resolved.
+    pub prefetch_accuracy: Option<f64>,
+    /// Prefetch coverage; `None` when there was nothing to cover.
+    pub prefetch_coverage: Option<f64>,
+}
+
+impl CellStats {
+    /// Extracts the summary from a finished run.
+    pub fn from_outcome(out: &prodigy_workloads::RunOutcome) -> Self {
+        let s = &out.summary.stats;
+        CellStats {
+            cycles: s.cycles,
+            instructions: s.instructions,
+            checksum: out.checksum,
+            l1_misses: s.l1d.misses,
+            l2_misses: s.l2.misses,
+            l3_misses: s.l3.misses,
+            dram_reads: s.dram_reads,
+            prefetches_issued: s.prefetches_issued,
+            prefetch_accuracy: s.prefetch_use.accuracy(),
+            prefetch_coverage: s.prefetch_coverage(),
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Serializes to a JSON object (hand-rolled; no serde offline).
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.6}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"cycles\":{},\"instructions\":{},\"ipc\":{:.6},\"checksum\":{},\
+             \"l1_misses\":{},\"l2_misses\":{},\"l3_misses\":{},\"dram_reads\":{},\
+             \"prefetches_issued\":{},\"prefetch_accuracy\":{},\"prefetch_coverage\":{}}}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.checksum,
+            self.l1_misses,
+            self.l2_misses,
+            self.l3_misses,
+            self.dram_reads,
+            self.prefetches_issued,
+            opt(self.prefetch_accuracy),
+            opt(self.prefetch_coverage),
+        )
+    }
+}
+
 /// Timing record of one executed (non-cached) cell.
 #[derive(Debug, Clone)]
 pub struct CellTiming {
@@ -283,6 +359,8 @@ pub struct CellTiming {
     /// Always-on telemetry counters of the simulated run (histograms,
     /// prefetch timeliness); `None` for failed cells.
     pub telemetry: Option<prodigy_sim::TelemetrySummary>,
+    /// Deterministic simulated-stat summary; `None` for failed cells.
+    pub stats: Option<CellStats>,
     /// The recorded failure, if the cell diverged or panicked.
     pub error: Option<String>,
 }
@@ -410,10 +488,14 @@ impl SweepReport {
                 t.worker.to_string()
             };
             s.push_str(&format!(
-                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"telemetry\":{},\"error\":{}}}",
+                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"stats\":{},\"telemetry\":{},\"error\":{}}}",
                 json_escape(&t.key),
                 t.timing.to_json(),
                 worker,
+                match &t.stats {
+                    Some(cs) => cs.to_json(),
+                    None => "null".to_string(),
+                },
                 match &t.telemetry {
                     Some(tel) => tel.to_json(),
                     None => "null".to_string(),
@@ -564,6 +646,18 @@ mod tests {
                 timing: prodigy_sim::RunTiming { host_nanos: 42 },
                 worker: CALLER_THREAD,
                 telemetry: Some(prodigy_sim::TelemetrySummary::default()),
+                stats: Some(CellStats {
+                    cycles: 1000,
+                    instructions: 1500,
+                    checksum: 7,
+                    l1_misses: 10,
+                    l2_misses: 5,
+                    l3_misses: 2,
+                    dram_reads: 2,
+                    prefetches_issued: 0,
+                    prefetch_accuracy: None,
+                    prefetch_coverage: Some(0.5),
+                }),
                 error: None,
             }],
         };
@@ -576,6 +670,14 @@ mod tests {
         assert!(
             json.contains("\"telemetry\":{"),
             "per-cell telemetry section present"
+        );
+        assert!(
+            json.contains("\"stats\":{\"cycles\":1000"),
+            "per-cell stats section present"
+        );
+        assert!(
+            json.contains("\"prefetch_accuracy\":null"),
+            "unresolved accuracy serializes as null"
         );
         assert!((report.utilization() - 0.5).abs() < 1e-9);
         assert!((report.cells_per_sec() - 5.0 / 1.5).abs() < 1e-9);

@@ -6,7 +6,7 @@
 use prodigy_bench::experiments::{Cell, Ctx};
 use prodigy_bench::sweep::SweepConfig;
 use prodigy_bench::workload_set::WorkloadSpec;
-use prodigy_sim::{chrome_trace_json, SystemConfig};
+use prodigy_sim::{chrome_trace_json, MetricsConfig, SystemConfig};
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
 
 /// A 12-cell grid: 3 workloads × 4 prefetchers (≥ 8 cells per the
@@ -150,6 +150,61 @@ fn traced_runs_are_deterministic_and_do_not_perturb_stats() {
     // The always-on telemetry counters are deterministic too.
     assert_eq!(untraced.telemetry, a.telemetry);
     assert_eq!(a.telemetry, b.telemetry);
+}
+
+/// Same bfs-lj run with the windowed metrics registry installed (or not).
+fn bfs_run_metered(metered: bool) -> RunOutcome {
+    let spec = WorkloadSpec::graph("bfs", "lj", 64);
+    let mut kernel = spec.instantiate_seeded(0);
+    run_workload(
+        kernel.as_mut(),
+        &RunConfig {
+            sys: SystemConfig::scaled(64).with_cores(2),
+            prefetcher: PrefetcherKind::Prodigy,
+            seed: spec.identity_hash(),
+            metrics: metered.then(|| MetricsConfig {
+                window_cycles: 5_000,
+                ..MetricsConfig::default()
+            }),
+            ..RunConfig::default()
+        },
+    )
+}
+
+#[test]
+fn metrics_series_is_byte_identical_across_same_seed_runs() {
+    let a = bfs_run_metered(true);
+    let b = bfs_run_metered(true);
+    let ma = a.metrics.as_ref().expect("metered run returns a registry");
+    let mb = b.metrics.as_ref().expect("metered run returns a registry");
+    assert!(
+        !ma.samples().is_empty(),
+        "a bfs-lj run must close at least one 5k-cycle window"
+    );
+    assert_eq!(
+        ma.to_json(),
+        mb.to_json(),
+        "same-seed metrics series must be byte-identical"
+    );
+    // The per-DIG-node attribution table is deterministic and populated.
+    assert_eq!(a.telemetry, b.telemetry);
+    assert!(
+        !a.telemetry.attribution.is_empty(),
+        "Prodigy prefetches must be attributed to DIG nodes/edges"
+    );
+}
+
+#[test]
+fn metering_does_not_perturb_stats() {
+    let unmetered = bfs_run_metered(false);
+    let metered = bfs_run_metered(true);
+    assert!(unmetered.metrics.is_none());
+    assert_eq!(
+        format!("{:?}", unmetered.summary.stats),
+        format!("{:?}", metered.summary.stats),
+        "the metrics registry perturbed Stats"
+    );
+    assert_eq!(unmetered.checksum, metered.checksum);
 }
 
 #[test]

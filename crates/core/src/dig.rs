@@ -10,6 +10,19 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u8);
 
+/// Encodes a DIG edge `src -> dst` as a telemetry source tag: the high byte
+/// holds `src + 1` (so it is never zero and edge tags cannot collide with
+/// bare node tags), the low byte holds `dst`. Decoded for display by
+/// `prodigy_sim::source_tag_label`.
+pub fn edge_tag(src: NodeId, dst: NodeId) -> u16 {
+    ((src.0 as u16 + 1) << 8) | dst.0 as u16
+}
+
+/// Encodes a bare DIG node as a telemetry source tag (high byte zero).
+pub fn node_tag(node: NodeId) -> u16 {
+    node.0 as u16
+}
+
 /// The two data-dependent indirection patterns Prodigy supports (Fig. 5c/d).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {

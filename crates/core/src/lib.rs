@@ -46,7 +46,9 @@ pub mod throttle;
 
 pub use api::DigProgram;
 pub use context::ProdigyContext;
-pub use dig::{Dig, DigError, EdgeKind, NodeId, TraversalDirection, TriggerSpec};
+pub use dig::{
+    edge_tag, node_tag, Dig, DigError, EdgeKind, NodeId, TraversalDirection, TriggerSpec,
+};
 pub use pfhr::{PfhrEntry, PfhrFile};
 pub use prefetcher::{ProdigyConfig, ProdigyPrefetcher, ProdigyStats};
 pub use tables::{EdgeRecord, EdgeTable, NodeRecord, NodeTable};

@@ -15,7 +15,7 @@
 //!   ranged indirection streams `dst[v_i .. v_{i+1}]` — and the chain
 //!   continues until a leaf node.
 
-use crate::dig::{Dig, EdgeKind, NodeId, TraversalDirection, TriggerSpec};
+use crate::dig::{edge_tag, node_tag, Dig, EdgeKind, NodeId, TraversalDirection, TriggerSpec};
 use crate::pfhr::{PfhrFile, RangeCont};
 use crate::tables::{EdgeRecord, EdgeTable, NodeRecord, NodeTable};
 use prodigy_sim::line_of;
@@ -282,8 +282,9 @@ impl ProdigyPrefetcher {
         elem_addr: u64,
         trigger: u64,
         depth: u32,
+        tag: u16,
     ) {
-        self.request_line(ctx, node, &[elem_addr], trigger, depth, None);
+        self.request_line(ctx, node, &[elem_addr], trigger, depth, None, tag);
     }
 
     /// Issues one prefetch covering `elems` (element addresses within a
@@ -292,7 +293,9 @@ impl ProdigyPrefetcher {
     /// *before* issue (full file ⇒ the prefetch is dropped, §VI-A), and if
     /// the line is already on-chip the chain advances immediately for all
     /// tracked elements instead of waiting for a fill that will never come.
-    /// `cont` is the range continuation the line's register should carry.
+    /// `cont` is the range continuation the line's register should carry;
+    /// `tag` names the DIG node/edge this request is attributed to.
+    #[allow(clippy::too_many_arguments)]
     fn request_line(
         &mut self,
         ctx: &mut PrefetchCtx<'_>,
@@ -301,13 +304,14 @@ impl ProdigyPrefetcher {
         trigger: u64,
         depth: u32,
         cont: Option<RangeCont>,
+        tag: u16,
     ) {
         let Some(&first) = elems.first() else { return };
         if depth > 24 {
             return;
         }
         if self.edges.is_leaf(node.id) {
-            ctx.prefetch(first);
+            ctx.prefetch_tagged(first, tag);
             return;
         }
         let line = line_of(first);
@@ -323,7 +327,7 @@ impl ProdigyPrefetcher {
         if !any {
             return; // structural drop of the whole line (continuation lost)
         }
-        let issued = ctx.prefetch(first);
+        let issued = ctx.prefetch_tagged(first, tag);
         if issued || had_entry {
             return; // a fill will (eventually) advance the chain
         }
@@ -345,6 +349,7 @@ impl ProdigyPrefetcher {
                         c.last_elem,
                         trigger,
                         depth + 1,
+                        tag,
                     );
                 }
             }
@@ -364,6 +369,7 @@ impl ProdigyPrefetcher {
         last_elem: u64,
         trigger: u64,
         depth: u32,
+        tag: u16,
     ) {
         use prodigy_sim::LINE_BYTES;
         if depth > 24 {
@@ -379,7 +385,7 @@ impl ProdigyPrefetcher {
                 let e0 = first_elem.max(line);
                 let e1 = last_elem.min(line + LINE_BYTES - 1);
                 self.stats.range_elements_tracked += (e1 - e0) / sz + 1;
-                ctx.prefetch(line);
+                ctx.prefetch_tagged(line, tag);
                 line += LINE_BYTES;
                 n += 1;
             }
@@ -411,7 +417,7 @@ impl ProdigyPrefetcher {
             } else {
                 None
             };
-            self.request_line(ctx, dst, &elems, trigger, depth + 1, cont);
+            self.request_line(ctx, dst, &elems, trigger, depth + 1, cont, tag);
             line = next_line;
             n += 1;
         }
@@ -444,7 +450,14 @@ impl ProdigyPrefetcher {
                     }
                     self.stats.single_prefetches += 1;
                     ctx.trace_dig_transition(node.id.0 as u16, dst.id.0 as u16, false, elem_addr);
-                    self.request(ctx, dst, target, trigger, depth + 1);
+                    self.request(
+                        ctx,
+                        dst,
+                        target,
+                        trigger,
+                        depth + 1,
+                        edge_tag(node.id, dst.id),
+                    );
                 }
                 EdgeKind::Ranged => {
                     // Need the pair (a[i], a[i+1]); skip the last element.
@@ -463,7 +476,16 @@ impl ProdigyPrefetcher {
                         continue;
                     }
                     ctx.trace_dig_transition(node.id.0 as u16, dst.id.0 as u16, true, elem_addr);
-                    self.expand_range(ctx, dst, line_of(first), first, last, trigger, depth);
+                    self.expand_range(
+                        ctx,
+                        dst,
+                        line_of(first),
+                        first,
+                        last,
+                        trigger,
+                        depth,
+                        edge_tag(node.id, dst.id),
+                    );
                 }
             }
         }
@@ -544,7 +566,7 @@ impl Prefetcher for ProdigyPrefetcher {
             }
             self.stats.sequences_initiated += 1;
             self.stats.trigger_prefetches += 1;
-            self.request(ctx, trec, taddr, taddr, 0);
+            self.request(ctx, trec, taddr, taddr, 0, node_tag(trec.id));
         }
     }
 
@@ -569,6 +591,7 @@ impl Prefetcher for ProdigyPrefetcher {
                 c.last_elem,
                 entry.trigger_addr,
                 0,
+                node_tag(node.id),
             );
         }
     }

@@ -62,7 +62,14 @@ impl AinsworthJonesPrefetcher {
 
     fn schedule(&mut self, ctx: &mut PrefetchCtx<'_>, action: Action, addr: u64) {
         let line = line_of(addr);
-        let issued = ctx.prefetch(addr);
+        // Tag by array role: 0 = work queue, 1 = offset list, 2 = edge
+        // list, 3 = property arrays.
+        let tag = match action {
+            Action::QueueElem(_) => 0,
+            Action::OffsetPair(_) => 1,
+            Action::EdgeElem(_) => 2,
+        };
+        let issued = ctx.prefetch_tagged(addr, tag);
         if !issued && ctx.l1_contains(addr) && !self.pending.contains_key(&line) {
             // Data already on chip: advance the chain directly.
             self.advance(ctx, action);
@@ -88,7 +95,7 @@ impl AinsworthJonesPrefetcher {
                         // The pair may straddle a line boundary.
                         let second = pair + off.elem_size as u64;
                         if line_of(second) != line_of(pair) {
-                            ctx.prefetch(second);
+                            ctx.prefetch_tagged(second, 1);
                         }
                     }
                 } else {
@@ -96,7 +103,7 @@ impl AinsworthJonesPrefetcher {
                     for p in self.hint.properties.clone() {
                         let t = p.elem_addr(v);
                         if p.contains(t) {
-                            ctx.prefetch(t);
+                            ctx.prefetch_tagged(t, 3);
                         }
                     }
                 }
@@ -146,7 +153,7 @@ impl AinsworthJonesPrefetcher {
                 for p in self.hint.properties.clone() {
                     let t = p.elem_addr(v);
                     if p.contains(t) {
-                        ctx.prefetch(t);
+                        ctx.prefetch_tagged(t, 3);
                     }
                 }
             }

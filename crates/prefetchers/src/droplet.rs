@@ -49,10 +49,11 @@ impl DropletPrefetcher {
         let end = (line + LINE_BYTES).min(edges.bound);
         while ea + sz <= end {
             let v = ctx.read_uint(ea, edges.elem_size.min(8));
-            for p in &self.hint.properties {
+            for (pi, p) in self.hint.properties.iter().enumerate() {
                 let t = p.elem_addr(v);
                 if p.contains(t) {
-                    ctx.prefetch_llc(t);
+                    // Tag 0 = edge stream; 1+i = i-th property array (MPP).
+                    ctx.prefetch_llc_tagged(t, 1 + pi as u16);
                 }
             }
             ea += sz;
@@ -79,7 +80,7 @@ impl Prefetcher for DropletPrefetcher {
         for d in 1..=self.stream_degree {
             let next = line_of(a.vaddr) + d * LINE_BYTES;
             if edges.contains(next) {
-                ctx.prefetch_llc(next);
+                ctx.prefetch_llc_tagged(next, 0);
             }
         }
         // The demand edge line itself wakes the memory-side property

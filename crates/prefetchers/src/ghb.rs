@@ -102,7 +102,9 @@ impl Prefetcher for GhbGdcPrefetcher {
                     let delta = newer - older;
                     predicted += delta;
                     if predicted > 0 && delta != 0 {
-                        ctx.prefetch(predicted as u64);
+                        // Attribute to the replay depth: how far down the
+                        // correlated delta chain this prediction sits.
+                        ctx.prefetch_tagged(predicted as u64, k as u16);
                     }
                 }
             }

@@ -170,7 +170,8 @@ impl Prefetcher for ImpPrefetcher {
             let ahead = a.vaddr as i64 + stride * self.distance as i64;
             if ahead > 0 {
                 let ahead = ahead as u64;
-                ctx.prefetch(ahead);
+                // Tag 0 = index-stream prefetch, 1 = learned indirection.
+                ctx.prefetch_tagged(ahead, 0);
                 if self.learned.contains_key(&a.pc) {
                     let entry = self.pending.entry(line_of(ahead)).or_default();
                     if entry.len() < 16 {
@@ -187,7 +188,7 @@ impl Prefetcher for ImpPrefetcher {
                         if let Some(l) = self.learned.get(&a.pc) {
                             let v = ctx.read_uint(ahead, a.size.min(8));
                             if let Some(t) = indirect_target(l.base, v, l.shift) {
-                                ctx.prefetch(t);
+                                ctx.prefetch_tagged(t, 1);
                             }
                         }
                     }
@@ -208,7 +209,7 @@ impl Prefetcher for ImpPrefetcher {
             if let Some(l) = self.learned.get(&pc) {
                 let v = ctx.read_uint(elem_addr, size.min(8));
                 if let Some(t) = indirect_target(l.base, v, l.shift) {
-                    ctx.prefetch(t);
+                    ctx.prefetch_tagged(t, 1);
                 }
             }
         }

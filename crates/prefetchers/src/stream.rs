@@ -56,11 +56,12 @@ impl Prefetcher for StreamPrefetcher {
         }
         let line = line_of(a.vaddr);
         // Find a stream this access continues (same or next line).
-        if let Some(s) = self
+        if let Some((slot, s)) = self
             .streams
             .iter_mut()
-            .filter(|s| s.valid)
-            .find(|s| line == s.last_line || line == s.last_line + LINE_BYTES)
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .find(|(_, s)| line == s.last_line || line == s.last_line + LINE_BYTES)
         {
             if line == s.last_line + LINE_BYTES {
                 s.confidence = s.confidence.saturating_add(1);
@@ -71,7 +72,8 @@ impl Prefetcher for StreamPrefetcher {
             }
             if s.confidence >= 2 {
                 for d in 1..=self.degree {
-                    ctx.prefetch(line + d * LINE_BYTES);
+                    // Attribute to the stream slot for a per-stream breakdown.
+                    ctx.prefetch_tagged(line + d * LINE_BYTES, slot as u16);
                 }
             }
             return;

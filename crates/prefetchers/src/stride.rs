@@ -87,7 +87,9 @@ impl Prefetcher for StridePrefetcher {
             for d in 1..=self.degree as i64 {
                 let target = a.vaddr as i64 + stride * d;
                 if target > 0 {
-                    ctx.prefetch(target as u64);
+                    // Attribute the prefetch to its reference-prediction-table
+                    // row, giving a per-entry timeliness breakdown.
+                    ctx.prefetch_tagged(target as u64, idx as u16);
                 }
             }
         }

@@ -35,6 +35,7 @@ pub mod config;
 pub mod core;
 pub mod energy;
 pub mod mem;
+pub mod metrics;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
@@ -44,12 +45,14 @@ pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use mem::address_space::AddressSpace;
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
+pub use metrics::{MetricSample, MetricsConfig, MetricsRegistry};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
 pub use stats::{CpiStack, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 pub use telemetry::{
-    chrome_trace_json, Log2Hist, MemorySink, NullSink, TelemetrySummary, TraceCategory, TraceEvent,
-    TraceEventKind, TraceSink, Tracer,
+    chrome_trace_json, source_tag_label, AttributionTable, Log2Hist, MemorySink, NullSink,
+    SourceCounts, SourceTag, TelemetrySummary, TraceCategory, TraceEvent, TraceEventKind,
+    TraceSink, Tracer,
 };
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).

@@ -13,7 +13,7 @@ use super::dram::Dram;
 use super::tlb::Tlb;
 use crate::config::SystemConfig;
 use crate::stats::Stats;
-use crate::telemetry::{TelemetrySummary, TraceEvent, TraceEventKind, Tracer};
+use crate::telemetry::{SourceTag, TelemetrySummary, TraceEvent, TraceEventKind, Tracer};
 use crate::{line_of, LINE_BYTES};
 
 /// Which level ultimately serviced an access (used for CPI-stack
@@ -209,6 +209,17 @@ impl MemorySystem {
                 core: core as u32,
                 kind: TraceEventKind::DramQueueSample { channel, backlog },
             });
+        }
+    }
+
+    /// Feeds the windowed metrics registry (when installed) with one DRAM
+    /// read: total service latency for the MLP accumulator, and controller
+    /// backlog depth in pending line transfers (queueing delay over the
+    /// per-line transfer time).
+    fn observe_dram_metrics(&mut self, latency: u64, queue_wait: u64) {
+        let per_xfer = self.cfg.dram.cycles_per_transfer.max(1);
+        if let Some(m) = self.tel.metrics_mut() {
+            m.observe_dram(latency, queue_wait / per_xfer);
         }
     }
 
@@ -550,6 +561,7 @@ impl MemorySystem {
             .dram_queue_wait
             .record(dr.queue_wait);
         self.sample_dram_queue(core, line, at);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait);
         lat += dr.latency;
         let ready = now + lat;
         let served = ServedBy::Dram;
@@ -596,10 +608,24 @@ impl MemorySystem {
         now: u64,
         stats: &mut Stats,
     ) -> Option<PrefetchIssued> {
+        self.prefetch_tagged(core, vaddr, now, stats, None)
+    }
+
+    /// [`MemorySystem::prefetch`] with a [`SourceTag`] identifying the
+    /// static source of the request (a DIG node/edge, a stream slot, ...)
+    /// so the telemetry attribution table can follow the line's fate.
+    pub fn prefetch_tagged(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        now: u64,
+        stats: &mut Stats,
+        tag: Option<SourceTag>,
+    ) -> Option<PrefetchIssued> {
         let line = line_of(vaddr);
         if self.l1d[core].contains(line) {
             stats.prefetches_redundant += 1;
-            self.tel.prefetch_dropped(core, now, line);
+            self.tel.prefetch_dropped(core, now, line, tag);
             return None;
         }
         let mut lat = self.tlb_latency(core, vaddr, now, stats) + self.cfg.l1d.tag_latency;
@@ -614,6 +640,9 @@ impl MemorySystem {
             fill.prefetched = true;
             self.insert_l1(core, fill, stats);
             stats.prefetches_issued += 1;
+            if let Some(t) = tag {
+                self.tel.prefetch_tag_issued(line, t);
+            }
             self.trace_prefetch_issued(core, now, ready, line, ServedBy::L2);
             return Some(PrefetchIssued {
                 line_addr: line,
@@ -642,6 +671,9 @@ impl MemorySystem {
             self.insert_l2(core, fill.clone(), stats);
             self.insert_l1(core, fill, stats);
             stats.prefetches_issued += 1;
+            if let Some(t) = tag {
+                self.tel.prefetch_tag_issued(line, t);
+            }
             self.trace_prefetch_issued(core, now, ready, line, ServedBy::L3);
             return Some(PrefetchIssued {
                 line_addr: line,
@@ -664,6 +696,7 @@ impl MemorySystem {
             .dram_queue_wait
             .record(dr.queue_wait);
         self.sample_dram_queue(core, line, at);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait);
         lat += dr.latency;
         let ready = now + lat;
 
@@ -678,6 +711,9 @@ impl MemorySystem {
         self.insert_l2(core, fill.clone(), stats);
         self.insert_l1(core, fill, stats);
         stats.prefetches_issued += 1;
+        if let Some(t) = tag {
+            self.tel.prefetch_tag_issued(line, t);
+        }
         self.trace_prefetch_issued(core, now, ready, line, ServedBy::Dram);
         Some(PrefetchIssued {
             line_addr: line,
@@ -698,11 +734,24 @@ impl MemorySystem {
         now: u64,
         stats: &mut Stats,
     ) -> Option<PrefetchIssued> {
+        self.prefetch_llc_tagged(core, vaddr, now, stats, None)
+    }
+
+    /// [`MemorySystem::prefetch_llc`] with a [`SourceTag`] for per-source
+    /// attribution (DROPLET's per-table breakdown).
+    pub fn prefetch_llc_tagged(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        now: u64,
+        stats: &mut Stats,
+        tag: Option<SourceTag>,
+    ) -> Option<PrefetchIssued> {
         let line = line_of(vaddr);
         let slice = self.slice_of(line);
         if self.l3[slice].contains(line) {
             stats.prefetches_redundant += 1;
-            self.tel.prefetch_dropped(core, now, line);
+            self.tel.prefetch_dropped(core, now, line, tag);
             return None;
         }
         let lat = self.cfg.l3.tag_latency;
@@ -715,12 +764,16 @@ impl MemorySystem {
             .dram_queue_wait
             .record(dr.queue_wait);
         self.sample_dram_queue(core, line, at);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait);
         let ready = now + lat + dr.latency;
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.prefetched = true;
         l3fill.dir = Directory::empty();
         self.insert_l3(slice, l3fill, now, stats);
         stats.prefetches_issued += 1;
+        if let Some(t) = tag {
+            self.tel.prefetch_tag_issued(line, t);
+        }
         self.trace_prefetch_issued(core, now, ready, line, ServedBy::Dram);
         Some(PrefetchIssued {
             line_addr: line,

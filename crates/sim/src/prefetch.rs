@@ -11,7 +11,7 @@
 use crate::mem::address_space::AddressSpace;
 use crate::mem::hierarchy::{MemorySystem, ServedBy};
 use crate::stats::Stats;
-use crate::telemetry::{TraceEvent, TraceEventKind};
+use crate::telemetry::{SourceTag, TraceEvent, TraceEventKind};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -119,13 +119,43 @@ impl<'a> PrefetchCtx<'a> {
         }
     }
 
+    /// [`PrefetchCtx::prefetch`] with a [`SourceTag`] naming the structure
+    /// that generated the request (DIG edge, stream slot, stride table
+    /// entry, ...). The telemetry layer attributes the prefetch's eventual
+    /// fate — timely / late / inaccurate / dropped — back to this tag.
+    pub fn prefetch_tagged(&mut self, vaddr: u64, tag: SourceTag) -> bool {
+        match self
+            .mem
+            .prefetch_tagged(self.core, vaddr, self.now, self.stats, Some(tag))
+        {
+            Some(issued) => {
+                self.fills.push(Reverse(QueuedFill {
+                    at: issued.fill_time,
+                    line_addr: issued.line_addr,
+                    served: issued.served,
+                }));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Issues a memory-side prefetch into the shared LLC only (DRAM-side
     /// designs like DROPLET cannot fill a core's private caches). The fill
     /// is still delivered to [`Prefetcher::on_fill`].
     pub fn prefetch_llc(&mut self, vaddr: u64) -> bool {
+        self.prefetch_llc_impl(vaddr, None)
+    }
+
+    /// [`PrefetchCtx::prefetch_llc`] with a [`SourceTag`] for attribution.
+    pub fn prefetch_llc_tagged(&mut self, vaddr: u64, tag: SourceTag) -> bool {
+        self.prefetch_llc_impl(vaddr, Some(tag))
+    }
+
+    fn prefetch_llc_impl(&mut self, vaddr: u64, tag: Option<SourceTag>) -> bool {
         match self
             .mem
-            .prefetch_llc(self.core, vaddr, self.now, self.stats)
+            .prefetch_llc_tagged(self.core, vaddr, self.now, self.stats, tag)
         {
             Some(issued) => {
                 self.fills.push(Reverse(QueuedFill {
@@ -166,6 +196,9 @@ impl<'a> PrefetchCtx<'a> {
             tel.counters_mut().throttle_ups += 1;
         } else if level < prev {
             tel.counters_mut().throttle_downs += 1;
+        }
+        if let Some(m) = tel.metrics_mut() {
+            m.set_throttle_level(level);
         }
         let (core, now) = (self.core as u32, self.now);
         tel.emit(|| TraceEvent {

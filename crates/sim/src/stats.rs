@@ -192,25 +192,31 @@ impl PrefetchUse {
     }
 
     /// Fraction of resolved prefetches that were demanded before eviction
-    /// (the paper's "accuracy", 62.7% on average for Prodigy).
-    pub fn accuracy(&self) -> f64 {
+    /// (the paper's "accuracy", 62.7% on average for Prodigy). Returns
+    /// `None` when no prefetch has resolved yet — a run with no prefetch
+    /// activity has *no* accuracy, not a zero one, and conflating the two
+    /// silently drags averages down (see [`crate::Stats`] callers and
+    /// `report::geomean` for the same convention).
+    pub fn accuracy(&self) -> Option<f64> {
         let r = self.resolved();
         if r == 0 {
-            return 0.0;
+            return None;
         }
-        self.useful() as f64 / r as f64
+        Some(self.useful() as f64 / r as f64)
     }
 
     /// The paper's "coverage": the fraction of would-be misses eliminated
     /// by prefetching — prefetch hits over prefetch hits plus the demand
     /// misses that still happened. The caller supplies `demand_misses`
     /// (typically LLC demand misses; see [`Stats::prefetch_coverage`]).
-    pub fn coverage(&self, demand_misses: u64) -> f64 {
+    /// Returns `None` when there were neither useful prefetches nor demand
+    /// misses (nothing to cover).
+    pub fn coverage(&self, demand_misses: u64) -> Option<f64> {
         let useful = self.useful();
         if useful + demand_misses == 0 {
-            return 0.0;
+            return None;
         }
-        useful as f64 / (useful + demand_misses) as f64
+        Some(useful as f64 / (useful + demand_misses) as f64)
     }
 }
 
@@ -282,7 +288,8 @@ impl Stats {
     /// demand misses that still went to memory. `l3.misses` counts only
     /// demand-path lookups (the prefetch path never touches it), so it is
     /// exactly the uncovered-miss term of the paper's Fig. 19 metric.
-    pub fn prefetch_coverage(&self) -> f64 {
+    /// `None` when the run had neither (see [`PrefetchUse::coverage`]).
+    pub fn prefetch_coverage(&self) -> Option<f64> {
         self.prefetch_use.coverage(self.l3.misses)
     }
 
@@ -409,8 +416,12 @@ mod tests {
         };
         assert_eq!(p.resolved(), 10);
         assert_eq!(p.useful(), 8);
-        assert!((p.accuracy() - 0.8).abs() < 1e-12);
-        assert_eq!(PrefetchUse::default().accuracy(), 0.0);
+        assert!((p.accuracy().unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(
+            PrefetchUse::default().accuracy(),
+            None,
+            "no resolved prefetches means no accuracy, not zero accuracy"
+        );
     }
 
     #[test]
@@ -423,13 +434,13 @@ mod tests {
             hit_l3: 47,
             evicted_unused: 373,
         };
-        assert!((p.accuracy() - 0.627).abs() < 1e-3);
+        assert!((p.accuracy().unwrap() - 0.627).abs() < 1e-3);
         // 627 useful prefetches against 244 remaining demand misses →
         // ~72% of would-be misses covered.
-        assert!((p.coverage(244) - 627.0 / 871.0).abs() < 1e-12);
+        assert!((p.coverage(244).unwrap() - 627.0 / 871.0).abs() < 1e-12);
         // Edge cases: no activity at all, and full coverage.
-        assert_eq!(PrefetchUse::default().coverage(0), 0.0);
-        assert_eq!(p.coverage(0), 1.0);
+        assert_eq!(PrefetchUse::default().coverage(0), None);
+        assert_eq!(p.coverage(0), Some(1.0));
     }
 
     #[test]
@@ -437,8 +448,8 @@ mod tests {
         let mut s = Stats::default();
         s.prefetch_use.hit_l1 = 30;
         s.l3.misses = 10;
-        assert!((s.prefetch_coverage() - 0.75).abs() < 1e-12);
-        assert_eq!(Stats::default().prefetch_coverage(), 0.0);
+        assert!((s.prefetch_coverage().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(Stats::default().prefetch_coverage(), None);
     }
 
     #[test]

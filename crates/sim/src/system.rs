@@ -15,6 +15,7 @@ use crate::core::InsnStream;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::mem::address_space::AddressSpace;
 use crate::mem::hierarchy::MemorySystem;
+use crate::metrics::{MetricsConfig, MetricsRegistry};
 use crate::prefetch::{FillEvent, FillQueue, NullPrefetcher, PrefetchCtx, Prefetcher};
 use crate::stats::Stats;
 use crate::telemetry::{TelemetrySummary, TraceEvent, TraceEventKind, TraceSink};
@@ -99,6 +100,19 @@ impl System {
     /// Removes and returns the trace sink, if one was installed.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.mem.tracer_mut().take_sink()
+    }
+
+    /// Installs a windowed [`MetricsRegistry`]; from now on the phase
+    /// scheduler samples derived rates (IPC, miss rates, MLP, queue depth,
+    /// prefetch accuracy/coverage, throttle level) every
+    /// [`MetricsConfig::window_cycles`] cycles. Unmetered runs pay nothing.
+    pub fn install_metrics(&mut self, cfg: MetricsConfig) {
+        self.mem.tracer_mut().install_metrics(cfg);
+    }
+
+    /// Removes and returns the metrics registry, if one was installed.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.mem.tracer_mut().take_metrics()
     }
 
     /// The run's accumulated telemetry counters (latency histograms and the
@@ -200,7 +214,12 @@ impl System {
                     }
                 }
             }
-            let Some((_, c)) = best else { break };
+            let Some((t, c)) = best else { break };
+            // The earliest-core timestamp is monotone across iterations, so
+            // it is a sound clock for closing metric windows.
+            if let Some(m) = self.mem.tracer_mut().metrics_mut() {
+                m.maybe_sample(t, &self.stats);
+            }
 
             for _ in 0..BATCH {
                 if pos[c] >= streams[c].len() {

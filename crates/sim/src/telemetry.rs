@@ -22,7 +22,9 @@
 //! sequential per run, and no host time is ever recorded.
 
 use crate::mem::hierarchy::ServedBy;
+use crate::metrics::{MetricsConfig, MetricsRegistry};
 use std::any::Any;
+use std::collections::BTreeMap;
 
 /// Number of buckets in a [`Log2Hist`] (bucket `i` holds values whose
 /// bit-length is `i`, i.e. `v in [2^(i-1), 2^i)`; bucket 0 holds zeros).
@@ -529,6 +531,151 @@ impl Timeliness {
     }
 }
 
+/// Identifies the static source of a prefetch for attribution: for Prodigy
+/// this encodes a DIG node or edge (see `prodigy::edge_tag`), for baseline
+/// prefetchers a stream/table index. The encoding is opaque to the
+/// simulator; [`source_tag_label`] renders it.
+pub type SourceTag = u16;
+
+/// Renders a [`SourceTag`] for reports: a bare index (`"3"`) when the high
+/// byte is zero, or an `"src->dst"` edge (`"0->2"`) when the high byte
+/// carries a source id offset by one.
+pub fn source_tag_label(tag: SourceTag) -> String {
+    let (hi, lo) = (tag >> 8, tag & 0xff);
+    if hi == 0 {
+        format!("{lo}")
+    } else {
+        format!("{}->{lo}", hi - 1)
+    }
+}
+
+/// Outcome counts for prefetches issued by one static source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceCounts {
+    /// Prefetch requests accepted into the hierarchy.
+    pub issued: u64,
+    /// Demanded after their fill completed (full latency hidden).
+    pub timely: u64,
+    /// Demanded while still in flight.
+    pub late: u64,
+    /// Evicted without ever being demanded.
+    pub inaccurate: u64,
+    /// Dropped before issue (redundant or backlogged).
+    pub dropped: u64,
+}
+
+impl SourceCounts {
+    /// Useful prefetches (demanded before eviction).
+    pub fn useful(&self) -> u64 {
+        self.timely + self.late
+    }
+
+    /// Accuracy over this source's resolved prefetches, `None` when none
+    /// resolved yet.
+    pub fn accuracy(&self) -> Option<f64> {
+        let resolved = self.useful() + self.inaccurate;
+        if resolved == 0 {
+            None
+        } else {
+            Some(self.useful() as f64 / resolved as f64)
+        }
+    }
+}
+
+/// Per-source prefetch attribution: for every [`SourceTag`] that issued at
+/// least one prefetch, the timely/late/inaccurate/dropped breakdown. This
+/// is the Pickle-style "which software structure did this prefetch come
+/// from" view, keyed by DIG node/edge for Prodigy and by stream/table index
+/// for the baselines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributionTable {
+    entries: BTreeMap<SourceTag, SourceCounts>,
+}
+
+impl AttributionTable {
+    /// Counts one accepted prefetch for `tag`.
+    #[inline]
+    pub fn record_issued(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().issued += 1;
+    }
+
+    /// Counts one timely use for `tag`.
+    #[inline]
+    pub fn record_timely(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().timely += 1;
+    }
+
+    /// Counts one late use for `tag`.
+    #[inline]
+    pub fn record_late(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().late += 1;
+    }
+
+    /// Counts one unused eviction for `tag`.
+    #[inline]
+    pub fn record_inaccurate(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().inaccurate += 1;
+    }
+
+    /// Counts one pre-issue drop for `tag`.
+    #[inline]
+    pub fn record_dropped(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().dropped += 1;
+    }
+
+    /// Whether no source ever issued a prefetch.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in ascending tag order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (SourceTag, &SourceCounts)> {
+        self.entries.iter().map(|(t, c)| (*t, c))
+    }
+
+    /// The counts for one tag, if it ever issued.
+    pub fn get(&self, tag: SourceTag) -> Option<&SourceCounts> {
+        self.entries.get(&tag)
+    }
+
+    /// Element-wise accumulation of another table.
+    pub fn merge(&mut self, o: &AttributionTable) {
+        for (tag, c) in &o.entries {
+            let e = self.entries.entry(*tag).or_default();
+            e.issued += c.issued;
+            e.timely += c.timely;
+            e.late += c.late;
+            e.inaccurate += c.inaccurate;
+            e.dropped += c.dropped;
+        }
+    }
+
+    /// Serializes to a JSON array sorted by tag.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (tag, c)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"tag\":{},\"label\":\"{}\",\"issued\":{},\"timely\":{},",
+                    "\"late\":{},\"inaccurate\":{},\"dropped\":{}}}"
+                ),
+                tag,
+                source_tag_label(*tag),
+                c.issued,
+                c.timely,
+                c.late,
+                c.inaccurate,
+                c.dropped
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
 /// Always-on telemetry counters for one run: latency histograms plus the
 /// timeliness breakdown. Kept outside [`crate::Stats`] so the determinism
 /// fingerprint of existing reports never changes.
@@ -554,6 +701,8 @@ pub struct TelemetrySummary {
     pub throttle_downs: u64,
     /// DIG edge transitions walked by the Prodigy prefetcher.
     pub dig_transitions: u64,
+    /// Per-source (DIG node/edge or stream/table) prefetch attribution.
+    pub attribution: AttributionTable,
 }
 
 impl TelemetrySummary {
@@ -568,6 +717,7 @@ impl TelemetrySummary {
         self.throttle_ups += o.throttle_ups;
         self.throttle_downs += o.throttle_downs;
         self.dig_transitions += o.dig_transitions;
+        self.attribution.merge(&o.attribution);
     }
 
     /// Serializes to the JSON object embedded per cell in sweep reports.
@@ -580,7 +730,8 @@ impl TelemetrySummary {
                 "\"late_wait\":{},",
                 "\"dram_round_trip\":{},",
                 "\"dram_queue_wait\":{},",
-                "\"throttle_ups\":{},\"throttle_downs\":{},\"dig_transitions\":{}}}"
+                "\"throttle_ups\":{},\"throttle_downs\":{},\"dig_transitions\":{},",
+                "\"attribution\":{}}}"
             ),
             self.timeliness.to_json(),
             self.load_to_use.to_json(),
@@ -591,16 +742,22 @@ impl TelemetrySummary {
             self.throttle_ups,
             self.throttle_downs,
             self.dig_transitions,
+            self.attribution.to_json(),
         )
     }
 }
 
 /// The telemetry hub owned by the memory system: always-on counters plus an
-/// optional event sink.
+/// optional event sink and an optional windowed metrics registry.
 #[derive(Default)]
 pub struct Tracer {
     counters: TelemetrySummary,
     sink: Option<Box<dyn TraceSink>>,
+    metrics: Option<Box<MetricsRegistry>>,
+    /// Source tags of prefetched lines whose fate is not yet known; the
+    /// entry is removed (and its source credited) at first use or unused
+    /// eviction, so the map stays bounded by resident prefetched lines.
+    pending_tags: BTreeMap<u64, SourceTag>,
     next_prefetch_id: u64,
 }
 
@@ -609,6 +766,7 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("counters", &self.counters)
             .field("sink", &self.sink.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -632,6 +790,24 @@ impl Tracer {
     /// Whether a sink is installed (events are being constructed).
     pub fn is_tracing(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Installs (or replaces) a windowed metrics registry; sampling hooks
+    /// are live from now on.
+    pub fn install_metrics(&mut self, cfg: MetricsConfig) {
+        self.metrics = Some(Box::new(MetricsRegistry::new(cfg)));
+    }
+
+    /// Removes and returns the metrics registry, if any.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take().map(|b| *b)
+    }
+
+    /// Mutable access to the metrics registry when one is installed (the
+    /// sampling/gauge hooks no-op otherwise).
+    #[inline]
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_deref_mut()
     }
 
     /// The always-on counters.
@@ -658,6 +834,15 @@ impl Tracer {
         let id = self.next_prefetch_id;
         self.next_prefetch_id += 1;
         id
+    }
+
+    /// Records an accepted prefetch carrying a source tag: credits the
+    /// source's `issued` count and remembers the tag until the line's fate
+    /// (use or unused eviction) resolves it.
+    #[inline]
+    pub fn prefetch_tag_issued(&mut self, line: u64, tag: SourceTag) {
+        self.counters.attribution.record_issued(tag);
+        self.pending_tags.insert(line, tag);
     }
 
     /// Records a demand access completing: feeds the load-to-use histogram
@@ -703,9 +888,15 @@ impl Tracer {
         if residual == 0 {
             self.counters.timeliness.timely += 1;
             self.counters.fill_to_use.record(slack);
+            if let Some(tag) = self.pending_tags.remove(&line) {
+                self.counters.attribution.record_timely(tag);
+            }
         } else {
             self.counters.timeliness.late += 1;
             self.counters.late_wait.record(residual);
+            if let Some(tag) = self.pending_tags.remove(&line) {
+                self.counters.attribution.record_late(tag);
+            }
         }
         self.emit(|| TraceEvent {
             cycle: now,
@@ -723,6 +914,9 @@ impl Tracer {
     #[inline]
     pub fn prefetch_evicted_unused(&mut self, now: u64, line: u64) {
         self.counters.timeliness.inaccurate += 1;
+        if let Some(tag) = self.pending_tags.remove(&line) {
+            self.counters.attribution.record_inaccurate(tag);
+        }
         self.emit(|| TraceEvent {
             cycle: now,
             dur: 0,
@@ -731,10 +925,14 @@ impl Tracer {
         });
     }
 
-    /// Records a prefetch request dropped before issue.
+    /// Records a prefetch request dropped before issue; `tag` attributes
+    /// the drop to its static source when the issuer supplied one.
     #[inline]
-    pub fn prefetch_dropped(&mut self, core: usize, now: u64, line: u64) {
+    pub fn prefetch_dropped(&mut self, core: usize, now: u64, line: u64, tag: Option<SourceTag>) {
         self.counters.timeliness.dropped += 1;
+        if let Some(tag) = tag {
+            self.counters.attribution.record_dropped(tag);
+        }
         self.emit(|| TraceEvent {
             cycle: now,
             dur: 0,
@@ -808,7 +1006,7 @@ mod tests {
         let mut t = Tracer::new();
         assert!(!t.is_tracing());
         t.prefetch_used(0, 100, 0x1000, ServedBy::L1, 0, 7);
-        t.prefetch_dropped(0, 101, 0x1040);
+        t.prefetch_dropped(0, 101, 0x1040, None);
         assert_eq!(t.counters().timeliness.timely, 1);
         assert_eq!(t.counters().timeliness.dropped, 1);
         assert_eq!(t.counters().fill_to_use.count(), 1);
@@ -879,6 +1077,65 @@ mod tests {
         for c in TraceCategory::ALL {
             assert_eq!(TraceCategory::parse(c.name()), Some(c));
         }
+    }
+
+    #[test]
+    fn attribution_follows_the_prefetch_lifecycle() {
+        let mut t = Tracer::new();
+        // Edge tag 0->2 issues three lines; one timely, one late, one
+        // evicted unused; a fourth request is dropped before issue.
+        let tag = (1u16 << 8) | 2;
+        t.prefetch_tag_issued(0x1000, tag);
+        t.prefetch_tag_issued(0x1040, tag);
+        t.prefetch_tag_issued(0x1080, tag);
+        t.prefetch_used(0, 50, 0x1000, ServedBy::L1, 0, 9);
+        t.prefetch_used(0, 60, 0x1040, ServedBy::Dram, 12, 0);
+        t.prefetch_evicted_unused(70, 0x1080);
+        t.prefetch_dropped(0, 80, 0x10c0, Some(tag));
+        let c = *t.counters().attribution.get(tag).expect("tag present");
+        assert_eq!(
+            (c.issued, c.timely, c.late, c.inaccurate, c.dropped),
+            (3, 1, 1, 1, 1)
+        );
+        assert_eq!(c.accuracy(), Some(2.0 / 3.0));
+        // Untagged lines never enter the table.
+        t.prefetch_used(0, 90, 0x2000, ServedBy::L1, 0, 1);
+        assert_eq!(t.counters().attribution.iter().count(), 1);
+        assert_eq!(source_tag_label(tag), "0->2");
+        assert_eq!(source_tag_label(7), "7");
+        let j = t.counters().attribution.to_json();
+        assert!(j.contains("\"label\":\"0->2\",\"issued\":3,\"timely\":1"));
+    }
+
+    #[test]
+    fn attribution_merge_accumulates_per_tag() {
+        let mut a = AttributionTable::default();
+        a.record_issued(3);
+        a.record_timely(3);
+        let mut b = AttributionTable::default();
+        b.record_issued(3);
+        b.record_dropped(9);
+        a.merge(&b);
+        assert_eq!(a.get(3).unwrap().issued, 2);
+        assert_eq!(a.get(9).unwrap().dropped, 1);
+        assert_eq!(AttributionTable::default().to_json(), "[]");
+        assert!(AttributionTable::default().is_empty());
+    }
+
+    #[test]
+    fn tracer_metrics_install_and_take() {
+        let mut t = Tracer::new();
+        assert!(t.metrics_mut().is_none(), "unmetered by default");
+        t.install_metrics(crate::metrics::MetricsConfig {
+            window_cycles: 10,
+            capacity: 4,
+        });
+        t.metrics_mut()
+            .expect("installed")
+            .maybe_sample(25, &crate::stats::Stats::default());
+        let reg = t.take_metrics().expect("taken");
+        assert_eq!(reg.windows_closed(), 2);
+        assert!(t.take_metrics().is_none());
     }
 
     #[test]

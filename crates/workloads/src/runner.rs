@@ -15,7 +15,8 @@ use prodigy_prefetchers::{
 };
 use prodigy_sim::prefetch::Prefetcher;
 use prodigy_sim::{
-    MemorySink, NullPrefetcher, RunSummary, System, SystemConfig, TelemetrySummary, TraceEvent,
+    MemorySink, MetricsConfig, MetricsRegistry, NullPrefetcher, RunSummary, System, SystemConfig,
+    TelemetrySummary, TraceEvent,
 };
 
 /// Which prefetcher to attach to every core.
@@ -98,6 +99,11 @@ pub struct RunConfig {
     /// its events returned in [`RunOutcome::trace`]). Tracing never perturbs
     /// `Stats` — only host time and memory footprint grow.
     pub trace: bool,
+    /// Collect a windowed time-series of derived rates (IPC, miss rates,
+    /// MLP, prefetch accuracy, ...) in [`RunOutcome::metrics`]. Like
+    /// tracing, metering never perturbs `Stats`; unmetered runs allocate
+    /// nothing.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for RunConfig {
@@ -109,6 +115,7 @@ impl Default for RunConfig {
             classify_llc: false,
             seed: 0,
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -136,6 +143,8 @@ pub struct RunOutcome {
     pub telemetry: TelemetrySummary,
     /// Trace events, when [`RunConfig::trace`] was set.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Windowed metrics series, when [`RunConfig::metrics`] was set.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Runs `kernel` once under `cfg`.
@@ -151,6 +160,9 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
     let mut sys = System::new(cfg.sys);
     if cfg.trace {
         sys.install_trace_sink(Box::new(MemorySink::new()));
+    }
+    if let Some(mcfg) = cfg.metrics {
+        sys.install_metrics(mcfg);
     }
     let dig = kernel.prepare(sys.address_space_mut());
     let program = DigProgram::from_dig(&dig);
@@ -204,6 +216,7 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
     });
 
     let telemetry = sys.telemetry().clone();
+    let metrics = sys.take_metrics();
     let trace = sys.take_trace_sink().map(|mut s| {
         s.as_any_mut()
             .downcast_mut::<MemorySink>()
@@ -220,6 +233,7 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
         timing: prodigy_sim::RunTiming::from_elapsed(host_start.elapsed()),
         telemetry,
         trace,
+        metrics,
     }
 }
 

@@ -45,10 +45,13 @@ fn main() {
     println!("baseline: {} cycles, IPC {:.2}", b.cycles, b.ipc());
     println!("prodigy:  {} cycles, IPC {:.2}", p.cycles, p.ipc());
     println!(
-        "speedup: {:.2}x | DRAM stalls cut {:.0}% | prefetch accuracy {:.0}%",
+        "speedup: {:.2}x | DRAM stalls cut {:.0}% | prefetch accuracy {}",
         b.cycles as f64 / p.cycles as f64,
         (1.0 - p.cpi.dram / b.cpi.dram) * 100.0,
-        p.prefetch_use.accuracy() * 100.0
+        match p.prefetch_use.accuracy() {
+            Some(a) => format!("{:.0}%", a * 100.0),
+            None => "n/a".to_string(),
+        }
     );
     if let Some(ps) = prodigy.prodigy {
         println!(

@@ -42,10 +42,13 @@ fn compare(name: &str, mut make: impl FnMut() -> Box<dyn Kernel>) {
             Some((b, chk)) => {
                 assert_eq!(out.checksum, chk, "prefetcher changed the result");
                 println!(
-                    "{name:<6} {:<8} speedup {:>5.2}x  (prefetch accuracy {:>3.0}%)",
+                    "{name:<6} {:<8} speedup {:>5.2}x  (prefetch accuracy {})",
                     kind.name(),
                     b as f64 / cycles as f64,
-                    out.summary.stats.prefetch_use.accuracy() * 100.0
+                    match out.summary.stats.prefetch_use.accuracy() {
+                        Some(a) => format!("{:>3.0}%", a * 100.0),
+                        None => "n/a".to_string(),
+                    }
                 );
             }
         }

@@ -132,5 +132,5 @@ fn fig15_classification_is_exhaustive() {
         resolved,
         s.prefetches_issued
     );
-    assert!(s.prefetch_use.accuracy() > 0.0);
+    assert!(s.prefetch_use.accuracy().expect("prefetches resolved") > 0.0);
 }
