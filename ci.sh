@@ -52,11 +52,21 @@ echo "== diff smoke: same-seed scale-1 sweep pair must diff to zero"
 ./target/release/prodigy-eval --scale 1 --threads 2 \
     --json "$tmp/d2.json" fig02 >/dev/null
 ./target/release/prodigy-diff "$tmp/d1.json" "$tmp/d2.json"
-if ! ./target/release/prodigy-diff BENCH_pr5_scale1.json "$tmp/d1.json" >/dev/null; then
-    echo "   note: results drifted from the checked-in BENCH_pr5_scale1.json"
+if ! ./target/release/prodigy-diff BENCH_pr6_scale1.json "$tmp/d1.json" >/dev/null; then
+    echo "   note: results drifted from the checked-in BENCH_pr6_scale1.json"
     echo "   baseline. If the change is intentional, regenerate it with:"
-    echo "   ./target/release/prodigy-eval --scale 1 --threads 2 --json BENCH_pr5_scale1.json fig02"
+    echo "   ./target/release/prodigy-eval --scale 1 --threads 2 --json BENCH_pr6_scale1.json fig02"
 fi
+# Non-gating host-throughput summary (varies run to run; for the log only).
+python3 - "$tmp/d1.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+h = d.get("host", {})
+print(f"   host (non-gating): {h.get('cells_per_sec', '?')} cells/s, "
+      f"{h.get('host_nanos_total', 0)/1e9:.1f}s total cell time, "
+      f"p50 {h.get('cell_host_nanos_p50', 0)/1e9:.1f}s / "
+      f"p99 {h.get('cell_host_nanos_p99', 0)/1e9:.1f}s per cell")
+PY
 
 echo "== metrics smoke: windowed series + attribution, same-seed identical"
 ./target/release/prodigy-eval --scale 64 --cores 2 \

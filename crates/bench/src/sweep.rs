@@ -409,6 +409,31 @@ impl SweepReport {
         (busy / denom).min(1.0)
     }
 
+    /// Total host time spent inside cell simulations (sum over cells; under
+    /// an oversubscribed pool this exceeds wall time × cores).
+    pub fn total_cell_nanos(&self) -> u128 {
+        self.cell_timings
+            .iter()
+            .map(|t| t.timing.host_nanos as u128)
+            .sum()
+    }
+
+    /// Nearest-rank percentile of per-cell host time, in nanoseconds.
+    /// `q` in [0, 1]; returns 0 when no cell was simulated.
+    pub fn cell_nanos_percentile(&self, q: f64) -> u64 {
+        let mut v: Vec<u64> = self
+            .cell_timings
+            .iter()
+            .map(|t| t.timing.host_nanos)
+            .collect();
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).max(1);
+        v[rank - 1]
+    }
+
     /// The `n` slowest cells, slowest first.
     pub fn slowest(&self, n: usize) -> Vec<&CellTiming> {
         let mut v: Vec<&CellTiming> = self.cell_timings.iter().collect();
@@ -454,6 +479,16 @@ impl SweepReport {
         s.push_str(&format!("\"wall_nanos\":{},", self.wall.as_nanos()));
         s.push_str(&format!("\"cells_per_sec\":{:.3},", self.cells_per_sec()));
         s.push_str(&format!("\"utilization\":{:.4},", self.utilization()));
+        // Host-side throughput summary. Telemetry only: `prodigy-diff`
+        // ignores everything outside `cells`, so refreshed baselines never
+        // diff on host speed.
+        s.push_str(&format!(
+            "\"host\":{{\"cells_per_sec\":{:.3},\"host_nanos_total\":{},\"cell_host_nanos_p50\":{},\"cell_host_nanos_p99\":{}}},",
+            self.cells_per_sec(),
+            self.total_cell_nanos(),
+            self.cell_nanos_percentile(0.50),
+            self.cell_nanos_percentile(0.99),
+        ));
         s.push_str("\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -681,6 +716,46 @@ mod tests {
         );
         assert!((report.utilization() - 0.5).abs() < 1e-9);
         assert!((report.cells_per_sec() - 5.0 / 1.5).abs() < 1e-9);
+        assert!(
+            json.contains("\"host\":{\"cells_per_sec\":"),
+            "host throughput section present"
+        );
+        assert!(json.contains("\"host_nanos_total\":42"));
+        assert_eq!(report.total_cell_nanos(), 42);
+        assert_eq!(report.cell_nanos_percentile(0.50), 42);
+        assert_eq!(report.cell_nanos_percentile(0.99), 42);
+    }
+
+    #[test]
+    fn cell_percentiles_use_nearest_rank() {
+        let cell = |nanos: u64| CellTiming {
+            key: "k".into(),
+            timing: prodigy_sim::RunTiming { host_nanos: nanos },
+            worker: CALLER_THREAD,
+            telemetry: None,
+            stats: None,
+            error: None,
+        };
+        let report = SweepReport {
+            threads: 1,
+            base_seed: 0,
+            cache_hits: 0,
+            cells_simulated: 4,
+            errors: vec![],
+            wall: Duration::from_millis(1),
+            workers: vec![],
+            cell_timings: vec![cell(40), cell(10), cell(30), cell(20)],
+        };
+        assert_eq!(report.cell_nanos_percentile(0.50), 20);
+        assert_eq!(report.cell_nanos_percentile(0.99), 40);
+        assert_eq!(report.cell_nanos_percentile(0.0), 10);
+        assert_eq!(report.total_cell_nanos(), 100);
+        let empty = SweepReport {
+            cell_timings: vec![],
+            cells_simulated: 0,
+            ..report
+        };
+        assert_eq!(empty.cell_nanos_percentile(0.5), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   non-CSR workloads get nothing.
 
 use crate::hint::GraphLayoutHint;
+use prodigy_sim::fxhash::FxBuildHasher;
 use prodigy_sim::line_of;
 use prodigy_sim::prefetch::{DemandAccess, FillEvent, PrefetchCtx, Prefetcher};
 use prodigy_sim::LINE_BYTES;
@@ -35,7 +36,8 @@ enum Action {
 pub struct AinsworthJonesPrefetcher {
     hint: GraphLayoutHint,
     distance: u64,
-    pending: HashMap<u64, Vec<Action>>,
+    // Fx-hashed: probed/removed by key only, never iterated.
+    pending: HashMap<u64, Vec<Action>, FxBuildHasher>,
     max_pending_lines: usize,
     max_range_lines: usize,
 }
@@ -48,7 +50,7 @@ impl AinsworthJonesPrefetcher {
         AinsworthJonesPrefetcher {
             hint,
             distance,
-            pending: HashMap::new(),
+            pending: HashMap::default(),
             max_pending_lines: 32,
             max_range_lines: 64,
         }

@@ -8,6 +8,7 @@
 //! the most recent occurrence of that delta pair. On a miss, the delta
 //! history following the previous occurrence predicts the next addresses.
 
+use prodigy_sim::fxhash::FxBuildHasher;
 use prodigy_sim::prefetch::{DemandAccess, FillEvent, PrefetchCtx, Prefetcher};
 use prodigy_sim::ServedBy;
 use std::any::Any;
@@ -19,7 +20,10 @@ pub struct GhbGdcPrefetcher {
     ghb: Vec<u64>,
     head: usize,
     filled: usize,
-    index: HashMap<(i64, i64), usize>,
+    // Fx-hashed: this map is only ever inserted into / probed (never
+    // iterated), so the hasher cannot affect behavior — and it sits on the
+    // per-miss hot path of the heaviest fig02 cell.
+    index: HashMap<(i64, i64), usize, FxBuildHasher>,
     degree: u32,
     last: [u64; 3],
     seen: usize,
@@ -40,7 +44,7 @@ impl GhbGdcPrefetcher {
             ghb: vec![0; capacity],
             head: 0,
             filled: 0,
-            index: HashMap::new(),
+            index: HashMap::default(),
             degree,
             last: [0; 3],
             seen: 0,

@@ -11,6 +11,7 @@
 //! single-valued patterns (no ranged indirection, so CSR edge ranges are
 //! missed) and at most two levels of indirection.
 
+use prodigy_sim::fxhash::FxBuildHasher;
 use prodigy_sim::line_of;
 use prodigy_sim::prefetch::{DemandAccess, FillEvent, PrefetchCtx, Prefetcher};
 use prodigy_sim::ServedBy;
@@ -52,10 +53,13 @@ fn indirect_target(base: u64, v: u64, shift: u8) -> Option<u64> {
 #[derive(Debug)]
 pub struct ImpPrefetcher {
     streams: Vec<StreamEntry>,
-    candidates: HashMap<u32, Vec<Candidate>>,
-    learned: HashMap<u32, Learned>,
+    candidates: HashMap<u32, Vec<Candidate>, FxBuildHasher>,
+    learned: HashMap<u32, Learned, FxBuildHasher>,
     recent_values: Vec<(u32, u64)>,
-    pending: HashMap<u64, Vec<(u32, u64, u8)>>,
+    // Fx-hashed not just for speed: the capacity bound evicts
+    // `pending.keys().next()`, and with std's randomized hasher that choice
+    // differed run to run. A fixed hasher makes it arbitrary but repeatable.
+    pending: HashMap<u64, Vec<(u32, u64, u8)>, FxBuildHasher>,
     distance: u64,
 }
 
@@ -70,10 +74,10 @@ impl ImpPrefetcher {
     pub fn new(distance: u64) -> Self {
         ImpPrefetcher {
             streams: vec![StreamEntry::default(); 64],
-            candidates: HashMap::new(),
-            learned: HashMap::new(),
+            candidates: HashMap::default(),
+            learned: HashMap::default(),
             recent_values: Vec::new(),
-            pending: HashMap::new(),
+            pending: HashMap::default(),
             distance,
         }
     }

@@ -127,8 +127,15 @@ impl CoreTiming {
         let (complete, cause) = match insn.op {
             Op::Compute { latency } => (issue + latency as u64, StallCause::Dependency),
             Op::Load { addr, size, pc } => {
-                let t = self.dispatch;
-                self.lq.retain(|&(c, _)| c > t);
+                // Deferred drain scan: `dispatch` is monotonic, so pruning
+                // completed entries only when the raw list reaches capacity
+                // leaves the live set (and every stall decision) identical
+                // to pruning on every load — completed entries are inert
+                // until the next capacity check.
+                if self.lq.len() >= self.cfg.load_queue as usize {
+                    let t = self.dispatch;
+                    self.lq.retain(|&(c, _)| c > t);
+                }
                 if self.lq.len() >= self.cfg.load_queue as usize {
                     // Attribute the LQ-full wait to whatever is keeping the
                     // oldest-completing load slow (usually DRAM).
@@ -156,8 +163,11 @@ impl CoreTiming {
                 (complete, Self::served_cause(res.served))
             }
             Op::Store { addr, size, pc } => {
-                let t = self.dispatch;
-                self.sq.retain(|&c| c > t);
+                // Same deferred drain scan as the load queue above.
+                if self.sq.len() >= self.cfg.store_queue as usize {
+                    let t = self.dispatch;
+                    self.sq.retain(|&c| c > t);
+                }
                 if self.sq.len() >= self.cfg.store_queue as usize {
                     let free = *self.sq.iter().min().expect("sq full implies nonempty");
                     self.stall_to(free, StallCause::Other);

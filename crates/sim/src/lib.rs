@@ -34,6 +34,7 @@
 pub mod config;
 pub mod core;
 pub mod energy;
+pub mod fxhash;
 pub mod mem;
 pub mod metrics;
 pub mod prefetch;

@@ -6,17 +6,25 @@
 //! algorithm actually computed. Memory is stored as sparse 4 KB pages;
 //! untouched memory reads as zero, as freshly-mapped anonymous pages do.
 
+use crate::fxhash::FxBuildHasher;
 use std::collections::HashMap;
 
 /// Page size in bytes (4 KB, also the TLB translation granule).
 pub const PAGE_BYTES: u64 = 4096;
 
 const PAGE_SHIFT: u32 = 12;
+const PAGE_MASK: u64 = PAGE_BYTES - 1;
 
 /// A sparse, paged, byte-addressable simulated memory with a bump allocator.
+///
+/// Hot-path note: the page table is keyed with the fast local hasher
+/// ([`crate::fxhash`]) and multi-byte accesses resolve their page **once**
+/// and copy word-wise — a page-straddling access (rare: all workload arrays
+/// are element-aligned) falls back to the byte loop. Page iteration order is
+/// never observed, so the hasher choice cannot affect any simulated result.
 #[derive(Debug, Default)]
 pub struct AddressSpace {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>, FxBuildHasher>,
     brk: u64,
 }
 
@@ -25,7 +33,7 @@ impl AddressSpace {
     /// null-ish addresses invalid, as a real process layout would.
     pub fn new() -> Self {
         AddressSpace {
-            pages: HashMap::new(),
+            pages: HashMap::default(),
             brk: 0x0400_0000,
         }
     }
@@ -54,49 +62,76 @@ impl AddressSpace {
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(p) => p[(addr & (PAGE_BYTES - 1)) as usize],
+            Some(p) => p[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
         let page = self
             .pages
             .entry(addr >> PAGE_SHIFT)
             .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
-        page[(addr & (PAGE_BYTES - 1)) as usize] = v;
+        page[(addr & PAGE_MASK) as usize] = v;
     }
 
     /// Reads a little-endian unsigned integer of `size` ∈ {1, 2, 4, 8} bytes.
     ///
     /// # Panics
     /// Panics if `size` is not 1, 2, 4, or 8.
+    #[inline]
     pub fn read_uint(&self, addr: u64, size: u8) -> u64 {
         assert!(
             matches!(size, 1 | 2 | 4 | 8),
             "unsupported read size {size}"
         );
-        let mut v = 0u64;
-        for i in 0..size as u64 {
-            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_BYTES as usize {
+            // Common case: the access sits inside one page — one map lookup,
+            // one word copy.
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..size as usize].copy_from_slice(&p[off..off + size as usize]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..size as u64 {
+                v |= (self.read_u8(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     /// Writes a little-endian unsigned integer of `size` ∈ {1, 2, 4, 8} bytes.
     ///
     /// # Panics
     /// Panics if `size` is not 1, 2, 4, or 8.
+    #[inline]
     pub fn write_uint(&mut self, addr: u64, v: u64, size: u8) {
         assert!(
             matches!(size, 1 | 2 | 4 | 8),
             "unsupported write size {size}"
         );
-        for i in 0..size as u64 {
-            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_BYTES as usize {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+            page[off..off + size as usize].copy_from_slice(&v.to_le_bytes()[..size as usize]);
+        } else {
+            for i in 0..size as u64 {
+                self.write_u8(addr + i, (v >> (8 * i)) as u8);
+            }
         }
     }
 

@@ -1,11 +1,21 @@
 //! Set-associative, write-back cache with LRU replacement and per-line
 //! metadata for prefetch tracking, in-flight fills, and the L3 directory.
+//!
+//! Storage is struct-of-arrays: one flat tag array (scanned on every
+//! lookup) and a parallel flat [`Line`] array (touched only on hit), with a
+//! per-set occupancy count. A miss in a 16-way L3 set then reads two host
+//! cache lines of tags instead of walking 16 separately-boxed line structs
+//! — the dominant cost of the old `Vec<Vec<Line>>` layout. Replacement
+//! order is bit-compatible with that layout: fills append in slot order,
+//! invalidation moves the set's last slot into the hole (`swap_remove`),
+//! and the victim of a full set is the first slot holding the minimum LRU
+//! stamp.
 
 use super::coherence::{Directory, Mesi};
 use crate::line_of;
 
 /// One cache line's bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Line {
     /// Line-aligned address (we store full addresses rather than tags for
     /// clarity; a real cache would keep `addr >> (set+offset bits)`).
@@ -22,8 +32,6 @@ pub struct Line {
     pub ready_at: u64,
     /// Where the fill was served from, for stall attribution of merges.
     pub fill_src: crate::ServedBy,
-    /// LRU timestamp.
-    last_use: u64,
     /// Directory record (used only in the L3).
     pub dir: Directory,
 }
@@ -41,10 +49,19 @@ pub struct Evicted {
     pub dir: Directory,
 }
 
-/// A single set-associative cache array.
+/// A single set-associative cache array (flat struct-of-arrays storage).
 #[derive(Debug)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// Line address per slot; slot `s*ways + w` is valid for `w < len[s]`.
+    tags: Box<[u64]>,
+    /// Per-slot line data, parallel to `tags`.
+    lines: Box<[Line]>,
+    /// Per-slot LRU stamp, parallel to `tags`. Kept out of [`Line`] so the
+    /// victim scan of a full 16-way set reads two host cache lines instead
+    /// of walking 16 fat line structs.
+    last: Box<[u64]>,
+    /// Occupied ways per set.
+    len: Box<[u8]>,
     ways: usize,
     set_mask: u64,
     clock: u64,
@@ -55,11 +72,23 @@ impl Cache {
     pub fn new(cfg: &crate::CacheConfig) -> Self {
         let sets = cfg.sets() as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let ways = cfg.ways as usize;
+        assert!(ways >= 1 && ways <= u8::MAX as usize, "ways out of range");
+        let filler = Line {
+            addr: u64::MAX,
+            state: Mesi::Invalid,
+            dirty: false,
+            prefetched: false,
+            ready_at: 0,
+            fill_src: crate::ServedBy::Dram,
+            dir: Directory::empty(),
+        };
         Cache {
-            sets: (0..sets)
-                .map(|_| Vec::with_capacity(cfg.ways as usize))
-                .collect(),
-            ways: cfg.ways as usize,
+            tags: vec![u64::MAX; sets * ways].into_boxed_slice(),
+            lines: vec![filler; sets * ways].into_boxed_slice(),
+            last: vec![0u64; sets * ways].into_boxed_slice(),
+            len: vec![0u8; sets].into_boxed_slice(),
+            ways,
             set_mask: sets as u64 - 1,
             clock: 0,
         }
@@ -74,39 +103,70 @@ impl Cache {
         ((l ^ (l >> 7) ^ (l >> 15)) & self.set_mask) as usize
     }
 
+    /// Scans one set's tags for `line`; returns the flat slot index.
+    #[inline]
+    fn find(&self, idx: usize, line: u64) -> Option<usize> {
+        let base = idx * self.ways;
+        let n = self.len[idx] as usize;
+        self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == line)
+            .map(|w| base + w)
+    }
+
+    /// Locates `addr` without touching LRU; the returned slot stays valid
+    /// until the next insert/invalidate **on this cache** (other caches'
+    /// mutations never move it). Lets the hierarchy re-access a line it
+    /// already found without paying a second tag walk.
+    #[inline]
+    pub(crate) fn find_slot(&self, addr: u64) -> Option<usize> {
+        let line = line_of(addr);
+        self.find(self.set_index(line), line)
+    }
+
+    /// Direct slot access (see [`Cache::find_slot`] for validity rules).
+    #[inline]
+    pub(crate) fn slot_mut(&mut self, slot: usize) -> &mut Line {
+        &mut self.lines[slot]
+    }
+
     /// Looks up `addr` (any byte address) and refreshes LRU on hit.
+    #[inline]
     pub fn lookup(&mut self, addr: u64) -> Option<&mut Line> {
+        let slot = self.lookup_slot(addr)?;
+        Some(&mut self.lines[slot])
+    }
+
+    /// [`Cache::lookup`], returning the slot index instead of the line.
+    #[inline]
+    pub(crate) fn lookup_slot(&mut self, addr: u64) -> Option<usize> {
         let line = line_of(addr);
         self.clock += 1;
         let clock = self.clock;
         let idx = self.set_index(line);
-        match self.sets[idx].iter_mut().find(|l| l.addr == line) {
-            Some(l) => {
-                l.last_use = clock;
-                Some(l)
-            }
-            None => None,
-        }
+        let slot = self.find(idx, line)?;
+        self.last[slot] = clock;
+        Some(slot)
     }
 
     /// Looks up without disturbing LRU (for snoops and assertions).
+    #[inline]
     pub fn peek(&self, addr: u64) -> Option<&Line> {
-        let line = line_of(addr);
-        self.sets[self.set_index(line)]
-            .iter()
-            .find(|l| l.addr == line)
+        let slot = self.find_slot(addr)?;
+        Some(&self.lines[slot])
     }
 
     /// Mutable peek without LRU update (for coherence state changes).
+    #[inline]
     pub fn peek_mut(&mut self, addr: u64) -> Option<&mut Line> {
-        let line = line_of(addr);
-        let idx = self.set_index(line);
-        self.sets[idx].iter_mut().find(|l| l.addr == line)
+        let slot = self.find_slot(addr)?;
+        Some(&mut self.lines[slot])
     }
 
     /// Whether the line is present (any state).
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
-        self.peek(addr).is_some()
+        self.find_slot(addr).is_some()
     }
 
     /// Inserts a line, evicting the LRU way if the set is full. If the line
@@ -115,28 +175,39 @@ impl Cache {
     pub fn insert(&mut self, mut new: Line) -> Option<Evicted> {
         new.addr = line_of(new.addr);
         self.clock += 1;
-        new.last_use = self.clock;
         let idx = self.set_index(new.addr);
-        let set = &mut self.sets[idx];
-        if let Some(existing) = set.iter_mut().find(|l| l.addr == new.addr) {
-            existing.last_use = new.last_use;
+        let base = idx * self.ways;
+        if let Some(slot) = self.find(idx, new.addr) {
+            self.last[slot] = self.clock;
+            let existing = &mut self.lines[slot];
             existing.state = new.state;
             existing.dirty |= new.dirty;
             existing.ready_at = existing.ready_at.min(new.ready_at);
             existing.dir = new.dir;
             return None;
         }
-        if set.len() < self.ways {
-            set.push(new);
+        let n = self.len[idx] as usize;
+        if n < self.ways {
+            self.tags[base + n] = new.addr;
+            self.lines[base + n] = new;
+            self.last[base + n] = self.clock;
+            self.len[idx] = (n + 1) as u8;
             return None;
         }
-        let victim_i = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.last_use)
-            .map(|(i, _)| i)
-            .expect("full set has a victim");
-        let victim = std::mem::replace(&mut set[victim_i], new);
+        // Full set: evict the first slot holding the minimum LRU stamp
+        // (matches `min_by_key` over the old per-set Vec).
+        let mut victim_i = base;
+        let mut oldest = self.last[base];
+        for slot in base + 1..base + n {
+            let lu = self.last[slot];
+            if lu < oldest {
+                oldest = lu;
+                victim_i = slot;
+            }
+        }
+        self.tags[victim_i] = new.addr;
+        self.last[victim_i] = self.clock;
+        let victim = std::mem::replace(&mut self.lines[victim_i], new);
         Some(Evicted {
             addr: victim.addr,
             dirty: victim.dirty,
@@ -146,17 +217,26 @@ impl Cache {
     }
 
     /// Removes a line (back-invalidation); returns it if present.
+    /// Compacts by moving the set's last slot into the hole, exactly as
+    /// `Vec::swap_remove` did.
     pub fn invalidate(&mut self, addr: u64) -> Option<Line> {
         let line = line_of(addr);
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|l| l.addr == line)?;
-        Some(set.swap_remove(pos))
+        let pos = self.find(idx, line)?;
+        let base = idx * self.ways;
+        let last = base + self.len[idx] as usize - 1;
+        let victim = self.lines[pos];
+        self.tags[pos] = self.tags[last];
+        self.lines[pos] = self.lines[last];
+        self.last[pos] = self.last[last];
+        self.tags[last] = u64::MAX;
+        self.len[idx] -= 1;
+        Some(victim)
     }
 
     /// Number of resident lines (for occupancy assertions in tests).
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len.iter().map(|&n| n as usize).sum()
     }
 
     /// Whether the cache is empty.
@@ -174,7 +254,6 @@ pub fn demand_line(addr: u64, state: Mesi, ready_at: u64, src: crate::ServedBy) 
         prefetched: false,
         ready_at,
         fill_src: src,
-        last_use: 0,
         dir: Directory::empty(),
     }
 }

@@ -77,9 +77,19 @@ impl Directory {
         self.sharers & (1 << core) != 0
     }
 
-    /// Iterates over all sharer core ids.
+    /// Iterates over all sharer core ids, ascending (bit scan: only as many
+    /// steps as there are sharers, not one per possible core).
     pub fn sharer_iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..64).filter(move |c| self.sharers & (1 << c) != 0)
+        let mut bits = self.sharers;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(c)
+            }
+        })
     }
 
     /// Whether any core other than `core` shares the line.

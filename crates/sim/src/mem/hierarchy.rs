@@ -79,12 +79,40 @@ pub struct MemorySystem {
     tlb: Vec<Tlb>,
     mshr: Vec<Vec<u64>>,
     dram: Dram,
-    classifier: Option<ClassifierFn>,
+    classifier: Option<Classifier>,
     tel: Tracer,
 }
 
 /// Predicate over LLC-miss addresses used by the Fig. 13/16 experiments.
 pub type ClassifierFn = Box<dyn Fn(u64) -> bool + Send>;
+
+/// An LLC-miss classifier, devirtualized for the common case: DIG-annotated
+/// address ranges are matched with a direct scan instead of an indirect call
+/// through a boxed closure. Arbitrary predicates remain available via
+/// [`Classifier::Custom`].
+pub enum Classifier {
+    /// Match when the address falls in any `[lo, hi)` range.
+    Ranges(Vec<(u64, u64)>),
+    /// Arbitrary boxed predicate (tests, ad-hoc experiments).
+    Custom(ClassifierFn),
+}
+
+impl Classifier {
+    /// Whether `addr` is classified as prefetchable.
+    #[inline]
+    pub fn matches(&self, addr: u64) -> bool {
+        match self {
+            Classifier::Ranges(rs) => rs.iter().any(|&(lo, hi)| addr >= lo && addr < hi),
+            Classifier::Custom(f) => f(addr),
+        }
+    }
+}
+
+impl From<ClassifierFn> for Classifier {
+    fn from(f: ClassifierFn) -> Self {
+        Classifier::Custom(f)
+    }
+}
 
 impl std::fmt::Debug for MemorySystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -131,7 +159,13 @@ impl MemorySystem {
     /// Installs a predicate that classifies LLC-miss addresses as
     /// "prefetchable" (inside DIG-annotated structures) for Fig. 13/16.
     pub fn set_llc_miss_classifier(&mut self, f: Option<ClassifierFn>) {
-        self.classifier = f;
+        self.classifier = f.map(Classifier::Custom);
+    }
+
+    /// [`MemorySystem::set_llc_miss_classifier`] for the common case — a
+    /// DIG-annotated range set — avoiding the boxed call per LLC miss.
+    pub fn set_llc_miss_classifier_ranges(&mut self, ranges: Vec<(u64, u64)>) {
+        self.classifier = Some(Classifier::Ranges(ranges));
     }
 
     /// The configuration the hierarchy was built with.
@@ -243,10 +277,13 @@ impl MemorySystem {
     /// added latency (zero when nobody else shares the line).
     fn rfo(&mut self, core: usize, line: u64, stats: &mut Stats) -> u64 {
         let slice = self.slice_of(line);
-        let Some(l3l) = self.l3[slice].peek_mut(line) else {
+        // Execute-once: locate the L3 line a single time and re-access it by
+        // slot. The invalidations below only touch *other* cores' private
+        // caches, so the slot cannot move.
+        let Some(slot) = self.l3[slice].find_slot(line) else {
             return 0;
         };
-        let dir = l3l.dir;
+        let dir = self.l3[slice].slot_mut(slot).dir;
         let mut penalty = 0;
         let had_remote_dirty = dir.owner().map(|o| o != core).unwrap_or(false);
         for sharer in dir.sharer_iter() {
@@ -262,9 +299,7 @@ impl MemorySystem {
             }
             if dirty {
                 // Remote dirty data is written back into the L3.
-                if let Some(l3l) = self.l3[slice].peek_mut(line) {
-                    l3l.dirty = true;
-                }
+                self.l3[slice].slot_mut(slot).dirty = true;
                 stats.l2.writebacks += 1;
             }
             penalty = penalty.max(self.cfg.l3.data_latency);
@@ -272,11 +307,9 @@ impl MemorySystem {
         if had_remote_dirty {
             penalty = penalty.max(self.cfg.l3.data_latency);
         }
-        if let Some(l3l) = self.l3[slice].peek_mut(line) {
-            let mut d = Directory::empty();
-            d.set_owner(core);
-            l3l.dir = d;
-        }
+        let mut d = Directory::empty();
+        d.set_owner(core);
+        self.l3[slice].slot_mut(slot).dir = d;
         penalty
     }
 
@@ -302,11 +335,9 @@ impl MemorySystem {
         let slice = self.slice_of(ev.addr);
         if dirty {
             stats.l2.writebacks += 1;
-            if let Some(l) = self.l3[slice].peek_mut(ev.addr) {
-                l.dirty = true;
-            }
         }
         if let Some(l) = self.l3[slice].peek_mut(ev.addr) {
+            l.dirty |= dirty;
             l.dir.remove_sharer(core);
         }
     }
@@ -413,6 +444,12 @@ impl MemorySystem {
         lat += self.cfg.l1d.tag_latency;
 
         // ---- demand MSHRs (loads only) ----
+        //
+        // The retire scan stays eager (every miss): the list is bounded by
+        // the MSHR capacity, so this is an O(10) pass over a flat `u64`
+        // vec. Deferring it is *not* byte-safe — scan times are not
+        // monotonic across accesses (TLB hit/miss varies `lat`), so a
+        // batched filter could drop entries the eager scans kept.
         if !write {
             let t = now + lat;
             self.mshr[core].retain(|&r| r > t);
@@ -476,14 +513,18 @@ impl MemorySystem {
         // ---- L3 ----
         let slice = self.slice_of(line);
         let l3_arrival = now + lat;
-        if let Some((residual, was_pf, fill_src, dir, ready_at)) =
-            self.l3[slice].lookup(vaddr).map(|l| {
+        if let Some(slot) = self.l3[slice].lookup_slot(vaddr) {
+            // Execute-once: the line is located a single time; the directory
+            // update below re-uses the slot instead of a second tag walk
+            // (the intervening RFO only invalidates private caches, never
+            // this L3 slice's slots).
+            let (residual, was_pf, fill_src, dir, ready_at) = {
+                let l = self.l3[slice].slot_mut(slot);
                 let residual = Self::residual_wait(l.ready_at, l3_arrival);
                 let info = (residual, l.prefetched, l.fill_src, l.dir, l.ready_at);
                 l.prefetched = false;
                 info
-            })
-        {
+            };
             stats.l3.hits += 1;
             if was_pf {
                 stats.prefetch_use.hit_l3 += 1;
@@ -514,7 +555,8 @@ impl MemorySystem {
             lat += self.cfg.l3.data_latency + residual + extra;
             let ready = now + lat;
             let served = if residual > 0 { fill_src } else { ServedBy::L3 };
-            if let Some(l3l) = self.l3[slice].peek_mut(line) {
+            {
+                let l3l = self.l3[slice].slot_mut(slot);
                 if write {
                     l3l.dir.set_owner(core);
                 } else {
@@ -530,7 +572,7 @@ impl MemorySystem {
             };
             let mut fill = super::cache::demand_line(line, state, ready, served);
             fill.dirty = write;
-            self.insert_l2(core, fill.clone(), stats);
+            self.insert_l2(core, fill, stats);
             self.insert_l1(core, fill, stats);
             if !write {
                 self.mshr[core].push(ready);
@@ -543,8 +585,8 @@ impl MemorySystem {
         }
         stats.l3.misses += 1;
         lat += self.cfg.l3.tag_latency;
-        if let Some(f) = &self.classifier {
-            if f(vaddr) {
+        if let Some(c) = &self.classifier {
+            if c.matches(vaddr) {
                 stats.llc_misses_prefetchable += 1;
             } else {
                 stats.llc_misses_other += 1;
@@ -583,7 +625,7 @@ impl MemorySystem {
         };
         let mut fill = super::cache::demand_line(line, state, ready, served);
         fill.dirty = write;
-        self.insert_l2(core, fill.clone(), stats);
+        self.insert_l2(core, fill, stats);
         self.insert_l1(core, fill, stats);
         if !write {
             self.mshr[core].push(ready);
@@ -653,9 +695,14 @@ impl MemorySystem {
         lat += self.cfg.l2.tag_latency;
 
         let slice = self.slice_of(line);
-        if let Some(l) = self.l3[slice].peek(line) {
-            let residual = Self::residual_wait(l.ready_at, now + lat);
-            let remote_owner = l.dir.owner().map(|o| o != core).unwrap_or(false);
+        if let Some(slot) = self.l3[slice].find_slot(line) {
+            let (residual, remote_owner) = {
+                let l = self.l3[slice].slot_mut(slot);
+                (
+                    Self::residual_wait(l.ready_at, now + lat),
+                    l.dir.owner().map(|o| o != core).unwrap_or(false),
+                )
+            };
             lat += self.cfg.l3.data_latency + residual;
             if remote_owner {
                 // Don't steal remotely-owned dirty lines with a prefetch;
@@ -663,12 +710,10 @@ impl MemorySystem {
                 lat += self.cfg.l3.data_latency;
             }
             let ready = now + lat;
-            if let Some(l3l) = self.l3[slice].peek_mut(line) {
-                l3l.dir.add_sharer(core);
-            }
+            self.l3[slice].slot_mut(slot).dir.add_sharer(core);
             let mut fill = super::cache::demand_line(line, Mesi::Shared, ready, ServedBy::L3);
             fill.prefetched = true;
-            self.insert_l2(core, fill.clone(), stats);
+            self.insert_l2(core, fill, stats);
             self.insert_l1(core, fill, stats);
             stats.prefetches_issued += 1;
             if let Some(t) = tag {
@@ -708,7 +753,7 @@ impl MemorySystem {
         self.insert_l3(slice, l3fill, now, stats);
         let mut fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         fill.prefetched = true;
-        self.insert_l2(core, fill.clone(), stats);
+        self.insert_l2(core, fill, stats);
         self.insert_l1(core, fill, stats);
         stats.prefetches_issued += 1;
         if let Some(t) = tag {

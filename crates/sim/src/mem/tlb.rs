@@ -6,9 +6,18 @@ use super::address_space::PAGE_BYTES;
 
 /// A set-associative TLB with LRU replacement. Translation in the simulator
 /// is identity (virtual = physical), so the TLB only models hit/miss latency.
+///
+/// Entries live in flat parallel arrays (page numbers scanned, LRU stamps
+/// touched on hit) with per-set occupancy counts — the same struct-of-arrays
+/// layout as [`super::cache::Cache`], with bit-identical replacement order.
 #[derive(Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<(u64, u64)>>, // (page number, last_use)
+    /// Page number per slot; slot `s*ways + w` is valid for `w < len[s]`.
+    pages: Box<[u64]>,
+    /// LRU stamp per slot, parallel to `pages`.
+    last: Box<[u64]>,
+    /// Occupied ways per set.
+    len: Box<[u8]>,
     ways: usize,
     set_mask: u64,
     clock: u64,
@@ -26,7 +35,9 @@ impl Tlb {
         );
         let sets = (entries / 4).next_power_of_two() as usize;
         Tlb {
-            sets: vec![Vec::with_capacity(4); sets],
+            pages: vec![u64::MAX; sets * 4].into_boxed_slice(),
+            last: vec![0u64; sets * 4].into_boxed_slice(),
+            len: vec![0u8; sets].into_boxed_slice(),
             ways: 4,
             set_mask: sets as u64 - 1,
             clock: 0,
@@ -36,25 +47,41 @@ impl Tlb {
     /// Performs a lookup for the page containing `vaddr`. Returns `true` on
     /// hit. On a miss the translation is installed (page walk modelled by
     /// the caller adding the miss latency).
+    #[inline]
     pub fn access(&mut self, vaddr: u64) -> bool {
         let page = vaddr / PAGE_BYTES;
         self.clock += 1;
         let idx = (page & self.set_mask) as usize;
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.clock;
-            return true;
+        let base = idx * self.ways;
+        let n = self.len[idx] as usize;
+        for slot in base..base + n {
+            if self.pages[slot] == page {
+                self.last[slot] = self.clock;
+                return true;
+            }
         }
-        if set.len() == self.ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, lu))| *lu)
-                .map(|(i, _)| i)
-                .expect("full set");
-            set.swap_remove(victim);
+        if n == self.ways {
+            // First slot with the minimum stamp is the victim; the old
+            // `swap_remove(victim); push(new)` compaction moved the last
+            // entry into the hole and appended the new one — reproduce that.
+            let mut victim = base;
+            let mut oldest = self.last[base];
+            for slot in base + 1..base + n {
+                if self.last[slot] < oldest {
+                    oldest = self.last[slot];
+                    victim = slot;
+                }
+            }
+            let last_slot = base + n - 1;
+            self.pages[victim] = self.pages[last_slot];
+            self.last[victim] = self.last[last_slot];
+            self.pages[last_slot] = page;
+            self.last[last_slot] = self.clock;
+        } else {
+            self.pages[base + n] = page;
+            self.last[base + n] = self.clock;
+            self.len[idx] = (n + 1) as u8;
         }
-        set.push((page, self.clock));
         false
     }
 }

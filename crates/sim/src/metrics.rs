@@ -210,6 +210,16 @@ impl MetricsRegistry {
         self.throttle_level = level;
     }
 
+    /// The cycle at which the next window closes. [`maybe_sample`] is a
+    /// no-op for any `now` strictly before this, so schedulers may skip the
+    /// call entirely until simulated time reaches it.
+    ///
+    /// [`maybe_sample`]: MetricsRegistry::maybe_sample
+    #[inline]
+    pub fn next_sample_at(&self) -> u64 {
+        self.next_sample_at
+    }
+
     /// Closes every window that `now` has passed. Counter deltas since the
     /// previous close are attributed to the first closed window; any
     /// further windows crossed in the same jump record zero activity, so

@@ -41,12 +41,18 @@ pub struct RunSummary {
 }
 
 /// A complete simulated machine.
-pub struct System {
+///
+/// Generic over the per-core prefetcher type `P`. The default
+/// (`Box<dyn Prefetcher>`) keeps the flexible type-erased API; performance
+/// drivers monomorphise with a concrete type (e.g. an enum over all known
+/// prefetchers) so the per-instruction `on_demand`/`on_fill` calls dispatch
+/// statically instead of through a vtable.
+pub struct System<P: Prefetcher = Box<dyn Prefetcher>> {
     cfg: SystemConfig,
     mem: MemorySystem,
     space: AddressSpace,
     cores: Vec<CoreTiming>,
-    prefetchers: Vec<Box<dyn Prefetcher>>,
+    prefetchers: Vec<P>,
     fills: Vec<FillQueue>,
     stats: Stats,
     time: u64,
@@ -54,7 +60,7 @@ pub struct System {
     energy_model: EnergyModel,
 }
 
-impl std::fmt::Debug for System {
+impl<P: Prefetcher> std::fmt::Debug for System<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("cfg", &self.cfg)
@@ -69,13 +75,12 @@ impl System {
     pub fn new(cfg: SystemConfig) -> Self {
         Self::with_prefetchers(cfg, |_| Box::new(NullPrefetcher::new()))
     }
+}
 
+impl<P: Prefetcher + 'static> System<P> {
     /// Builds a system with one private prefetcher per core, produced by
     /// `factory(core_id)`.
-    pub fn with_prefetchers(
-        cfg: SystemConfig,
-        mut factory: impl FnMut(usize) -> Box<dyn Prefetcher>,
-    ) -> Self {
+    pub fn with_prefetchers(cfg: SystemConfig, mut factory: impl FnMut(usize) -> P) -> Self {
         let n = cfg.cores as usize;
         System {
             mem: MemorySystem::new(cfg),
@@ -149,14 +154,14 @@ impl System {
     /// private prefetcher instances).
     pub fn program_prefetchers(&mut self, mut f: impl FnMut(&mut dyn Prefetcher)) {
         for p in &mut self.prefetchers {
-            f(p.as_mut());
+            f(p);
         }
     }
 
     /// Replaces every core's prefetcher. Used by workload drivers that can
     /// only construct structure-aware prefetchers (Ainsworth & Jones,
     /// DROPLET) after the workload's data layout exists.
-    pub fn set_prefetchers(&mut self, mut factory: impl FnMut(usize) -> Box<dyn Prefetcher>) {
+    pub fn set_prefetchers(&mut self, mut factory: impl FnMut(usize) -> P) {
         let n = self.cores.len();
         self.prefetchers = (0..n).map(&mut factory).collect();
         self.fills = (0..n).map(|_| FillQueue::new()).collect();
@@ -201,6 +206,25 @@ impl System {
         let mut fills = std::mem::take(&mut self.fills);
         let mut pos: Vec<usize> = vec![0; participating];
 
+        // Event-driven bookkeeping for the hot loop: instead of consulting
+        // the fill heap and the metrics registry every instruction, cache the
+        // next "interesting" cycle of each (earliest pending fill per core,
+        // next metric-window boundary) and compare against it — a branch on a
+        // local `u64` instead of a heap peek / registry call. The caches are
+        // refreshed only at the events that can change them (a fill delivery,
+        // a prefetch issue, a window close), which preserves behaviour
+        // exactly: `next_fill[c] <= now` is the same predicate the heap peek
+        // evaluated, and `maybe_sample` was already a no-op before the
+        // boundary.
+        let mut next_fill: Vec<u64> = (0..participating)
+            .map(|c| fills[c].peek().map_or(u64::MAX, |r| r.0.at))
+            .collect();
+        let mut next_window: u64 = self
+            .mem
+            .tracer_mut()
+            .metrics_mut()
+            .map_or(u64::MAX, |m| m.next_sample_at());
+
         // Timestamp-ordered interleaving: repeatedly advance the earliest
         // unfinished core by a small batch of instructions.
         const BATCH: usize = 8;
@@ -217,8 +241,11 @@ impl System {
             let Some((t, c)) = best else { break };
             // The earliest-core timestamp is monotone across iterations, so
             // it is a sound clock for closing metric windows.
-            if let Some(m) = self.mem.tracer_mut().metrics_mut() {
-                m.maybe_sample(t, &self.stats);
+            if t >= next_window {
+                if let Some(m) = self.mem.tracer_mut().metrics_mut() {
+                    m.maybe_sample(t, &self.stats);
+                    next_window = m.next_sample_at();
+                }
             }
 
             for _ in 0..BATCH {
@@ -227,15 +254,18 @@ impl System {
                 }
                 // Deliver matured prefetch fills first so chained prefetch
                 // sequences advance at memory speed, not core speed.
-                Self::deliver_fills(
-                    &mut self.mem,
-                    &self.space,
-                    &mut self.stats,
-                    &mut fills[c],
-                    prefetchers[c].as_mut(),
-                    c,
-                    self.cores[c].now(),
-                );
+                if next_fill[c] <= self.cores[c].now() {
+                    Self::deliver_fills(
+                        &mut self.mem,
+                        &self.space,
+                        &mut self.stats,
+                        &mut fills[c],
+                        &mut prefetchers[c],
+                        c,
+                        self.cores[c].now(),
+                    );
+                    next_fill[c] = fills[c].peek().map_or(u64::MAX, |r| r.0.at);
+                }
                 let insn = &streams[c].as_slice()[pos[c]];
                 pos[c] += 1;
                 let step = self.cores[c].step(insn, &mut self.mem, c, &mut self.stats);
@@ -250,6 +280,7 @@ impl System {
                         &mut fills[c],
                     );
                     prefetchers[c].on_demand(&mut ctx, &access);
+                    next_fill[c] = fills[c].peek().map_or(u64::MAX, |r| r.0.at);
                 }
             }
         }
@@ -272,7 +303,7 @@ impl System {
                 &self.space,
                 &mut self.stats,
                 q,
-                prefetchers[c].as_mut(),
+                &mut prefetchers[c],
                 c,
                 barrier,
             );
@@ -305,7 +336,7 @@ impl System {
         space: &AddressSpace,
         stats: &mut Stats,
         queue: &mut FillQueue,
-        prefetcher: &mut dyn Prefetcher,
+        prefetcher: &mut P,
         core: usize,
         now: u64,
     ) {
@@ -407,7 +438,7 @@ mod tests {
 
     #[test]
     fn next_line_prefetcher_speeds_up_streaming() {
-        let stream = |sys: &mut System| {
+        fn stream<P: Prefetcher + 'static>(sys: &mut System<P>) -> u64 {
             let mut b = StreamBuilder::new();
             for i in 0..4000u64 {
                 let l = b.load_at(1, 0x10_0000 + i * 64, 8, &[]);
@@ -416,7 +447,7 @@ mod tests {
                 }
             }
             sys.run_phase(vec![b.finish()]).cycles
-        };
+        }
         let mut base = System::new(SystemConfig::scaled(64).with_cores(1));
         let t_base = stream(&mut base);
         let mut pf = System::with_prefetchers(SystemConfig::scaled(64).with_cores(1), |_| {

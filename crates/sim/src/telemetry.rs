@@ -21,10 +21,11 @@
 //! deterministic: events are ordered by `(cycle, core, sequence)`, IDs are
 //! sequential per run, and no host time is ever recorded.
 
+use crate::fxhash::FxBuildHasher;
 use crate::mem::hierarchy::ServedBy;
 use crate::metrics::{MetricsConfig, MetricsRegistry};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Number of buckets in a [`Log2Hist`] (bucket `i` holds values whose
 /// bit-length is `i`, i.e. `v in [2^(i-1), 2^i)`; bucket 0 holds zeros).
@@ -757,7 +758,9 @@ pub struct Tracer {
     /// Source tags of prefetched lines whose fate is not yet known; the
     /// entry is removed (and its source credited) at first use or unused
     /// eviction, so the map stays bounded by resident prefetched lines.
-    pending_tags: BTreeMap<u64, SourceTag>,
+    /// Pure insert/remove — never iterated — so it uses the fast hasher
+    /// (unlike [`AttributionTable`], whose `BTreeMap` order is serialized).
+    pending_tags: HashMap<u64, SourceTag, FxBuildHasher>,
     next_prefetch_id: u64,
 }
 

@@ -60,7 +60,7 @@ pub trait PhaseRunner {
     fn reprogram(&mut self, program: &DigProgram);
 }
 
-impl PhaseRunner for System {
+impl<P: prodigy_sim::prefetch::Prefetcher + 'static> PhaseRunner for System<P> {
     fn cores(&self) -> usize {
         self.config().cores as usize
     }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod graph;
 pub mod kernels;
 pub mod layout;
@@ -28,8 +29,9 @@ pub mod rng;
 pub mod runner;
 pub mod swpf;
 
+pub use dispatch::AnyPrefetcher;
 pub use graph::csr::{Csr, WeightedCsr};
 pub use graph::datasets::{Dataset, DATASETS};
 pub use kernels::{Kernel, PhaseRunner};
 pub use layout::ArrayHandle;
-pub use runner::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
+pub use runner::{run_workload, run_workload_boxed, PrefetcherKind, RunConfig, RunOutcome};

@@ -8,12 +8,9 @@
 //! the algorithm checksum — which every experiment cross-checks across
 //! prefetchers, proving prefetching never changed program semantics.
 
+use crate::dispatch::AnyPrefetcher;
 use crate::kernels::Kernel;
 use prodigy::{DigProgram, ProdigyConfig, ProdigyPrefetcher, ProdigyStats};
-use prodigy_prefetchers::{
-    AinsworthJonesPrefetcher, DropletPrefetcher, GhbGdcPrefetcher, ImpPrefetcher, StridePrefetcher,
-};
-use prodigy_sim::prefetch::Prefetcher;
 use prodigy_sim::{
     MemorySink, MetricsConfig, MetricsRegistry, NullPrefetcher, RunSummary, System, SystemConfig,
     TelemetrySummary, TraceEvent,
@@ -156,8 +153,49 @@ pub struct RunOutcome {
 /// returned stats and checksum are bit-identical on every host and under
 /// any thread interleaving.
 pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
+    // `System<AnyPrefetcher>`: the per-instruction prefetcher dispatch is a
+    // match over a closed enum (see `crate::dispatch`), not a vtable call.
+    run_workload_with(
+        kernel,
+        cfg,
+        |_| AnyPrefetcher::None(NullPrefetcher::new()),
+        AnyPrefetcher::build,
+    )
+}
+
+/// [`run_workload`] through `Box<dyn Prefetcher>` — the open trait-object
+/// path `System` defaults to. Dispatch strategy must never affect simulated
+/// results; the dispatch-parity test compares this against [`run_workload`]
+/// cell by cell.
+pub fn run_workload_boxed(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
+    run_workload_with(
+        kernel,
+        cfg,
+        |_| Box::new(NullPrefetcher::new()) as Box<dyn prodigy_sim::prefetch::Prefetcher>,
+        |kind, dig, pcfg| match AnyPrefetcher::build(kind, dig, pcfg) {
+            AnyPrefetcher::None(p) => Box::new(p),
+            AnyPrefetcher::Stride(p) => Box::new(p),
+            AnyPrefetcher::Stream(p) => Box::new(p),
+            AnyPrefetcher::GhbGdc(p) => Box::new(p),
+            AnyPrefetcher::Imp(p) => Box::new(p),
+            AnyPrefetcher::AinsworthJones(p) => Box::new(p),
+            AnyPrefetcher::Droplet(p) => Box::new(p),
+            AnyPrefetcher::Prodigy(p) => Box::new(p),
+        },
+    )
+}
+
+/// The driver body, generic over the prefetcher representation. `idle`
+/// builds the placeholder attached while the kernel lays out memory;
+/// `build` constructs the configured prefetcher once the DIG is known.
+fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
+    kernel: &mut dyn Kernel,
+    cfg: &RunConfig,
+    idle: impl FnMut(usize) -> P,
+    build: impl Fn(PrefetcherKind, &prodigy::Dig, ProdigyConfig) -> P,
+) -> RunOutcome {
     let host_start = std::time::Instant::now();
-    let mut sys = System::new(cfg.sys);
+    let mut sys: System<P> = System::with_prefetchers(cfg.sys, idle);
     if cfg.trace {
         sys.install_trace_sink(Box::new(MemorySink::new()));
     }
@@ -168,30 +206,16 @@ pub fn run_workload(kernel: &mut dyn Kernel, cfg: &RunConfig) -> RunOutcome {
     let program = DigProgram::from_dig(&dig);
 
     let prodigy_cfg = cfg.prodigy;
-    sys.set_prefetchers(|_| -> Box<dyn Prefetcher> {
-        match cfg.prefetcher {
-            PrefetcherKind::None => Box::new(NullPrefetcher::new()),
-            PrefetcherKind::Stride => Box::new(StridePrefetcher::default()),
-            PrefetcherKind::Stream => Box::new(prodigy_prefetchers::StreamPrefetcher::default()),
-            PrefetcherKind::GhbGdc => Box::new(GhbGdcPrefetcher::default()),
-            PrefetcherKind::Imp => Box::new(ImpPrefetcher::default()),
-            PrefetcherKind::AinsworthJones => match AinsworthJonesPrefetcher::from_dig(&dig) {
-                Some(p) => Box::new(p),
-                None => Box::new(NullPrefetcher::new()),
-            },
-            PrefetcherKind::Droplet => match DropletPrefetcher::from_dig(&dig) {
-                Some(p) => Box::new(p),
-                None => Box::new(NullPrefetcher::new()),
-            },
-            PrefetcherKind::Prodigy => Box::new(ProdigyPrefetcher::new(prodigy_cfg)),
-        }
-    });
+    sys.set_prefetchers(|_| build(cfg.prefetcher, &dig, prodigy_cfg));
     // The instrumented binary's registration prologue (no-op unless the
     // hardware is Prodigy).
     sys.program_prefetchers(|p| program.apply(p));
     if cfg.classify_llc {
+        // Install the raw range list, not a boxed closure over it — the
+        // common no-classifier case then costs one `Option` branch per LLC
+        // miss and the classifying case an inline range scan.
         sys.memory_mut()
-            .set_llc_miss_classifier(Some(program.classifier()));
+            .set_llc_miss_classifier_ranges(program.annotated_ranges());
     }
 
     let checksum = kernel.run(&mut sys);

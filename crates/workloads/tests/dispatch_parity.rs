@@ -1,0 +1,53 @@
+//! Dispatch-parity: the driver's static-dispatch hot path
+//! (`System<AnyPrefetcher>`) and the open trait-object path
+//! (`System<Box<dyn Prefetcher>>`) must be observationally identical for
+//! every prefetcher kind — same stats, same checksum, same telemetry, byte
+//! for byte. Devirtualization is a host-speed optimisation and must never
+//! become a behavioural fork.
+
+use prodigy_sim::SystemConfig;
+use prodigy_workloads::graph::generators::rmat;
+use prodigy_workloads::kernels::Bfs;
+use prodigy_workloads::{run_workload, run_workload_boxed, PrefetcherKind, RunConfig};
+
+#[test]
+fn every_prefetcher_kind_is_dispatch_invariant() {
+    let g = rmat(512, 4096, 2, (0.57, 0.19, 0.19));
+    for kind in PrefetcherKind::ALL {
+        let cfg = RunConfig {
+            sys: SystemConfig::scaled(64).with_cores(2),
+            prefetcher: kind,
+            classify_llc: true,
+            ..RunConfig::default()
+        };
+        let via_enum = {
+            let mut k = Bfs::new(g.clone(), 0);
+            run_workload(&mut k, &cfg)
+        };
+        let via_box = {
+            let mut k = Bfs::new(g.clone(), 0);
+            run_workload_boxed(&mut k, &cfg)
+        };
+        assert_eq!(via_enum.checksum, via_box.checksum, "{kind:?} checksum");
+        assert_eq!(
+            via_enum.storage_bits, via_box.storage_bits,
+            "{kind:?} storage"
+        );
+        // `Debug` renders every counter; equal strings ⇒ equal state.
+        assert_eq!(
+            format!("{:?}", via_enum.summary),
+            format!("{:?}", via_box.summary),
+            "{kind:?} run summary diverged between dispatch strategies"
+        );
+        assert_eq!(
+            format!("{:?}", via_enum.telemetry),
+            format!("{:?}", via_box.telemetry),
+            "{kind:?} telemetry diverged between dispatch strategies"
+        );
+        assert_eq!(
+            format!("{:?}", via_enum.prodigy),
+            format!("{:?}", via_box.prodigy),
+            "{kind:?} prodigy-internal stats diverged"
+        );
+    }
+}
