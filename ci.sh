@@ -19,12 +19,16 @@ cargo test -q
 echo "== workspace tests"
 cargo test -q --workspace
 
+# Every sweep gets a generous per-cell timeout: a diverging cell must fail
+# its run (exit 3) instead of hanging CI forever.
+timeout="--timeout-secs 600"
+
 echo "== determinism smoke: 1-thread vs 2-thread figure tables"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-./target/release/prodigy-eval --scale 64 --threads 1 \
+./target/release/prodigy-eval --scale 64 --threads 1 $timeout \
     --out "$tmp/t1.txt" --json "$tmp/t1.json" fig02 fig13 >/dev/null
-./target/release/prodigy-eval --scale 64 --threads 2 \
+./target/release/prodigy-eval --scale 64 --threads 2 $timeout \
     --out "$tmp/t2.txt" --json "$tmp/t2.json" fig02 fig13 >/dev/null
 cmp "$tmp/t1.txt" "$tmp/t2.txt"
 echo "   byte-identical: OK"
@@ -47,9 +51,9 @@ print(f"   {len(evs)} events, categories {sorted(cats)}: OK")
 PY
 
 echo "== diff smoke: same-seed scale-1 sweep pair must diff to zero"
-./target/release/prodigy-eval --scale 1 --threads 2 \
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
     --json "$tmp/d1.json" fig02 >/dev/null
-./target/release/prodigy-eval --scale 1 --threads 2 \
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
     --json "$tmp/d2.json" fig02 >/dev/null
 ./target/release/prodigy-diff "$tmp/d1.json" "$tmp/d2.json"
 if ! ./target/release/prodigy-diff BENCH_pr6_scale1.json "$tmp/d1.json" >/dev/null; then
@@ -66,6 +70,43 @@ print(f"   host (non-gating): {h.get('cells_per_sec', '?')} cells/s, "
       f"{h.get('host_nanos_total', 0)/1e9:.1f}s total cell time, "
       f"p50 {h.get('cell_host_nanos_p50', 0)/1e9:.1f}s / "
       f"p99 {h.get('cell_host_nanos_p99', 0)/1e9:.1f}s per cell")
+PY
+
+echo "== shard-merge + cell-cache smoke: fig02 as 2 shards, shared disk cache"
+cache="$tmp/cellcache"
+cold_ns=$(date +%s%N)
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
+    --cell-cache "$cache" --shard 1/2 --json "$tmp/s1.json" fig02 >/dev/null
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
+    --cell-cache "$cache" --shard 2/2 --json "$tmp/s2.json" fig02 >/dev/null
+cold_ns=$(( $(date +%s%N) - cold_ns ))
+# Merging the two shard reports must be byte-identical to merging the
+# unsharded same-seed run's report (the canonical form).
+./target/release/prodigy-eval --merge "$tmp/s1.json" "$tmp/s2.json" --out "$tmp/merged.json"
+./target/release/prodigy-eval --merge "$tmp/d1.json" --out "$tmp/full-canon.json"
+cmp "$tmp/merged.json" "$tmp/full-canon.json"
+echo "   merged shards byte-identical to the canonicalized unsharded run: OK"
+# Gated: 0 changed metrics vs the live unsharded run and vs the checked-in
+# baseline (shards + merge must not perturb any simulated counter).
+./target/release/prodigy-diff "$tmp/d1.json" "$tmp/merged.json"
+./target/release/prodigy-diff BENCH_pr6_scale1.json "$tmp/merged.json"
+# Warm-cache pass: every fig02 cell loads from the shards' shared disk
+# cache — zero cells simulated, and much faster than the cold shards.
+warm_ns=$(date +%s%N)
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
+    --cell-cache "$cache" --json "$tmp/warm.json" fig02 >/dev/null
+warm_ns=$(( $(date +%s%N) - warm_ns ))
+./target/release/prodigy-diff "$tmp/d1.json" "$tmp/warm.json"
+python3 - "$tmp/warm.json" "$cold_ns" "$warm_ns" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["cells_simulated"] == 0, f"warm cache simulated {d['cells_simulated']} cells"
+assert d["disk_hits"] == 4, f"expected 4 disk hits, got {d['disk_hits']}"
+assert d["threads_leaked"] == 0
+cold, warm = int(sys.argv[2]), int(sys.argv[3])
+speedup = cold / max(warm, 1)
+assert speedup >= 10, f"warm pass only {speedup:.1f}x faster than cold shards"
+print(f"   warm pass: 0 simulated, 4 disk hits, {speedup:.0f}x faster: OK")
 PY
 
 echo "== metrics smoke: windowed series + attribution, same-seed identical"

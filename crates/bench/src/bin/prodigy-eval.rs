@@ -6,8 +6,10 @@
 //! cargo run --release -p prodigy-bench --bin prodigy-eval -- \
 //!     [--scale N] [--cores N] [--threads N] [--seed N] \
 //!     [--timeout-secs N] [--out report.txt] [--json report.json] \
+//!     [--cell-cache DIR] [--shard K/N] \
 //!     [--trace trace.json [--trace-events cat,cat]] \
 //!     [experiment substrings...]
+//! prodigy-eval --merge SHARD.json... [--out merged.json]
 //! ```
 //!
 //! With no experiment names, everything runs. The figure report is printed
@@ -32,16 +34,37 @@
 //! the per-DIG-node/edge prefetch attribution table as JSON. Deterministic
 //! like traces; `--metrics-window N` sets the window length in cycles
 //! (default 100000). `--trace` and `--metrics` compose: one run feeds both.
+//!
+//! `--cell-cache DIR` persists every successful cell result on disk, keyed
+//! by `workload|config|seed|code-rev`; a later run with the same key loads
+//! the result instead of re-simulating (the summary line distinguishes
+//! simulated cells from memo and disk hits). Failures are never persisted.
+//!
+//! `--shard K/N` runs only the cells whose stable key hash falls to shard
+//! K of N (independent of enumeration order), skipping figure rendering;
+//! point every shard at a shared `--cell-cache` and/or collect their
+//! `--json` reports, then stitch with `prodigy-eval --merge a.json b.json
+//! --out merged.json`. Merging the shard reports is byte-identical to
+//! merging the report of one unsharded run.
 
 use prodigy::throttle::ThrottleSpec;
 use prodigy::ProdigyConfig;
-use prodigy_bench::experiments::{run_all, Ctx};
+use prodigy_bench::compare::{merge_reports, parse_json};
+use prodigy_bench::experiments::{run_all, shard_cells, Ctx, ShardSpec, EXPERIMENT_NAMES};
 use prodigy_bench::sweep::SweepConfig;
 use prodigy_bench::workload_set::{all_29, WorkloadSpec};
 use prodigy_sim::telemetry::parse_category_filter;
 use prodigy_sim::{chrome_trace_json, MetricsConfig, TraceCategory};
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig};
+use std::path::Path;
 use std::time::Duration;
+
+/// Reports a bad-input error and exits with status 2 (the same convention
+/// as `prodigy-diff`).
+fn fail(msg: &str) -> ! {
+    eprintln!("prodigy-eval: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let mut scale = 8u32;
@@ -53,6 +76,9 @@ fn main() {
     let mut trace_workload: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut metrics_window: u64 = MetricsConfig::default().window_cycles;
+    let mut cell_cache: Option<String> = None;
+    let mut shard: Option<ShardSpec> = None;
+    let mut merge = false;
     let mut sweep = SweepConfig::default();
     let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -125,15 +151,72 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("--metrics-window needs a cycle count >= 1"));
             }
+            "--cell-cache" => {
+                cell_cache = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--cell-cache needs a directory")),
+                );
+            }
+            "--shard" => {
+                let spec = args.next().unwrap_or_else(|| usage("--shard needs K/N"));
+                shard = Some(ShardSpec::parse(&spec).unwrap_or_else(|e| usage(&e)));
+            }
+            "--merge" => merge = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => filters.push(other.to_string()),
         }
     }
 
+    if merge {
+        // Merge mode: the positional args are shard report paths.
+        if filters.is_empty() {
+            usage("--merge needs at least one shard report path");
+        }
+        let mut parsed = Vec::new();
+        for p in &filters {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
+            parsed.push(
+                parse_json(&text).unwrap_or_else(|e| fail(&format!("cannot parse {p}: {e}"))),
+            );
+        }
+        let merged = merge_reports(&parsed).unwrap_or_else(|e| fail(&e));
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &merged)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!(
+                    "prodigy-eval: merged {} report(s) into {path}",
+                    parsed.len()
+                );
+            }
+            None => println!("{merged}"),
+        }
+        return;
+    }
+    // Every positional arg must select at least one experiment; a typo'd
+    // name otherwise silently runs nothing.
+    for f in &filters {
+        if !EXPERIMENT_NAMES.iter().any(|n| n.contains(f.as_str())) {
+            usage(&format!(
+                "unknown experiment {f:?}; valid names: {}",
+                EXPERIMENT_NAMES.join(" ")
+            ));
+        }
+    }
+
     let mut ctx = Ctx::new(scale).with_sweep(sweep);
     if let Some(c) = cores {
         ctx.sys = ctx.sys.with_cores(c);
+    }
+    if let Some(dir) = &cell_cache {
+        ctx = ctx
+            .with_cell_cache(Path::new(dir))
+            .unwrap_or_else(|e| fail(&format!("--cell-cache: {e}")));
+    }
+    if shard.is_some() && (trace.is_some() || metrics.is_some()) {
+        usage("--shard applies to experiment sweeps, not --trace/--metrics runs");
     }
     if trace.is_some() || metrics.is_some() {
         let filter = trace_events.as_deref().map(|s| {
@@ -173,7 +256,23 @@ fn main() {
         "prodigy-eval: scale 1/{scale}, {} cores, caches scaled 1/{}, {} sweep threads, seed {}\n",
         ctx.sys.cores, ctx.sys.scale, ctx.sweep.threads, ctx.sweep.base_seed
     );
-    let report = run_all(&ctx, &filters);
+    let report = if let Some(shard) = shard {
+        // Shard mode: warm this shard's deterministic slice of the cell
+        // grid and emit the sweep report; figures need every cell, so
+        // they are rendered from a merged/warm-cache run instead.
+        let cells = shard_cells(&ctx, &filters, shard);
+        let text = format!(
+            "shard {}/{}: {} cell(s) owned by this shard; figures skipped in shard mode\n",
+            shard.k,
+            shard.n,
+            cells.len()
+        );
+        print!("{text}");
+        ctx.warm(cells);
+        text
+    } else {
+        run_all(&ctx, &filters)
+    };
     let sweep_report = ctx.report();
     eprint!("{}", sweep_report.render());
     if let Some(path) = out {
@@ -295,9 +394,11 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: prodigy-eval [--scale N] [--cores N] [--threads N] [--seed N]\n\
          \x20                  [--timeout-secs N] [--out FILE] [--json FILE]\n\
+         \x20                  [--cell-cache DIR] [--shard K/N]\n\
          \x20                  [--trace FILE [--trace-events cat,cat]]\n\
          \x20                  [--metrics FILE [--metrics-window N]]\n\
          \x20                  [--trace-workload NAME] [experiments...]\n\
+         \x20      prodigy-eval --merge SHARD.json... [--out merged.json]\n\
          experiments: table1 table2 fig02 fig04 fig12 fig13 fig14 fig15 fig16 \
          fig17 table3 fig18 fig19 ranged swpf storage scalability limits_tc \
          ext_dobfs ext_throttle\n\
@@ -310,6 +411,14 @@ fn usage(err: &str) -> ! {
          composes with --trace. --metrics-window: cycles per window (100000).\n\
          --trace-workload NAME: any workload of the 29-cell evaluation set\n\
          (e.g. bfs-lj, pr-tw, spmv) for --trace/--metrics runs.\n\
+         --cell-cache DIR: persist successful cell results on disk keyed by\n\
+         workload|config|seed|code-rev; identical later runs load instead\n\
+         of simulating. failures are never persisted. override the code rev\n\
+         with the PRODIGY_CODE_REV environment variable.\n\
+         --shard K/N: run only the cells whose stable key hash lands on\n\
+         shard K of N (1-based); figures are skipped. stitch the shards'\n\
+         --json reports with --merge (byte-identical to merging one\n\
+         unsharded run's report).\n\
          determinism: any --threads value yields byte-identical figure tables\n\
          (traces, metrics) for the same --scale/--seed; --seed 0 keeps the\n\
          seed inputs. exit status 3 if any cell failed (see stderr / --json).\n\

@@ -1,0 +1,629 @@
+//! Persistent, content-addressed cell cache.
+//!
+//! Stores each successfully simulated cell's deterministic outcome as one
+//! JSON file under a user-supplied directory (`prodigy-eval --cell-cache
+//! DIR`), keyed by the full content address
+//! `cell-key|scale|system-config|base-seed|code-rev`:
+//!
+//! * the **cell key** (`workload|reorder|prefetcher|pfhr|classify|cores`)
+//!   identifies the grid point;
+//! * **scale** and the **system-config fingerprint** pin the machine the
+//!   cell ran on (the cell key alone does not encode them);
+//! * the **base seed** pins the workload inputs;
+//! * the **code rev** is a build fingerprint over every crate that can
+//!   affect simulated results (see `build.rs`), so a source change
+//!   invalidates prior entries instead of silently serving stale numbers.
+//!   `PRODIGY_CODE_REV` overrides it at runtime for caches known to span
+//!   result-identical builds.
+//!
+//! Only *successful* results are ever persisted. Failures — panics,
+//! timeouts — must never poison the disk cache: a panic is retried on the
+//! next process (where the bug may be fixed), a timeout on the next request
+//! (where the budget may be bigger). [`CellCache::store`] therefore only
+//! accepts a finished [`RunOutcome`].
+//!
+//! Integrity: every entry embeds its composite key and an FNV-1a digest of
+//! its payload. [`CellCache::load`] re-serializes the reconstructed outcome
+//! and compares digests, so a truncated, corrupted, hand-edited, or
+//! hash-colliding entry is silently treated as a miss (and re-simulated) —
+//! never a crash, never a wrong number. Writes go through a temp file +
+//! atomic rename so concurrent shard processes sharing one cache directory
+//! can never observe a half-written entry.
+
+use crate::compare::{parse_json, Json};
+use crate::sweep::{json_escape, stable_key_hash};
+use prodigy::ProdigyStats;
+use prodigy_sim::{
+    AttributionTable, CpiStack, EnergyBreakdown, Log2Hist, RunSummary, SourceCounts, Stats,
+    SystemConfig, TelemetrySummary, Timeliness,
+};
+use prodigy_workloads::RunOutcome;
+use std::path::{Path, PathBuf};
+
+/// On-disk entry format version; bumped on any layout change so old entries
+/// miss instead of misparse.
+const FORMAT_VERSION: u64 = 1;
+
+/// The effective code revision: the compile-time build fingerprint unless
+/// the `PRODIGY_CODE_REV` environment variable overrides it.
+pub fn code_rev() -> String {
+    std::env::var("PRODIGY_CODE_REV").unwrap_or_else(|_| env!("PRODIGY_BUILD_FINGERPRINT").into())
+}
+
+/// Builds the composite content address for one cell under one machine +
+/// seed + build. Everything that can change the simulated numbers is in
+/// here; nothing host-varying is.
+pub fn composite_key(
+    cell_key: &str,
+    scale: u64,
+    sys: &SystemConfig,
+    base_seed: u64,
+    code_rev: &str,
+) -> String {
+    // The system config participates via a fingerprint of its canonical
+    // debug rendering: any field change (core count, cache sizing, DRAM
+    // model, ...) produces a new address without this module naming every
+    // field.
+    let sys_fp = stable_key_hash(&format!("{sys:?}"));
+    format!("{cell_key}|scale={scale}|sys={sys_fp:016x}|seed={base_seed}|rev={code_rev}")
+}
+
+/// A persistent cell cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct CellCache {
+    dir: PathBuf,
+}
+
+impl CellCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    /// Returns a message when the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<CellCache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cell cache: cannot create {}: {e}", dir.display()))?;
+        Ok(CellCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The entry file path for a composite key.
+    pub fn path_for(&self, composite: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", stable_key_hash(composite)))
+    }
+
+    /// Loads the entry for `composite`, or `None` on any miss *or anomaly*
+    /// (absent file, unreadable, unparsable, wrong version, key mismatch
+    /// from a hash collision, digest mismatch from corruption). Anomalies
+    /// are deliberately indistinguishable from misses: the caller
+    /// re-simulates and overwrites the bad entry.
+    pub fn load(&self, composite: &str) -> Option<RunOutcome> {
+        let text = std::fs::read_to_string(self.path_for(composite)).ok()?;
+        let v = parse_json(&text).ok()?;
+        if get_u64(&v, "version")? != FORMAT_VERSION {
+            return None;
+        }
+        if v.get("key")?.as_str()? != composite {
+            return None;
+        }
+        let stored_fnv = v.get("payload_fnv")?.as_str()?;
+        let out = outcome_from_json(v.get("payload")?).ok()?;
+        // Deep integrity: the reconstructed outcome must re-serialize to a
+        // payload with the stored digest. This catches both bit corruption
+        // and any parse that silently lost information.
+        if format!("{:016x}", stable_key_hash(&payload_json(&out))) != stored_fnv {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Persists a *successful* outcome for `composite`. The write is
+    /// atomic (temp file + rename), so concurrent shard processes racing
+    /// on one key at worst both write the same bytes.
+    ///
+    /// # Errors
+    /// Returns a message when the entry cannot be written.
+    pub fn store(&self, composite: &str, out: &RunOutcome) -> Result<(), String> {
+        let payload = payload_json(out);
+        let entry = format!(
+            "{{\"version\":{FORMAT_VERSION},\"key\":\"{}\",\"payload_fnv\":\"{:016x}\",\"payload\":{payload}}}\n",
+            json_escape(composite),
+            stable_key_hash(&payload),
+        );
+        let path = self.path_for(composite);
+        let tmp = self.dir.join(format!(
+            ".tmp-{:016x}-{}",
+            stable_key_hash(composite),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, entry)
+            .map_err(|e| format!("cell cache: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cell cache: cannot commit {}: {e}", path.display())
+        })
+    }
+}
+
+// ------------------------------------------------------- serialization
+
+/// Serializes the deterministic subset of a [`RunOutcome`] — everything a
+/// warm figure run and `prodigy-diff` need. Host timing is deliberately
+/// absent (it would differ on every run); `f64`s are stored as IEEE-754 bit
+/// patterns so the round trip is lossless; trace/metrics opt-ins are never
+/// populated for sweep cells and are not stored.
+fn payload_json(out: &RunOutcome) -> String {
+    let s = &out.summary.stats;
+    let cpi = &s.cpi;
+    let e = &out.summary.energy;
+    let level = |l: &prodigy_sim::LevelStats| format!("[{},{},{}]", l.hits, l.misses, l.writebacks);
+    let prodigy = match &out.prodigy {
+        None => "null".to_string(),
+        Some(p) => format!(
+            "[{},{},{},{},{},{},{},{},{}]",
+            p.sequences_initiated,
+            p.sequences_dropped,
+            p.single_prefetches,
+            p.ranged_prefetches,
+            p.trigger_prefetches,
+            p.inline_advances,
+            p.pfhr_drops,
+            p.elements_advanced,
+            p.range_elements_tracked,
+        ),
+    };
+    format!(
+        concat!(
+            "{{\"stats\":{{",
+            "\"instructions\":{},\"loads\":{},\"stores\":{},\"branches\":{},",
+            "\"mispredicts\":{},\"cycles\":{},",
+            "\"l1d\":{},\"l2\":{},\"l3\":{},",
+            "\"dram_reads\":{},\"dram_writes\":{},\"dram_queue_cycles\":{},",
+            "\"tlb_hits\":{},\"tlb_misses\":{},",
+            "\"prefetches_issued\":{},\"prefetches_redundant\":{},\"prefetches_throttled\":{},",
+            "\"prefetch_use\":[{},{},{},{}],",
+            "\"llc_misses_prefetchable\":{},\"llc_misses_other\":{},",
+            "\"cpi_bits\":[{},{},{},{},{},{}]}},",
+            "\"energy_bits\":[{},{},{},{}],",
+            "\"prefetcher\":\"{}\",",
+            "\"checksum\":{},\"storage_bits\":{},\"seed\":{},",
+            "\"prodigy\":{},",
+            "\"telemetry\":{}}}"
+        ),
+        s.instructions,
+        s.loads,
+        s.stores,
+        s.branches,
+        s.mispredicts,
+        s.cycles,
+        level(&s.l1d),
+        level(&s.l2),
+        level(&s.l3),
+        s.dram_reads,
+        s.dram_writes,
+        s.dram_queue_cycles,
+        s.tlb_hits,
+        s.tlb_misses,
+        s.prefetches_issued,
+        s.prefetches_redundant,
+        s.prefetches_throttled,
+        s.prefetch_use.hit_l1,
+        s.prefetch_use.hit_l2,
+        s.prefetch_use.hit_l3,
+        s.prefetch_use.evicted_unused,
+        s.llc_misses_prefetchable,
+        s.llc_misses_other,
+        cpi.no_stall.to_bits(),
+        cpi.dram.to_bits(),
+        cpi.cache.to_bits(),
+        cpi.branch.to_bits(),
+        cpi.dependency.to_bits(),
+        cpi.other.to_bits(),
+        e.core.to_bits(),
+        e.cache.to_bits(),
+        e.dram.to_bits(),
+        e.other.to_bits(),
+        json_escape(&out.summary.prefetcher),
+        out.checksum,
+        out.storage_bits,
+        out.seed,
+        prodigy,
+        out.telemetry.to_json(),
+    )
+}
+
+/// Exact u64 from a parsed number's raw source text (`f64` would round
+/// checksums and bit patterns).
+fn num_u64(v: &Json) -> Result<u64, String> {
+    match v {
+        Json::Num(_, raw) => raw
+            .parse::<u64>()
+            .map_err(|e| format!("bad u64 {raw}: {e}")),
+        other => Err(format!("expected number, got {other:?}")),
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    num_u64(v.get(key)?).ok()
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    num_u64(v.get(key).ok_or_else(|| format!("missing field {key}"))?)
+}
+
+/// A fixed-length array of exact u64s.
+fn u64_array(v: &Json, key: &str, n: usize) -> Result<Vec<u64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array {key}"))?;
+    if arr.len() != n {
+        return Err(format!("{key}: expected {n} elements, got {}", arr.len()));
+    }
+    arr.iter().map(num_u64).collect()
+}
+
+fn level_stats(v: &Json, key: &str) -> Result<prodigy_sim::LevelStats, String> {
+    let a = u64_array(v, key, 3)?;
+    Ok(prodigy_sim::LevelStats {
+        hits: a[0],
+        misses: a[1],
+        writebacks: a[2],
+    })
+}
+
+fn hist_from_json(v: &Json, key: &str) -> Result<Log2Hist, String> {
+    let h = v.get(key).ok_or_else(|| format!("missing hist {key}"))?;
+    let count = field_u64(h, "count")?;
+    let sum = field_u64(h, "sum")?;
+    let mut sparse = Vec::new();
+    for pair in h
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{key}: missing buckets"))?
+    {
+        let p = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{key}: malformed bucket pair"))?;
+        sparse.push((num_u64(&p[0])? as usize, num_u64(&p[1])?));
+    }
+    Log2Hist::from_parts(count, sum, &sparse)
+}
+
+fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
+    let t = v.get("timeliness").ok_or("missing timeliness")?;
+    let mut attribution = AttributionTable::default();
+    for entry in v
+        .get("attribution")
+        .and_then(Json::as_arr)
+        .ok_or("missing attribution")?
+    {
+        let tag = field_u64(entry, "tag")?;
+        let tag = u16::try_from(tag).map_err(|_| format!("attribution tag {tag} out of range"))?;
+        attribution.insert_counts(
+            tag,
+            SourceCounts {
+                issued: field_u64(entry, "issued")?,
+                timely: field_u64(entry, "timely")?,
+                late: field_u64(entry, "late")?,
+                inaccurate: field_u64(entry, "inaccurate")?,
+                dropped: field_u64(entry, "dropped")?,
+            },
+        );
+    }
+    Ok(TelemetrySummary {
+        timeliness: Timeliness {
+            timely: field_u64(t, "timely")?,
+            late: field_u64(t, "late")?,
+            inaccurate: field_u64(t, "inaccurate")?,
+            dropped: field_u64(t, "dropped")?,
+        },
+        load_to_use: hist_from_json(v, "load_to_use")?,
+        fill_to_use: hist_from_json(v, "fill_to_use")?,
+        late_wait: hist_from_json(v, "late_wait")?,
+        dram_round_trip: hist_from_json(v, "dram_round_trip")?,
+        dram_queue_wait: hist_from_json(v, "dram_queue_wait")?,
+        throttle_ups: field_u64(v, "throttle_ups")?,
+        throttle_downs: field_u64(v, "throttle_downs")?,
+        dig_transitions: field_u64(v, "dig_transitions")?,
+        attribution,
+    })
+}
+
+/// Reconstructs the deterministic [`RunOutcome`] subset from a parsed
+/// payload. The inverse of [`payload_json`] (host timing comes back zeroed;
+/// trace/metrics come back `None`).
+fn outcome_from_json(p: &Json) -> Result<RunOutcome, String> {
+    let sv = p.get("stats").ok_or("missing stats")?;
+    let cpi_bits = u64_array(sv, "cpi_bits", 6)?;
+    let pf = u64_array(sv, "prefetch_use", 4)?;
+    let stats = Stats {
+        instructions: field_u64(sv, "instructions")?,
+        loads: field_u64(sv, "loads")?,
+        stores: field_u64(sv, "stores")?,
+        branches: field_u64(sv, "branches")?,
+        mispredicts: field_u64(sv, "mispredicts")?,
+        cycles: field_u64(sv, "cycles")?,
+        l1d: level_stats(sv, "l1d")?,
+        l2: level_stats(sv, "l2")?,
+        l3: level_stats(sv, "l3")?,
+        dram_reads: field_u64(sv, "dram_reads")?,
+        dram_writes: field_u64(sv, "dram_writes")?,
+        dram_queue_cycles: field_u64(sv, "dram_queue_cycles")?,
+        tlb_hits: field_u64(sv, "tlb_hits")?,
+        tlb_misses: field_u64(sv, "tlb_misses")?,
+        prefetches_issued: field_u64(sv, "prefetches_issued")?,
+        prefetches_redundant: field_u64(sv, "prefetches_redundant")?,
+        prefetches_throttled: field_u64(sv, "prefetches_throttled")?,
+        prefetch_use: prodigy_sim::PrefetchUse {
+            hit_l1: pf[0],
+            hit_l2: pf[1],
+            hit_l3: pf[2],
+            evicted_unused: pf[3],
+        },
+        llc_misses_prefetchable: field_u64(sv, "llc_misses_prefetchable")?,
+        llc_misses_other: field_u64(sv, "llc_misses_other")?,
+        cpi: CpiStack {
+            no_stall: f64::from_bits(cpi_bits[0]),
+            dram: f64::from_bits(cpi_bits[1]),
+            cache: f64::from_bits(cpi_bits[2]),
+            branch: f64::from_bits(cpi_bits[3]),
+            dependency: f64::from_bits(cpi_bits[4]),
+            other: f64::from_bits(cpi_bits[5]),
+        },
+    };
+    let eb = u64_array(p, "energy_bits", 4)?;
+    let prodigy = match p.get("prodigy").ok_or("missing prodigy")? {
+        Json::Null => None,
+        arr => {
+            let a: Vec<u64> = arr
+                .as_arr()
+                .filter(|a| a.len() == 9)
+                .ok_or("prodigy: expected 9 elements")?
+                .iter()
+                .map(num_u64)
+                .collect::<Result<_, _>>()?;
+            Some(ProdigyStats {
+                sequences_initiated: a[0],
+                sequences_dropped: a[1],
+                single_prefetches: a[2],
+                ranged_prefetches: a[3],
+                trigger_prefetches: a[4],
+                inline_advances: a[5],
+                pfhr_drops: a[6],
+                elements_advanced: a[7],
+                range_elements_tracked: a[8],
+            })
+        }
+    };
+    Ok(RunOutcome {
+        summary: RunSummary {
+            stats,
+            energy: EnergyBreakdown {
+                core: f64::from_bits(eb[0]),
+                cache: f64::from_bits(eb[1]),
+                dram: f64::from_bits(eb[2]),
+                other: f64::from_bits(eb[3]),
+            },
+            prefetcher: p
+                .get("prefetcher")
+                .and_then(Json::as_str)
+                .ok_or("missing prefetcher")?
+                .to_string(),
+        },
+        checksum: field_u64(p, "checksum")?,
+        prodigy,
+        storage_bits: field_u64(p, "storage_bits")?,
+        seed: field_u64(p, "seed")?,
+        timing: prodigy_sim::RunTiming::default(),
+        telemetry: telemetry_from_json(p.get("telemetry").ok_or("missing telemetry")?)?,
+        trace: None,
+        metrics: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> RunOutcome {
+        let mut stats = Stats {
+            instructions: 12_345,
+            loads: 4_000,
+            stores: 1_000,
+            branches: 900,
+            mispredicts: 33,
+            cycles: 98_765,
+            dram_reads: 210,
+            dram_writes: 12,
+            dram_queue_cycles: 4_400,
+            tlb_hits: 3_999,
+            tlb_misses: 1,
+            prefetches_issued: 512,
+            prefetches_redundant: 17,
+            prefetches_throttled: 3,
+            llc_misses_prefetchable: 88,
+            llc_misses_other: 11,
+            ..Stats::default()
+        };
+        stats.l1d.hits = 3_000;
+        stats.l1d.misses = 1_000;
+        stats.l2.misses = 400;
+        stats.l3.misses = 200;
+        stats.prefetch_use.hit_l1 = 300;
+        stats.prefetch_use.evicted_unused = 100;
+        stats.cpi.no_stall = 0.1234567890123;
+        stats.cpi.dram = 98765.4321;
+        let mut telemetry = TelemetrySummary {
+            throttle_ups: 4,
+            throttle_downs: 2,
+            dig_transitions: 777,
+            ..TelemetrySummary::default()
+        };
+        telemetry.timeliness.timely = 290;
+        telemetry.timeliness.late = 10;
+        telemetry.load_to_use.record(0);
+        telemetry.load_to_use.record(300);
+        telemetry.late_wait.record(17);
+        telemetry.attribution.insert_counts(
+            (1 << 8) | 2,
+            SourceCounts {
+                issued: 512,
+                timely: 290,
+                late: 10,
+                inaccurate: 100,
+                dropped: 17,
+            },
+        );
+        RunOutcome {
+            summary: RunSummary {
+                stats,
+                energy: EnergyBreakdown {
+                    core: 1.5e-3,
+                    cache: 2.25e-4,
+                    dram: 7.0e-4,
+                    other: 0.1,
+                },
+                prefetcher: "prodigy".into(),
+            },
+            checksum: 0xdead_beef_cafe_f00d,
+            prodigy: Some(ProdigyStats {
+                sequences_initiated: 40,
+                sequences_dropped: 1,
+                single_prefetches: 300,
+                ranged_prefetches: 212,
+                trigger_prefetches: 9,
+                inline_advances: 5,
+                pfhr_drops: 2,
+                elements_advanced: 6_000,
+                range_elements_tracked: 2_500,
+            }),
+            storage_bits: 57_344,
+            seed: 42,
+            timing: prodigy_sim::RunTiming { host_nanos: 123 },
+            telemetry,
+            trace: None,
+            metrics: None,
+        }
+    }
+
+    fn assert_outcomes_equal(a: &RunOutcome, b: &RunOutcome) {
+        // Compare through the lossless payload rendering: it covers every
+        // persisted field bit-for-bit (f64s as bit patterns).
+        assert_eq!(payload_json(a), payload_json(b));
+    }
+
+    #[test]
+    fn payload_round_trips_losslessly() {
+        let out = sample_outcome();
+        let payload = payload_json(&out);
+        let parsed = parse_json(&payload).expect("payload parses");
+        let back = outcome_from_json(&parsed).expect("payload reconstructs");
+        assert_outcomes_equal(&out, &back);
+        assert_eq!(back.timing.host_nanos, 0, "host timing is never persisted");
+        // Spot-check exact values survived (not just the rendering).
+        assert_eq!(back.checksum, 0xdead_beef_cafe_f00d);
+        assert_eq!(back.summary.stats.cpi.no_stall, 0.1234567890123);
+        assert_eq!(back.telemetry.load_to_use.count(), 2);
+        assert_eq!(
+            back.telemetry.attribution.get((1 << 8) | 2).unwrap().issued,
+            512
+        );
+    }
+
+    #[test]
+    fn store_then_load_hits_and_other_keys_miss() {
+        let dir = std::env::temp_dir().join(format!("prodigy-cellcache-ut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::open(&dir).unwrap();
+        let out = sample_outcome();
+        let key = composite_key(
+            "pr|false|prodigy|16|false|0",
+            1,
+            &SystemConfig::default(),
+            0,
+            "testrev",
+        );
+        assert!(cache.load(&key).is_none(), "cold cache misses");
+        cache.store(&key, &out).unwrap();
+        let loaded = cache.load(&key).expect("warm cache hits");
+        assert_outcomes_equal(&out, &loaded);
+        // Changing any component of the address misses.
+        for other in [
+            composite_key(
+                "pr|false|prodigy|16|false|0",
+                1,
+                &SystemConfig::default(),
+                7,
+                "testrev",
+            ),
+            composite_key(
+                "pr|false|prodigy|16|false|0",
+                1,
+                &SystemConfig::default(),
+                0,
+                "otherrev",
+            ),
+            composite_key(
+                "pr|false|prodigy|16|false|0",
+                64,
+                &SystemConfig::default(),
+                0,
+                "testrev",
+            ),
+            composite_key(
+                "pr|false|none|16|false|0",
+                1,
+                &SystemConfig::default(),
+                0,
+                "testrev",
+            ),
+        ] {
+            assert_ne!(other, key);
+            assert!(cache.load(&other).is_none(), "{other} must miss");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_truncated_or_mismatched_entries_are_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "prodigy-cellcache-corrupt-ut-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::open(&dir).unwrap();
+        let out = sample_outcome();
+        let key = "cell|scale=1|sys=0|seed=0|rev=r";
+        cache.store(key, &out).unwrap();
+        let path = cache.path_for(key);
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncated entry.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(cache.load(key).is_none(), "truncated entry is a miss");
+
+        // Bit-flipped payload (counter changed, digest now stale).
+        std::fs::write(&path, good.replace("\"cycles\":98765", "\"cycles\":98766")).unwrap();
+        assert!(cache.load(key).is_none(), "tampered entry is a miss");
+
+        // Entry whose embedded key disagrees (filename hash collision).
+        std::fs::write(&path, good.replace(key, "someone|else=entirely")).unwrap();
+        assert!(cache.load(key).is_none(), "key mismatch is a miss");
+
+        // Not JSON at all.
+        std::fs::write(&path, "not json {{{").unwrap();
+        assert!(cache.load(key).is_none(), "garbage entry is a miss");
+
+        // Wrong format version.
+        std::fs::write(&path, good.replace("\"version\":1", "\"version\":999")).unwrap();
+        assert!(cache.load(key).is_none(), "future version is a miss");
+
+        // And after all that abuse, re-storing repairs the entry.
+        cache.store(key, &out).unwrap();
+        assert!(cache.load(key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -303,6 +303,10 @@ const EXCLUDED: &[&str] = &[
     "jobs",
     "threads",
     "cache_hits",
+    "memo_hits",
+    "disk_hits",
+    "threads_leaked",
+    "disk_hit",
 ];
 
 /// One changed metric in one aligned unit.
@@ -675,6 +679,169 @@ impl DiffReport {
     }
 }
 
+// ----------------------------------------------------------------- merge
+
+/// JSON string escaping for re-emission (mirrors the sweep serializer).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Canonical re-serialization of a parsed value: object keys in sorted
+/// (`BTreeMap`) order, numbers re-emitting their raw source text so 64-bit
+/// counters survive exactly.
+fn emit_json(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(_, raw) => out.push_str(raw),
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\":");
+                emit_json(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Stitches shard sweep reports (from `prodigy-eval --shard K/N`) into one
+/// *canonical* merged report.
+///
+/// The canonical form is partition-invariant: cells are deduped by key and
+/// sorted by key, every host-varying field is normalized away (cell timing
+/// zeroed, worker `null`, `disk_hit` false, no top-level throughput
+/// counters), and numbers re-emit their exact source text. Merging the
+/// report of one unsharded run therefore produces *byte-identical* output
+/// to merging the reports of its K/N shards — the property the CI
+/// shard-merge smoke locks in with a plain `cmp`.
+///
+/// Duplicate keys across inputs keep the resolved (non-error) entry if one
+/// exists, else the last occurrence. All inputs must be sweep reports with
+/// the same `base_seed`.
+pub fn merge_reports(reports: &[Json]) -> Result<String, String> {
+    if reports.is_empty() {
+        return Err("nothing to merge: no input reports".to_string());
+    }
+    let mut base_seed: Option<String> = None;
+    let mut cells: BTreeMap<String, &Json> = BTreeMap::new();
+    let mut errors: std::collections::BTreeSet<(String, String)> =
+        std::collections::BTreeSet::new();
+    for (i, r) in reports.iter().enumerate() {
+        if ReportKind::detect(r)? != ReportKind::Sweep {
+            return Err(format!(
+                "input #{}: only sweep reports (--json) can be merged",
+                i + 1
+            ));
+        }
+        let seed = match r.get("base_seed") {
+            Some(Json::Num(_, raw)) => raw.clone(),
+            _ => return Err(format!("input #{}: missing base_seed", i + 1)),
+        };
+        match &base_seed {
+            None => base_seed = Some(seed),
+            Some(s) if *s != seed => {
+                return Err(format!(
+                    "base_seed mismatch: {s} vs {seed} — shards of one sweep must share a seed"
+                ))
+            }
+            _ => {}
+        }
+        for e in r.get("errors").and_then(Json::as_arr).unwrap_or(&[]) {
+            let key = e
+                .get("key")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let reason = e
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            errors.insert((key, reason));
+        }
+        for cell in r.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+            let Some(key) = cell.get("key").and_then(Json::as_str) else {
+                continue;
+            };
+            let resolved = |c: &Json| !matches!(c.get("stats"), None | Some(Json::Null));
+            match cells.get(key) {
+                // Keep an already-merged resolved result over an error
+                // entry for the same cell (e.g. a timeout retried later).
+                Some(prev) if resolved(prev) && !resolved(cell) => {}
+                _ => {
+                    cells.insert(key.to_string(), cell);
+                }
+            }
+        }
+    }
+    let mut s = String::with_capacity(4096);
+    s.push_str(&format!(
+        "{{\"base_seed\":{},\"errors\":[",
+        base_seed.expect("at least one report")
+    ));
+    for (i, (key, reason)) in errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"key\":\"{}\",\"reason\":\"{}\"}}",
+            escape(key),
+            escape(reason)
+        ));
+    }
+    s.push_str("],\"cells\":[");
+    for (i, (key, cell)) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"key\":\"{}\",\"timing\":{{\"host_nanos\":0}},\"worker\":null,\"disk_hit\":false,\"stats\":",
+            escape(key)
+        ));
+        emit_json(cell.get("stats").unwrap_or(&Json::Null), &mut s);
+        s.push_str(",\"telemetry\":");
+        emit_json(cell.get("telemetry").unwrap_or(&Json::Null), &mut s);
+        s.push_str(",\"error\":");
+        emit_json(cell.get("error").unwrap_or(&Json::Null), &mut s);
+        s.push('}');
+    }
+    s.push_str("]}");
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,6 +990,72 @@ mod tests {
         assert_eq!(d.units_compared, 1);
         assert_eq!(d.only_in_old, vec!["bfs|orig|none|16|plain|0"]);
         assert_eq!(d.only_in_new, vec!["cc|orig|none|16|plain|0"]);
+    }
+
+    /// A copy of `full` whose cell list holds only cell `keep`.
+    fn one_cell(full: &Json, keep: usize) -> Json {
+        let Json::Obj(m) = full else {
+            panic!("not an object")
+        };
+        let mut m = m.clone();
+        let cells = full.get("cells").unwrap().as_arr().unwrap();
+        m.insert("cells".into(), Json::Arr(vec![cells[keep].clone()]));
+        Json::Obj(m)
+    }
+
+    #[test]
+    fn merging_shards_is_byte_identical_to_merging_the_full_report() {
+        let full = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let merged_full = merge_reports(std::slice::from_ref(&full)).unwrap();
+        // Shards in either order produce the same canonical bytes.
+        let s1 = one_cell(&full, 0);
+        let s2 = one_cell(&full, 1);
+        let a = merge_reports(&[s1.clone(), s2.clone()]).unwrap();
+        let b = merge_reports(&[s2, s1]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, merged_full);
+        // The canonical form parses, and diffs clean against the original
+        // unsharded report: simulated metrics are untouched by the merge.
+        let m = parse_json(&a).unwrap();
+        let d = diff_reports(&full, &m, 0.02).unwrap();
+        assert!(d.changes.is_empty(), "{:?}", d.changes);
+        assert!(!d.regressed());
+        assert_eq!(d.units_compared, 2);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_seeds_kinds_and_empty_input() {
+        assert!(merge_reports(&[]).is_err());
+        let full = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let metrics = parse_json(r#"{"samples":[]}"#).unwrap();
+        assert!(merge_reports(&[full.clone(), metrics]).is_err());
+        let other_seed =
+            parse_json(&sweep_json(1000, 2000).replace("\"base_seed\":0", "\"base_seed\":7"))
+                .unwrap();
+        let err = merge_reports(&[full, other_seed]).unwrap_err();
+        assert!(err.contains("base_seed mismatch"), "{err}");
+    }
+
+    #[test]
+    fn merge_prefers_resolved_cells_over_error_entries() {
+        let full = parse_json(&sweep_json(1000, 2000)).unwrap();
+        // An error-only duplicate of cell 0 (stats null), as a timed-out
+        // first attempt would leave behind.
+        let mut failed = one_cell(&full, 0);
+        if let Json::Obj(m) = &mut failed {
+            let Json::Arr(cells) = m.get_mut("cells").unwrap() else {
+                panic!()
+            };
+            let Json::Obj(c) = &mut cells[0] else {
+                panic!()
+            };
+            c.insert("stats".into(), Json::Null);
+            c.insert("error".into(), Json::Str("timed out after 1.0s".into()));
+        }
+        let merged = merge_reports(&[failed.clone(), full.clone()]).unwrap();
+        let merged_rev = merge_reports(&[full.clone(), failed]).unwrap();
+        assert_eq!(merged, merged_rev, "resolved result wins in any order");
+        assert_eq!(merged, merge_reports(std::slice::from_ref(&full)).unwrap());
     }
 
     #[test]

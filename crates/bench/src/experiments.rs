@@ -1,10 +1,11 @@
 //! One function per paper table/figure. Each returns the rendered text it
 //! also prints, so integration tests can assert on the series.
 
+use crate::cellcache::{code_rev, composite_key, CellCache};
 use crate::report::{geomean, mean, pct, pct_opt, x, x_opt, Table};
 use crate::sweep::{
-    run_isolated, run_pool, CellError, CellStats, CellTiming, SingleFlightCache, SweepConfig,
-    SweepReport, WorkerStat, CALLER_THREAD,
+    run_isolated, run_pool, stable_key_hash, CellError, CellStats, CellTiming, SingleFlightCache,
+    SweepConfig, SweepReport, WorkerStat, CALLER_THREAD,
 };
 use crate::workload_set::{all_29, per_algorithm, WorkloadSpec};
 use prodigy::{ProdigyConfig, ProdigyPrefetcher};
@@ -13,6 +14,8 @@ use prodigy_sim::SystemConfig;
 use prodigy_workloads::kernels::PageRank;
 use prodigy_workloads::{run_workload, PrefetcherKind, RunConfig, RunOutcome};
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -69,6 +72,11 @@ pub struct Ctx {
     /// Sweep execution knobs (threads, base seed, per-cell timeout).
     pub sweep: SweepConfig,
     cache: SingleFlightCache<Arc<RunOutcome>>,
+    cell_cache: Option<CellCache>,
+    code_rev: String,
+    disk_hits: AtomicU64,
+    threads_leaked: AtomicU64,
+    errors: Mutex<Vec<CellError>>,
     timings: Mutex<Vec<CellTiming>>,
     workers: Mutex<Vec<WorkerStat>>,
     started: Instant,
@@ -108,6 +116,11 @@ impl Ctx {
             sys: SystemConfig::bench(),
             sweep: SweepConfig::default(),
             cache: SingleFlightCache::new(),
+            cell_cache: None,
+            code_rev: code_rev(),
+            disk_hits: AtomicU64::new(0),
+            threads_leaked: AtomicU64::new(0),
+            errors: Mutex::new(Vec::new()),
             timings: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             started: Instant::now(),
@@ -118,6 +131,26 @@ impl Ctx {
     pub fn with_sweep(mut self, sweep: SweepConfig) -> Self {
         self.sweep = sweep;
         self
+    }
+
+    /// Attaches a persistent on-disk cell cache rooted at `dir` (builder
+    /// style). Successful cells are persisted keyed by
+    /// `workload|config|seed|code-rev`; later contexts pointed at the same
+    /// directory load them instead of re-simulating.
+    pub fn with_cell_cache(mut self, dir: &Path) -> Result<Self, String> {
+        self.cell_cache = Some(CellCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// The composite on-disk cache key for `cell` under this context.
+    fn disk_key(&self, cell_key: &str) -> String {
+        composite_key(
+            cell_key,
+            self.scale as u64,
+            &self.sys,
+            self.sweep.base_seed,
+            &self.code_rev,
+        )
     }
 
     /// Whether `cell` already has a completed cache entry.
@@ -134,30 +167,58 @@ impl Ctx {
     fn try_run_on(&self, worker: usize, cell: &Cell) -> Result<Arc<RunOutcome>, CellError> {
         let key = cell.key();
         self.cache.get_or_run(&key, || {
+            let t0 = Instant::now();
+            if let Some(cc) = &self.cell_cache {
+                if let Some(o) = cc.load(&self.disk_key(&key)) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.timings.lock().unwrap().push(CellTiming {
+                        key: key.clone(),
+                        timing: prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
+                        worker,
+                        telemetry: Some(o.telemetry.clone()),
+                        stats: Some(CellStats::from_outcome(&o)),
+                        error: None,
+                        disk_hit: true,
+                    });
+                    return Ok(Arc::new(o));
+                }
+            }
             let owned = cell.clone();
             let sys = self.sys;
             let base_seed = self.sweep.base_seed;
-            let t0 = Instant::now();
             let out = run_isolated(&key, self.sweep.cell_timeout, move || {
                 execute_cell(&owned, sys, base_seed)
             });
             let (res, timing, telemetry, stats, error) = match out {
                 Ok(o) => {
+                    if let Some(cc) = &self.cell_cache {
+                        if let Err(e) = cc.store(&self.disk_key(&key), &o) {
+                            eprintln!("warning: cell cache store failed for {key}: {e}");
+                        }
+                    }
                     let timing = o.timing;
                     let telemetry = o.telemetry.clone();
                     let stats = CellStats::from_outcome(&o);
                     (Ok(Arc::new(o)), timing, Some(telemetry), Some(stats), None)
                 }
-                Err(reason) => (
-                    Err(CellError {
+                Err(e) => {
+                    if e.timed_out {
+                        self.threads_leaked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let err = CellError {
                         key: key.clone(),
-                        reason: reason.clone(),
-                    }),
-                    prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
-                    None,
-                    None,
-                    Some(reason),
-                ),
+                        reason: e.reason,
+                        timed_out: e.timed_out,
+                    };
+                    self.errors.lock().unwrap().push(err.clone());
+                    (
+                        Err(err.clone()),
+                        prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
+                        None,
+                        None,
+                        Some(err),
+                    )
+                }
             };
             self.timings.lock().unwrap().push(CellTiming {
                 key: key.clone(),
@@ -165,7 +226,8 @@ impl Ctx {
                 worker,
                 telemetry,
                 stats,
-                error,
+                error: error.map(|e| e.reason),
+                disk_hit: false,
             });
             res
         })
@@ -206,21 +268,15 @@ impl Ctx {
     /// Aggregated progress/timing report over everything this context ran.
     pub fn report(&self) -> SweepReport {
         let cell_timings = self.timings.lock().unwrap().clone();
-        let errors = cell_timings
-            .iter()
-            .filter_map(|t| {
-                t.error.as_ref().map(|e| CellError {
-                    key: t.key.clone(),
-                    reason: e.clone(),
-                })
-            })
-            .collect();
+        let disk_hits = self.disk_hits.load(Ordering::Relaxed);
         SweepReport {
             threads: self.sweep.threads,
             base_seed: self.sweep.base_seed,
-            cache_hits: self.cache.hits(),
-            cells_simulated: self.cache.computes(),
-            errors,
+            memo_hits: self.cache.hits(),
+            disk_hits,
+            cells_simulated: self.cache.computes().saturating_sub(disk_hits),
+            threads_leaked: self.threads_leaked.load(Ordering::Relaxed),
+            errors: self.errors.lock().unwrap().clone(),
             wall: self.started.elapsed(),
             workers: self.workers.lock().unwrap().clone(),
             cell_timings,
@@ -329,7 +385,7 @@ pub fn fig02(ctx: &Ctx) -> String {
         PrefetcherKind::Droplet,
         PrefetcherKind::Prodigy,
     ];
-    ctx.warm(kinds.iter().map(|&k| Cell::new(spec.clone(), k)).collect());
+    warm_for(ctx, "fig02");
     let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
     let base_dram = base.summary.stats.cpi.dram.max(1e-9);
     let mut t = Table::new(&["prefetcher", "DRAM-stall (norm)", "speedup"]);
@@ -353,12 +409,7 @@ pub fn fig02(ctx: &Ctx) -> String {
 /// workloads.
 pub fn fig04(ctx: &Ctx) -> String {
     let roster = all_29(ctx.scale);
-    ctx.warm(
-        roster
-            .iter()
-            .map(|s| Cell::new(s.clone(), PrefetcherKind::None))
-            .collect(),
-    );
+    warm_for(ctx, "fig04");
     let mut t = Table::new(&[
         "workload", "no-stall", "dram", "cache", "branch", "dep", "other", "stack",
     ]);
@@ -390,16 +441,7 @@ pub fn fig04(ctx: &Ctx) -> String {
 /// Fig. 12: PFHR file-size design-space exploration (normalised to 4).
 pub fn fig12(ctx: &Ctx) -> String {
     let algs = per_algorithm(ctx.scale);
-    let sizes = [4usize, 8, 16, 32];
-    let mut cells = Vec::new();
-    for spec in &algs {
-        for &pf in &sizes {
-            let mut c = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
-            c.pfhr = pf;
-            cells.push(c);
-        }
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig12");
     let mut t = Table::new(&["workload", "4", "8", "16", "32"]);
     for spec in &algs {
         let get = |pf: usize| {
@@ -426,15 +468,7 @@ pub fn fig12(ctx: &Ctx) -> String {
 
 /// Fig. 13: fraction of baseline LLC misses inside DIG-annotated structures.
 pub fn fig13(ctx: &Ctx) -> String {
-    let algs = per_algorithm(ctx.scale);
-    let cells: Vec<Cell> = algs
-        .iter()
-        .map(|s| {
-            let mut c = Cell::new(s.clone(), PrefetcherKind::None);
-            c.classify = true;
-            c
-        })
-        .collect();
+    let cells = experiment_cells("fig13", ctx).expect("fig13 has a cell grid");
     ctx.warm(cells.clone());
     let mut t = Table::new(&["workload", "prefetchable", "non-prefetchable"]);
     let mut fracs = Vec::new();
@@ -459,12 +493,7 @@ pub fn fig13(ctx: &Ctx) -> String {
 /// baseline over all 29 workloads.
 pub fn fig14(ctx: &Ctx) -> String {
     let roster = all_29(ctx.scale);
-    let mut cells = Vec::new();
-    for s in &roster {
-        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
-        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig14");
     let mut t = Table::new(&[
         "workload",
         "base dram%",
@@ -507,11 +536,7 @@ pub fn fig14(ctx: &Ctx) -> String {
 /// Fig. 15: where prefetched data is when demanded.
 pub fn fig15(ctx: &Ctx) -> String {
     let algs = per_algorithm(ctx.scale);
-    ctx.warm(
-        algs.iter()
-            .map(|s| Cell::new(s.clone(), PrefetcherKind::Prodigy))
-            .collect(),
-    );
+    warm_for(ctx, "fig15");
     let mut t = Table::new(&["workload", "L1 hit", "L2 hit", "L3 hit", "evicted unused"]);
     let mut accs = Vec::new();
     for spec in &algs {
@@ -539,15 +564,7 @@ pub fn fig15(ctx: &Ctx) -> String {
 /// Fig. 16: percentage of prefetchable LLC misses converted into hits.
 pub fn fig16(ctx: &Ctx) -> String {
     let algs = per_algorithm(ctx.scale);
-    let mut cells = Vec::new();
-    for s in &algs {
-        for k in [PrefetcherKind::None, PrefetcherKind::Prodigy] {
-            let mut c = Cell::new(s.clone(), k);
-            c.classify = true;
-            cells.push(c);
-        }
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig16");
     let mut t = Table::new(&["workload", "converted"]);
     let mut fr = Vec::new();
     for spec in &algs {
@@ -576,23 +593,7 @@ pub fn fig16(ctx: &Ctx) -> String {
 /// Fig. 17: Prodigy vs Ainsworth & Jones, DROPLET and IMP.
 pub fn fig17(ctx: &Ctx) -> String {
     let algs = per_algorithm(ctx.scale);
-    let kinds = [
-        PrefetcherKind::None,
-        PrefetcherKind::AinsworthJones,
-        PrefetcherKind::Droplet,
-        PrefetcherKind::Imp,
-        PrefetcherKind::Prodigy,
-    ];
-    let mut cells = Vec::new();
-    for s in &algs {
-        for &k in &kinds {
-            if k.graph_specific() && !s.is_graph() {
-                continue;
-            }
-            cells.push(Cell::new(s.clone(), k));
-        }
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig17");
     let mut t = Table::new(&["workload", "A&J", "DROPLET", "IMP", "prodigy"]);
     let mut collect: HashMap<&str, Vec<f64>> = HashMap::new();
     for spec in &algs {
@@ -632,12 +633,7 @@ pub fn fig17(ctx: &Ctx) -> String {
 pub fn table3(ctx: &Ctx) -> String {
     // Reuses the Fig. 14 roster cache: best data set per algorithm.
     let roster = all_29(ctx.scale);
-    let mut cells = Vec::new();
-    for s in &roster {
-        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
-        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "table3");
     let best = |alg: &str| -> f64 {
         roster
             .iter()
@@ -675,15 +671,7 @@ pub fn table3(ctx: &Ctx) -> String {
 /// Fig. 18: Prodigy on HubSort-reordered graphs.
 pub fn fig18(ctx: &Ctx) -> String {
     let datasets = ["lj", "po"];
-    let mut cells = Vec::new();
-    for alg in crate::workload_set::GRAPH_ALGS {
-        for d in datasets {
-            let spec = WorkloadSpec::graph(alg, d, ctx.scale).reordered();
-            cells.push(Cell::new(spec.clone(), PrefetcherKind::None));
-            cells.push(Cell::new(spec, PrefetcherKind::Prodigy));
-        }
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig18");
     let mut t = Table::new(&["algorithm", "speedup (reordered graphs)"]);
     let mut all: Vec<Option<f64>> = Vec::new();
     for alg in crate::workload_set::GRAPH_ALGS {
@@ -717,12 +705,7 @@ pub fn fig18(ctx: &Ctx) -> String {
 /// Fig. 19: energy of Prodigy normalised to the baseline.
 pub fn fig19(ctx: &Ctx) -> String {
     let roster = all_29(ctx.scale);
-    let mut cells = Vec::new();
-    for s in &roster {
-        cells.push(Cell::new(s.clone(), PrefetcherKind::None));
-        cells.push(Cell::new(s.clone(), PrefetcherKind::Prodigy));
-    }
-    ctx.warm(cells);
+    warm_for(ctx, "fig19");
     let mut t = Table::new(&["workload", "core", "cache", "dram", "other", "total (norm)"]);
     let mut savings = Vec::new();
     for spec in &roster {
@@ -756,11 +739,7 @@ pub fn stat_ranged_share(ctx: &Ctx) -> String {
         .into_iter()
         .filter(|s| s.is_graph())
         .collect();
-    ctx.warm(
-        algs.iter()
-            .map(|s| Cell::new(s.clone(), PrefetcherKind::Prodigy))
-            .collect(),
-    );
+    warm_for(ctx, "ranged");
     let mut t = Table::new(&["workload", "ranged share"]);
     let mut shares = Vec::new();
     for spec in &algs {
@@ -779,10 +758,7 @@ pub fn stat_ranged_share(ctx: &Ctx) -> String {
 /// §VI-C: software prefetching vs Prodigy on PageRank.
 pub fn stat_software_prefetch(ctx: &Ctx) -> String {
     let spec = WorkloadSpec::graph("pr", "lj", ctx.scale);
-    ctx.warm(vec![
-        Cell::new(spec.clone(), PrefetcherKind::None),
-        Cell::new(spec.clone(), PrefetcherKind::Prodigy),
-    ]);
+    warm_for(ctx, "swpf");
     let base = ctx.run(&Cell::new(spec.clone(), PrefetcherKind::None));
     let pro = ctx.run(&Cell::new(spec, PrefetcherKind::Prodigy));
     // Software-prefetch variant: same graph, instrumented kernel, no
@@ -870,18 +846,9 @@ pub fn table_storage(_ctx: &Ctx) -> String {
 pub fn scalability(ctx: &Ctx) -> String {
     let spec = WorkloadSpec::graph("pr", "lj", ctx.scale);
     let counts = [1u32, 2, 4, 8, 16, 32, 40];
-    let mut cells: Vec<Cell> = counts
-        .iter()
-        .map(|&c| {
-            let mut cell = Cell::new(spec.clone(), PrefetcherKind::None);
-            cell.cores = c;
-            cell
-        })
-        .collect();
     let mut pcell = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
     pcell.cores = 8;
-    cells.push(pcell.clone());
-    ctx.warm(cells);
+    warm_for(ctx, "scalability");
     let one = {
         let mut c = Cell::new(spec.clone(), PrefetcherKind::None);
         c.cores = 1;
@@ -1088,37 +1055,256 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
     )
 }
 
-/// Runs every experiment whose name contains one of `filters` (all when
-/// empty), printing and returning the combined report.
-pub fn run_all(ctx: &Ctx, filters: &[String]) -> String {
-    type Experiment = fn(&Ctx) -> String;
-    let experiments: Vec<(&str, Experiment)> = vec![
-        ("table1", table1),
-        ("table2", table2),
-        ("fig02", fig02),
-        ("fig04", fig04),
-        ("fig12", fig12),
-        ("fig13", fig13),
-        ("fig14", fig14),
-        ("fig15", fig15),
-        ("fig16", fig16),
-        ("fig17", fig17),
-        ("table3", table3),
-        ("fig18", fig18),
-        ("fig19", fig19),
-        ("ranged", stat_ranged_share),
-        ("swpf", stat_software_prefetch),
-        ("storage", table_storage),
-        ("scalability", scalability),
-        ("limits_tc", limits_tc),
-        ("ext_dobfs", ext_dobfs),
-        ("ext_throttle", ext_throttle),
-    ];
-    let mut out = String::new();
-    for (name, f) in experiments {
+// ---------------------------------------------------- enumeration / shards
+
+/// Every experiment name accepted by [`run_all`]'s filters, in run order.
+pub const EXPERIMENT_NAMES: &[&str] = &[
+    "table1",
+    "table2",
+    "fig02",
+    "fig04",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "table3",
+    "fig18",
+    "fig19",
+    "ranged",
+    "swpf",
+    "storage",
+    "scalability",
+    "limits_tc",
+    "ext_dobfs",
+    "ext_throttle",
+];
+
+fn experiment_fn(name: &str) -> fn(&Ctx) -> String {
+    match name {
+        "table1" => table1,
+        "table2" => table2,
+        "fig02" => fig02,
+        "fig04" => fig04,
+        "fig12" => fig12,
+        "fig13" => fig13,
+        "fig14" => fig14,
+        "fig15" => fig15,
+        "fig16" => fig16,
+        "fig17" => fig17,
+        "table3" => table3,
+        "fig18" => fig18,
+        "fig19" => fig19,
+        "ranged" => stat_ranged_share,
+        "swpf" => stat_software_prefetch,
+        "storage" => table_storage,
+        "scalability" => scalability,
+        "limits_tc" => limits_tc,
+        "ext_dobfs" => ext_dobfs,
+        "ext_throttle" => ext_throttle,
+        other => panic!("unknown experiment {other:?}"),
+    }
+}
+
+/// The full memoised-cell grid one experiment warms and queries, or `None`
+/// for experiments that run no memoised cells (pure tables and the
+/// uncached extension runs). Figure functions warm exactly this grid (via
+/// [`warm_for`]) and shard mode enumerates it, so the two cannot drift.
+pub fn experiment_cells(name: &str, ctx: &Ctx) -> Option<Vec<Cell>> {
+    let scale = ctx.scale;
+    let both = [PrefetcherKind::None, PrefetcherKind::Prodigy];
+    let cells = match name {
+        "fig02" => {
+            let spec = WorkloadSpec::graph("pr", "lj", scale);
+            [
+                PrefetcherKind::None,
+                PrefetcherKind::GhbGdc,
+                PrefetcherKind::Droplet,
+                PrefetcherKind::Prodigy,
+            ]
+            .iter()
+            .map(|&k| Cell::new(spec.clone(), k))
+            .collect()
+        }
+        "fig04" => all_29(scale)
+            .into_iter()
+            .map(|s| Cell::new(s, PrefetcherKind::None))
+            .collect(),
+        "fig12" => {
+            let mut cells = Vec::new();
+            for spec in per_algorithm(scale) {
+                for pf in [4usize, 8, 16, 32] {
+                    let mut c = Cell::new(spec.clone(), PrefetcherKind::Prodigy);
+                    c.pfhr = pf;
+                    cells.push(c);
+                }
+            }
+            cells
+        }
+        "fig13" => per_algorithm(scale)
+            .into_iter()
+            .map(|s| {
+                let mut c = Cell::new(s, PrefetcherKind::None);
+                c.classify = true;
+                c
+            })
+            .collect(),
+        "fig14" | "table3" | "fig19" => {
+            let mut cells = Vec::new();
+            for s in all_29(scale) {
+                for k in both {
+                    cells.push(Cell::new(s.clone(), k));
+                }
+            }
+            cells
+        }
+        "fig15" => per_algorithm(scale)
+            .into_iter()
+            .map(|s| Cell::new(s, PrefetcherKind::Prodigy))
+            .collect(),
+        "fig16" => {
+            let mut cells = Vec::new();
+            for s in per_algorithm(scale) {
+                for k in both {
+                    let mut c = Cell::new(s.clone(), k);
+                    c.classify = true;
+                    cells.push(c);
+                }
+            }
+            cells
+        }
+        "fig17" => {
+            let mut cells = Vec::new();
+            for s in per_algorithm(scale) {
+                for k in [
+                    PrefetcherKind::None,
+                    PrefetcherKind::AinsworthJones,
+                    PrefetcherKind::Droplet,
+                    PrefetcherKind::Imp,
+                    PrefetcherKind::Prodigy,
+                ] {
+                    if k.graph_specific() && !s.is_graph() {
+                        continue;
+                    }
+                    cells.push(Cell::new(s.clone(), k));
+                }
+            }
+            cells
+        }
+        "fig18" => {
+            let mut cells = Vec::new();
+            for alg in crate::workload_set::GRAPH_ALGS {
+                for d in ["lj", "po"] {
+                    let spec = WorkloadSpec::graph(alg, d, scale).reordered();
+                    for k in both {
+                        cells.push(Cell::new(spec.clone(), k));
+                    }
+                }
+            }
+            cells
+        }
+        "ranged" => per_algorithm(scale)
+            .into_iter()
+            .filter(|s| s.is_graph())
+            .map(|s| Cell::new(s, PrefetcherKind::Prodigy))
+            .collect(),
+        "swpf" => {
+            let spec = WorkloadSpec::graph("pr", "lj", scale);
+            both.iter().map(|&k| Cell::new(spec.clone(), k)).collect()
+        }
+        "scalability" => {
+            let spec = WorkloadSpec::graph("pr", "lj", scale);
+            let mut cells: Vec<Cell> = [1u32, 2, 4, 8, 16, 32, 40]
+                .iter()
+                .map(|&cores| {
+                    let mut c = Cell::new(spec.clone(), PrefetcherKind::None);
+                    c.cores = cores;
+                    c
+                })
+                .collect();
+            let mut p = Cell::new(spec, PrefetcherKind::Prodigy);
+            p.cores = 8;
+            cells.push(p);
+            cells
+        }
+        "ext_throttle" => {
+            let spec = WorkloadSpec::graph("cc", "lj", scale);
+            both.iter().map(|&k| Cell::new(spec.clone(), k)).collect()
+        }
+        _ => return None,
+    };
+    Some(cells)
+}
+
+/// Warms the memoised-cell grid of one experiment (see
+/// [`experiment_cells`]).
+fn warm_for(ctx: &Ctx, name: &str) {
+    ctx.warm(experiment_cells(name, ctx).expect("experiment has a cell grid"));
+}
+
+/// A `K/N` slice of the deterministic cell grid: shard `K` (1-based) of
+/// `N` owns every cell whose stable key hash lands in its residue class.
+/// Ownership hashes the cell *key*, not the enumeration index, so it is
+/// insensitive to grid ordering and identical across processes and builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard index (`1 <= k <= n`).
+    pub k: usize,
+    /// Total shard count.
+    pub n: usize,
+}
+
+impl ShardSpec {
+    /// Parses `"K/N"` (e.g. `"1/4"`) with `1 <= K <= N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let bad = || format!("bad shard spec {s:?}: expected K/N with 1 <= K <= N, e.g. 1/4");
+        let (k, n) = s.split_once('/').ok_or_else(bad)?;
+        let k = k.trim().parse::<usize>().map_err(|_| bad())?;
+        let n = n.trim().parse::<usize>().map_err(|_| bad())?;
+        if k == 0 || n == 0 || k > n {
+            return Err(bad());
+        }
+        Ok(ShardSpec { k, n })
+    }
+
+    /// Whether this shard owns the cell with cache key `key`.
+    pub fn owns(&self, key: &str) -> bool {
+        stable_key_hash(key) % self.n as u64 == (self.k - 1) as u64
+    }
+}
+
+/// Enumerates, dedupes and shard-filters the memoised cells of every
+/// experiment selected by `filters` (same matching rule as [`run_all`]).
+pub fn shard_cells(ctx: &Ctx, filters: &[String], shard: ShardSpec) -> Vec<Cell> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for name in EXPERIMENT_NAMES {
         if !filters.is_empty() && !filters.iter().any(|x| name.contains(x.as_str())) {
             continue;
         }
+        let Some(cells) = experiment_cells(name, ctx) else {
+            continue;
+        };
+        for c in cells {
+            let k = c.key();
+            if shard.owns(&k) && seen.insert(k) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Runs every experiment whose name contains one of `filters` (all when
+/// empty), printing and returning the combined report.
+pub fn run_all(ctx: &Ctx, filters: &[String]) -> String {
+    let mut out = String::new();
+    for &name in EXPERIMENT_NAMES {
+        if !filters.is_empty() && !filters.iter().any(|x| name.contains(x.as_str())) {
+            continue;
+        }
+        let f = experiment_fn(name);
         let t0 = std::time::Instant::now();
         // One failed cell panics its figure function; isolate the panic to
         // this experiment so the rest of the sweep still completes (the

@@ -29,13 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cellcache;
 pub mod compare;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
 pub mod workload_set;
 
-pub use compare::{diff_reports, parse_json, DiffReport, ReportKind};
-pub use experiments::{run_all, Cell, Ctx};
+pub use cellcache::{code_rev, composite_key, CellCache};
+pub use compare::{diff_reports, merge_reports, parse_json, DiffReport, ReportKind};
+pub use experiments::{run_all, Cell, Ctx, ShardSpec};
 pub use sweep::{CellStats, SweepConfig, SweepReport};
 pub use workload_set::{WorkloadSpec, GRAPH_ALGS, NON_GRAPH_ALGS};

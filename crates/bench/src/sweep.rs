@@ -63,6 +63,12 @@ pub struct CellError {
     pub key: String,
     /// Human-readable cause.
     pub reason: String,
+    /// Whether the failure was a wall-clock timeout. Timeouts are
+    /// *transient* — a later request under a bigger budget (or a less
+    /// loaded host) may succeed — so they are never memoised by
+    /// [`SingleFlightCache`] and never persisted by the disk cell cache.
+    /// Panics are deterministic for a given build and stay cached.
+    pub timed_out: bool,
 }
 
 impl std::fmt::Display for CellError {
@@ -79,8 +85,11 @@ type SlotOf<T> = Arc<OnceLock<Result<T, CellError>>>;
 ///
 /// The first requester of a key runs the computation; concurrent requesters
 /// of the same key block until that one computation finishes and then share
-/// its result. Failed computations are cached too (a diverging cell is not
-/// retried by every figure that references it).
+/// its result. Deterministic failures (panics) are cached too — a diverging
+/// cell is not retried by every figure that references it — but *timeouts*
+/// are evicted as soon as the flight lands: the waiters who shared that
+/// flight all see the timeout, and the next fresh request re-runs the cell
+/// (see [`CellError::timed_out`]).
 ///
 /// The computation closure must not panic — wrap fallible work in
 /// [`run_isolated`] and return `Err` instead (a panic inside `get_or_run`
@@ -135,6 +144,17 @@ impl<T: Clone> SingleFlightCache<T> {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        // Timeouts are transient: evict the slot so the *next* request
+        // re-runs the cell. Only the thread that ran the flight evicts, and
+        // only if the map still holds this exact slot (a fresh retry slot
+        // inserted meanwhile must not be clobbered). Waiters that shared
+        // this flight still all observe the same timeout error.
+        if ran && matches!(&out, Err(e) if e.timed_out) {
+            let mut slots = self.slots.lock().unwrap();
+            if slots.get(key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                slots.remove(key);
+            }
+        }
         out
     }
 
@@ -159,21 +179,39 @@ impl<T: Clone> SingleFlightCache<T> {
     }
 }
 
-/// Runs `job`, converting a panic into `Err(message)` and — when `timeout`
-/// is set — abandoning it after the budget elapses.
+/// Structured failure from [`run_isolated`]: the message plus whether the
+/// job was abandoned on timeout (in which case its thread keeps running,
+/// detached — see [`run_isolated`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolatedError {
+    /// Human-readable cause (panic message or timeout notice).
+    pub reason: String,
+    /// True when the job exceeded its wall-clock budget and its thread was
+    /// detached. The caller should count this toward `threads_leaked`.
+    pub timed_out: bool,
+}
+
+/// Runs `job`, converting a panic into a structured error and — when
+/// `timeout` is set — abandoning it after the budget elapses.
 ///
 /// The timeout path runs the job on a dedicated named thread and waits with
 /// `recv_timeout`; on expiry the thread is *detached*, not killed (Rust has
 /// no safe thread cancellation), so a truly divergent cell leaks one thread
-/// but the sweep proceeds. Without a timeout the job runs inline under
-/// `catch_unwind` — no extra thread.
+/// but the sweep proceeds. The returned error carries `timed_out: true` so
+/// callers can account for the leak ([`SweepReport::threads_leaked`]).
+/// Without a timeout the job runs inline under `catch_unwind` — no extra
+/// thread.
 pub fn run_isolated<T: Send + 'static>(
     label: &str,
     timeout: Option<Duration>,
     job: impl FnOnce() -> T + Send + 'static,
-) -> Result<T, String> {
+) -> Result<T, IsolatedError> {
+    let panic_err = |p: Box<dyn std::any::Any + Send>| IsolatedError {
+        reason: panic_message(p.as_ref()),
+        timed_out: false,
+    };
     match timeout {
-        None => catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(p.as_ref())),
+        None => catch_unwind(AssertUnwindSafe(job)).map_err(panic_err),
         Some(budget) => {
             let (tx, rx) = channel::bounded(1);
             let thread_name = format!("cell-{}", label.chars().take(24).collect::<String>());
@@ -190,11 +228,14 @@ pub fn run_isolated<T: Send + 'static>(
                 }
                 Ok(Err(p)) => {
                     let _ = handle.join();
-                    Err(panic_message(p.as_ref()))
+                    Err(panic_err(p))
                 }
                 Err(_) => {
                     drop(handle); // detach the runaway thread
-                    Err(format!("timed out after {:.1}s", budget.as_secs_f64()))
+                    Err(IsolatedError {
+                        reason: format!("timed out after {:.1}s", budget.as_secs_f64()),
+                        timed_out: true,
+                    })
                 }
             }
         }
@@ -363,6 +404,9 @@ pub struct CellTiming {
     pub stats: Option<CellStats>,
     /// The recorded failure, if the cell diverged or panicked.
     pub error: Option<String>,
+    /// Whether the result was loaded from the persistent cell cache rather
+    /// than simulated (`timing` then measures the disk load, not a run).
+    pub disk_hit: bool,
 }
 
 /// Aggregated progress/timing report of a sweep, rendered to stderr and
@@ -373,10 +417,16 @@ pub struct SweepReport {
     pub threads: usize,
     /// Base seed of the sweep.
     pub base_seed: u64,
-    /// Cell requests served from the memo cache.
-    pub cache_hits: u64,
-    /// Cells actually simulated.
+    /// Cell requests served from the in-memory memo cache.
+    pub memo_hits: u64,
+    /// Cell requests served from the persistent on-disk cell cache.
+    pub disk_hits: u64,
+    /// Cells actually simulated (excludes memo and disk hits).
     pub cells_simulated: u64,
+    /// Threads detached (leaked) by per-cell timeouts this run. Each one
+    /// keeps burning a core until its simulation diverges to completion or
+    /// the process exits, skewing utilization and cells/s.
+    pub threads_leaked: u64,
     /// Failed cells.
     pub errors: Vec<CellError>,
     /// Wall-clock duration of the whole sweep.
@@ -445,15 +495,22 @@ impl SweepReport {
     /// Renders the human-facing progress summary (printed to stderr).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "sweep: {} cells simulated, {} cache hits, {} errors | {:.1}s wall, {} threads, {:.0}% utilization, {:.2} cells/s\n",
+            "sweep: {} cells simulated, {} memo hits, {} disk hits, {} errors | {:.1}s wall, {} threads, {:.0}% utilization, {:.2} cells/s\n",
             self.cells_simulated,
-            self.cache_hits,
+            self.memo_hits,
+            self.disk_hits,
             self.errors.len(),
             self.wall.as_secs_f64(),
             self.threads,
             self.utilization() * 100.0,
             self.cells_per_sec(),
         );
+        if self.threads_leaked > 0 {
+            out.push_str(&format!(
+                "  warning: {} timed-out cell thread(s) leaked — they keep burning a core each; utilization and cells/s are skewed\n",
+                self.threads_leaked
+            ));
+        }
         for t in self.slowest(5) {
             out.push_str(&format!(
                 "  slow: {:>9.1} ms  {}\n",
@@ -475,7 +532,9 @@ impl SweepReport {
         s.push_str(&format!("\"threads\":{},", self.threads));
         s.push_str(&format!("\"base_seed\":{},", self.base_seed));
         s.push_str(&format!("\"cells_simulated\":{},", self.cells_simulated));
-        s.push_str(&format!("\"cache_hits\":{},", self.cache_hits));
+        s.push_str(&format!("\"memo_hits\":{},", self.memo_hits));
+        s.push_str(&format!("\"disk_hits\":{},", self.disk_hits));
+        s.push_str(&format!("\"threads_leaked\":{},", self.threads_leaked));
         s.push_str(&format!("\"wall_nanos\":{},", self.wall.as_nanos()));
         s.push_str(&format!("\"cells_per_sec\":{:.3},", self.cells_per_sec()));
         s.push_str(&format!("\"utilization\":{:.4},", self.utilization()));
@@ -483,8 +542,12 @@ impl SweepReport {
         // ignores everything outside `cells`, so refreshed baselines never
         // diff on host speed.
         s.push_str(&format!(
-            "\"host\":{{\"cells_per_sec\":{:.3},\"host_nanos_total\":{},\"cell_host_nanos_p50\":{},\"cell_host_nanos_p99\":{}}},",
+            "\"host\":{{\"cells_per_sec\":{:.3},\"cells_simulated\":{},\"memo_hits\":{},\"disk_hits\":{},\"threads_leaked\":{},\"host_nanos_total\":{},\"cell_host_nanos_p50\":{},\"cell_host_nanos_p99\":{}}},",
             self.cells_per_sec(),
+            self.cells_simulated,
+            self.memo_hits,
+            self.disk_hits,
+            self.threads_leaked,
             self.total_cell_nanos(),
             self.cell_nanos_percentile(0.50),
             self.cell_nanos_percentile(0.99),
@@ -523,10 +586,11 @@ impl SweepReport {
                 t.worker.to_string()
             };
             s.push_str(&format!(
-                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"stats\":{},\"telemetry\":{},\"error\":{}}}",
+                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"disk_hit\":{},\"stats\":{},\"telemetry\":{},\"error\":{}}}",
                 json_escape(&t.key),
                 t.timing.to_json(),
                 worker,
+                t.disk_hit,
                 match &t.stats {
                     Some(cs) => cs.to_json(),
                     None => "null".to_string(),
@@ -544,6 +608,20 @@ impl SweepReport {
         s.push_str("]}");
         s
     }
+}
+
+/// Stable FNV-1a hash of a string key. Used wherever a cell's identity must
+/// hash identically across processes, platforms, and enumeration orders —
+/// shard ownership (`--shard K/N`) and persistent cell-cache filenames.
+/// Never replace this with `DefaultHasher`: its output is
+/// process-randomized, which would silently break shard disjointness.
+pub fn stable_key_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -604,7 +682,7 @@ mod tests {
     }
 
     #[test]
-    fn single_flight_caches_errors_without_retrying() {
+    fn single_flight_caches_panics_without_retrying() {
         let cache: SingleFlightCache<u64> = SingleFlightCache::new();
         let computes = AtomicUsize::new(0);
         for _ in 0..3 {
@@ -614,31 +692,85 @@ mod tests {
                     Err(CellError {
                         key: "bad".into(),
                         reason: "boom".into(),
+                        timed_out: false,
                     })
                 })
                 .unwrap_err();
             assert_eq!(e.reason, "boom");
         }
-        assert_eq!(computes.load(Ordering::SeqCst), 1, "errors are cached too");
+        assert_eq!(
+            computes.load(Ordering::SeqCst),
+            1,
+            "deterministic failures are cached"
+        );
+        assert!(cache.contains("bad"), "panic slot stays resident");
+    }
+
+    #[test]
+    fn single_flight_retries_timeouts() {
+        let cache: SingleFlightCache<u64> = SingleFlightCache::new();
+        let computes = AtomicUsize::new(0);
+        // First two requests time out; each one must actually run.
+        for _ in 0..2 {
+            let e = cache
+                .get_or_run("slow", || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    Err(CellError {
+                        key: "slow".into(),
+                        reason: "timed out after 0.1s".into(),
+                        timed_out: true,
+                    })
+                })
+                .unwrap_err();
+            assert!(e.timed_out);
+            assert!(!cache.contains("slow"), "timeout slot must be evicted");
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 2, "timeouts re-run");
+        // Third request succeeds and IS memoised.
+        let v = cache
+            .get_or_run("slow", || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                Ok(99)
+            })
+            .unwrap();
+        assert_eq!(v, 99);
+        assert_eq!(cache.get_or_run("slow", || unreachable!()).unwrap(), 99);
+        assert_eq!(computes.load(Ordering::SeqCst), 3);
     }
 
     #[test]
     fn run_isolated_captures_panics() {
-        let r: Result<(), String> = run_isolated("t", None, || panic!("kaboom {}", 7));
-        assert!(r.unwrap_err().contains("kaboom 7"));
+        let r: Result<(), _> = run_isolated("t", None, || panic!("kaboom {}", 7));
+        let e = r.unwrap_err();
+        assert!(e.reason.contains("kaboom 7"));
+        assert!(!e.timed_out, "a panic is not a timeout");
         let ok = run_isolated("t", None, || 5u32).unwrap();
         assert_eq!(ok, 5);
     }
 
     #[test]
     fn run_isolated_times_out_divergent_jobs() {
-        let r: Result<(), String> = run_isolated("hang", Some(Duration::from_millis(50)), || {
+        let r: Result<(), _> = run_isolated("hang", Some(Duration::from_millis(50)), || {
             std::thread::sleep(Duration::from_secs(30));
         });
-        assert!(r.unwrap_err().contains("timed out"));
+        let e = r.unwrap_err();
+        assert!(e.reason.contains("timed out"));
+        assert!(e.timed_out, "timeout flagged for leak accounting");
         // And a fast job under the same budget succeeds.
         let ok = run_isolated("quick", Some(Duration::from_secs(5)), || 9u32).unwrap();
         assert_eq!(ok, 9);
+    }
+
+    #[test]
+    fn stable_key_hash_is_fixed_across_builds() {
+        // Frozen values: shard ownership and cache filenames depend on this
+        // hash never changing.
+        assert_eq!(stable_key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            stable_key_hash("pr|false|prodigy|16|false|0"),
+            stable_key_hash("pr|false|prodigy|16|false|0")
+        );
+        assert_ne!(stable_key_hash("a"), stable_key_hash("b"));
     }
 
     #[test]
@@ -657,11 +789,14 @@ mod tests {
         let report = SweepReport {
             threads: 2,
             base_seed: 7,
-            cache_hits: 3,
+            memo_hits: 3,
+            disk_hits: 2,
             cells_simulated: 5,
+            threads_leaked: 1,
             errors: vec![CellError {
                 key: "bfs|false|prodigy|16|false|0".into(),
                 reason: "timed out after 1.0s".into(),
+                timed_out: true,
             }],
             wall: Duration::from_millis(1500),
             workers: vec![
@@ -694,13 +829,24 @@ mod tests {
                     prefetch_coverage: Some(0.5),
                 }),
                 error: None,
+                disk_hit: false,
             }],
         };
         let text = report.render();
         assert!(text.contains("5 cells simulated"));
+        assert!(text.contains("3 memo hits"));
+        assert!(text.contains("2 disk hits"));
         assert!(text.contains("1 errors"));
+        assert!(
+            text.contains("warning: 1 timed-out cell thread(s) leaked"),
+            "leak warning in summary"
+        );
         let json = report.to_json();
         assert!(json.contains("\"cells_simulated\":5"));
+        assert!(json.contains("\"memo_hits\":3"));
+        assert!(json.contains("\"disk_hits\":2"));
+        assert!(json.contains("\"threads_leaked\":1"));
+        assert!(json.contains("\"disk_hit\":false"));
         assert!(json.contains("\"worker\":null"), "caller-thread cell");
         assert!(
             json.contains("\"telemetry\":{"),
@@ -735,12 +881,15 @@ mod tests {
             telemetry: None,
             stats: None,
             error: None,
+            disk_hit: false,
         };
         let report = SweepReport {
             threads: 1,
             base_seed: 0,
-            cache_hits: 0,
+            memo_hits: 0,
+            disk_hits: 0,
             cells_simulated: 4,
+            threads_leaked: 0,
             errors: vec![],
             wall: Duration::from_millis(1),
             workers: vec![],

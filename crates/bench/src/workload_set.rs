@@ -36,13 +36,24 @@ fn graph_cache() -> &'static GraphCache {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Instantiates (and caches) a Table II graph at the given scale.
-pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
+/// Instantiates (and caches) a Table II graph at the given scale, or
+/// reports the unknown data-set name (with the valid roster) so CLI paths
+/// can fail cleanly instead of panicking.
+pub fn try_dataset_graph(name: &str, scale: u32, reorder: bool) -> Result<Arc<Csr>, String> {
     let key = (name.to_string(), scale, reorder);
     if let Some(g) = graph_cache().lock().unwrap().get(&key) {
-        return Arc::clone(g);
+        return Ok(Arc::clone(g));
     }
-    let d = Dataset::by_name(name).expect("unknown dataset");
+    let d = Dataset::by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = prodigy_workloads::graph::datasets::DATASETS
+            .iter()
+            .map(|d| d.name)
+            .collect();
+        format!(
+            "unknown dataset {name:?}; valid datasets: {}",
+            names.join(" ")
+        )
+    })?;
     let mut g = d.instantiate(scale);
     if reorder {
         let r = prodigy_workloads::graph::reorder::hubsort(&g);
@@ -50,7 +61,16 @@ pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
     }
     let arc = Arc::new(g);
     graph_cache().lock().unwrap().insert(key, Arc::clone(&arc));
-    arc
+    Ok(arc)
+}
+
+/// Instantiates (and caches) a Table II graph at the given scale.
+///
+/// # Panics
+/// Panics on an unknown data-set name; use [`try_dataset_graph`] where the
+/// name comes from user input.
+pub fn dataset_graph(name: &str, scale: u32, reorder: bool) -> Arc<Csr> {
+    try_dataset_graph(name, scale, reorder).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Vertex with the highest out-degree — the traversal source, so BFS-family
@@ -144,14 +164,27 @@ impl WorkloadSpec {
     /// by the sweep seed — they model fixed external data sets.
     ///
     /// # Panics
-    /// Panics on an unknown algorithm name.
+    /// Panics on an unknown algorithm or data-set name; use
+    /// [`WorkloadSpec::try_instantiate_seeded`] where the spec comes from
+    /// user input.
     pub fn instantiate_seeded(&self, base_seed: u64) -> Box<dyn Kernel + Send> {
-        match self.alg {
+        self.try_instantiate_seeded(base_seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a fresh kernel instance like
+    /// [`WorkloadSpec::instantiate_seeded`], reporting an unknown algorithm
+    /// or data-set name as an error instead of panicking.
+    pub fn try_instantiate_seeded(&self, base_seed: u64) -> Result<Box<dyn Kernel + Send>, String> {
+        Ok(match self.alg {
             "bc" | "bfs" | "cc" | "pr" | "sssp" => {
-                let g = dataset_graph(self.dataset.expect("graph alg"), self.scale, self.reorder);
+                let Some(dataset) = self.dataset else {
+                    return Err(format!("graph algorithm {:?} needs a dataset", self.alg));
+                };
+                let g = try_dataset_graph(dataset, self.scale, self.reorder)?;
                 let src = best_source(&g);
                 match self.alg {
-                    "bc" => Box::new(Bc::new((*g).clone(), src)),
+                    "bc" => Box::new(Bc::new((*g).clone(), src)) as Box<dyn Kernel + Send>,
                     "bfs" => Box::new(Bfs::new((*g).clone(), src)),
                     "cc" => Box::new(Cc::new((*g).clone(), 6)),
                     "pr" => Box::new(PageRank::new((*g).clone(), 3)),
@@ -190,8 +223,14 @@ impl WorkloadSpec {
                 let seed = self.derived_seed(base_seed, 0xBEEF);
                 Box::new(IntSort::new(keys, (keys / 4).max(64) as u32, seed))
             }
-            other => panic!("unknown algorithm {other}"),
-        }
+            other => {
+                let valid: Vec<&str> = GRAPH_ALGS.iter().chain(&NON_GRAPH_ALGS).copied().collect();
+                return Err(format!(
+                    "unknown algorithm {other:?}; valid algorithms: {}",
+                    valid.join(" ")
+                ));
+            }
+        })
     }
 
     /// Whether this is a graph workload (A&J/DROPLET applicable).
@@ -266,6 +305,18 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = dataset_graph("po", 64, true);
         assert!(!Arc::ptr_eq(&a, &c), "reordered graph is distinct");
+    }
+
+    #[test]
+    fn unknown_names_are_clean_errors_not_panics() {
+        let e = try_dataset_graph("no-such-dataset", 64, false).unwrap_err();
+        assert!(e.contains("unknown dataset") && e.contains("lj"), "{e}");
+        let bad = WorkloadSpec::plain("no-such-alg", 64);
+        let e = match bad.try_instantiate_seeded(0) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown algorithm instantiated"),
+        };
+        assert!(e.contains("unknown algorithm") && e.contains("bfs"), "{e}");
     }
 
     #[test]

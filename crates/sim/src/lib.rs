@@ -48,12 +48,12 @@ pub use mem::address_space::AddressSpace;
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use metrics::{MetricSample, MetricsConfig, MetricsRegistry};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
-pub use stats::{CpiStack, RunTiming, Stats};
+pub use stats::{CpiStack, LevelStats, PrefetchUse, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 pub use telemetry::{
     chrome_trace_json, source_tag_label, AttributionTable, Log2Hist, MemorySink, NullSink,
-    SourceCounts, SourceTag, TelemetrySummary, TraceCategory, TraceEvent, TraceEventKind,
-    TraceSink, Tracer,
+    SourceCounts, SourceTag, TelemetrySummary, Timeliness, TraceCategory, TraceEvent,
+    TraceEventKind, TraceSink, Tracer,
 };
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).

@@ -459,6 +459,24 @@ impl Log2Hist {
         self.buckets[bucket]
     }
 
+    /// Reconstructs a histogram from its serialized parts: total count,
+    /// saturating sum, and sparse `(bucket, count)` pairs (the shape
+    /// [`Log2Hist::to_json`] emits). Out-of-range bucket indices are
+    /// rejected so corrupted persisted entries fail loudly at the caller
+    /// instead of silently truncating.
+    pub fn from_parts(count: u64, sum: u64, sparse: &[(usize, u64)]) -> Result<Self, String> {
+        let mut h = Log2Hist::new();
+        for &(bucket, n) in sparse {
+            if bucket >= HIST_BUCKETS {
+                return Err(format!("bucket index {bucket} out of range"));
+            }
+            h.buckets[bucket] += n;
+        }
+        h.count = count;
+        h.sum = sum;
+        Ok(h)
+    }
+
     /// Adds another histogram's contents into this one.
     pub fn merge(&mut self, o: &Log2Hist) {
         for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
@@ -637,6 +655,17 @@ impl AttributionTable {
     /// The counts for one tag, if it ever issued.
     pub fn get(&self, tag: SourceTag) -> Option<&SourceCounts> {
         self.entries.get(&tag)
+    }
+
+    /// Inserts (accumulating) the full counts for one source, used when
+    /// reconstructing a table from a serialized report.
+    pub fn insert_counts(&mut self, tag: SourceTag, counts: SourceCounts) {
+        let e = self.entries.entry(tag).or_default();
+        e.issued += counts.issued;
+        e.timely += counts.timely;
+        e.late += counts.late;
+        e.inaccurate += counts.inaccurate;
+        e.dropped += counts.dropped;
     }
 
     /// Element-wise accumulation of another table.
