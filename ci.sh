@@ -16,6 +16,12 @@ echo "== tier-1: release build + tests"
 cargo build --release
 cargo test -q
 
+# The hybrid root manifest means a plain root build compiles member *libs*
+# only; build the bench package explicitly so every smoke below runs
+# against fresh release binaries, never stale ones.
+echo "== release binaries (prodigy-eval, prodigy-diff)"
+cargo build --release -p prodigy-bench
+
 echo "== workspace tests"
 cargo test -q --workspace
 
@@ -56,10 +62,10 @@ echo "== diff smoke: same-seed scale-1 sweep pair must diff to zero"
 ./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
     --json "$tmp/d2.json" fig02 >/dev/null
 ./target/release/prodigy-diff "$tmp/d1.json" "$tmp/d2.json"
-if ! ./target/release/prodigy-diff BENCH_pr6_scale1.json "$tmp/d1.json" >/dev/null; then
-    echo "   note: results drifted from the checked-in BENCH_pr6_scale1.json"
+if ! ./target/release/prodigy-diff BENCH_pr8_scale1.json "$tmp/d1.json" >/dev/null; then
+    echo "   note: results drifted from the checked-in BENCH_pr8_scale1.json"
     echo "   baseline. If the change is intentional, regenerate it with:"
-    echo "   ./target/release/prodigy-eval --scale 1 --threads 2 --json BENCH_pr6_scale1.json fig02"
+    echo "   ./target/release/prodigy-eval --scale 1 --threads 2 --host-profile --json BENCH_pr8_scale1.json fig02"
 fi
 # Non-gating host-throughput summary (varies run to run; for the log only).
 python3 - "$tmp/d1.json" <<'PY'
@@ -71,6 +77,46 @@ print(f"   host (non-gating): {h.get('cells_per_sec', '?')} cells/s, "
       f"p50 {h.get('cell_host_nanos_p50', 0)/1e9:.1f}s / "
       f"p99 {h.get('cell_host_nanos_p99', 0)/1e9:.1f}s per cell")
 PY
+
+echo "== host-profile smoke: profiled run identical to unprofiled same-seed run"
+./target/release/prodigy-eval --scale 1 --threads 2 $timeout \
+    --host-profile --json "$tmp/hp.json" fig02 >/dev/null
+# Gated: profiling observes host time only — zero changed simulated
+# metrics against the unprofiled run above.
+./target/release/prodigy-diff "$tmp/d1.json" "$tmp/hp.json"
+# Gated: the per-component breakdown accounts for >= 90% of each profiled
+# cell's host time (the residual is reported as `other`, never dropped).
+# The per-component self-times themselves vary run to run: non-gating log.
+python3 - "$tmp/hp.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+hp = d.get("host_profile")
+assert hp, "profiled sweep must carry a top-level host_profile section"
+for cell in d["cells"]:
+    p = cell.get("host_profile")
+    assert p, f"profiled cell {cell['key']} lacks a host_profile section"
+    total = p["host_nanos_total"]
+    named = sum(c["self_ns"] for c in p["components"].values())
+    assert named >= 0.9 * total, (
+        f"{cell['key']}: components cover only {named/total:.0%} of host time")
+total = hp["host_nanos_total"]
+top = max(hp["components"].items(), key=lambda kv: kv[1]["self_ns"])
+print(f"   host profile (non-gating): {total/1e9:.1f}s profiled, top component "
+      f"{top[0]} {top[1]['self_ns']/total:.0%}, other {hp['other_ns']/total:.0%}: OK")
+PY
+
+echo "== slo smoke: satisfied/violated/malformed exit 0/1/2"
+./target/release/prodigy-diff "$tmp/d1.json" \
+    --slo 'load_to_use_max<=18446744073709551615' >/dev/null
+set +e
+./target/release/prodigy-diff "$tmp/d1.json" --slo 'load_to_use_p50<=0' >/dev/null
+rc_violated=$?
+./target/release/prodigy-diff "$tmp/d1.json" --slo 'bogus<=5' >/dev/null 2>&1
+rc_malformed=$?
+set -e
+[ "$rc_violated" -eq 1 ] || { echo "   SLO violation: want exit 1, got $rc_violated"; exit 1; }
+[ "$rc_malformed" -eq 2 ] || { echo "   malformed SLO: want exit 2, got $rc_malformed"; exit 1; }
+echo "   exit codes 0/1/2: OK"
 
 echo "== shard-merge + cell-cache smoke: fig02 as 2 shards, shared disk cache"
 cache="$tmp/cellcache"
@@ -89,7 +135,7 @@ echo "   merged shards byte-identical to the canonicalized unsharded run: OK"
 # Gated: 0 changed metrics vs the live unsharded run and vs the checked-in
 # baseline (shards + merge must not perturb any simulated counter).
 ./target/release/prodigy-diff "$tmp/d1.json" "$tmp/merged.json"
-./target/release/prodigy-diff BENCH_pr6_scale1.json "$tmp/merged.json"
+./target/release/prodigy-diff BENCH_pr8_scale1.json "$tmp/merged.json"
 # Warm-cache pass: every fig02 cell loads from the shards' shared disk
 # cache — zero cells simulated, and much faster than the cold shards.
 warm_ns=$(date +%s%N)

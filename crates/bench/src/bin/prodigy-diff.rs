@@ -1,7 +1,8 @@
 //! Run-to-run diff/regression gate for benchmark artifacts.
 //!
 //! ```text
-//! prodigy-diff OLD.json NEW.json [--threshold FRAC]
+//! prodigy-diff OLD.json NEW.json [--threshold FRAC] [--slo SPEC]...
+//! prodigy-diff REPORT.json --slo SPEC [--slo SPEC]...
 //! ```
 //!
 //! Compares two sweep reports (`prodigy-eval --json`) or two windowed
@@ -11,25 +12,46 @@
 //!
 //! - exit 0 — no regression (deltas, if any, are within budget)
 //! - exit 1 — regression: a cell's cycle count grew (or a metrics run's
-//!   mean IPC fell) beyond `--threshold` (default 0.02 = 2%), or the two
-//!   runs' result checksums disagree
-//! - exit 2 — usage, I/O, or parse error
+//!   mean IPC fell) beyond `--threshold` (default 0.02 = 2%), the two
+//!   runs' result checksums disagree, or a `--slo` assertion is violated
+//! - exit 2 — usage, I/O, parse, or malformed-SLO error
 //!
-//! Host timing (wall/host nanos, worker utilization) is excluded from the
-//! comparison: a same-seed pair must diff to zero changes.
+//! Host timing (wall/host nanos, worker utilization, `host_profile`) is
+//! excluded from the comparison: a same-seed pair must diff to zero
+//! changes.
+//!
+//! ## Latency SLOs
+//!
+//! `--slo "load_to_use_p99<=N"` asserts a simulated-latency quantile
+//! against every cell of the report under test (the NEW report when two
+//! are given; the sole report in single-report mode). Histograms:
+//! `load_to_use`, `fill_to_use`, `dram_round_trip`; quantiles: `p50`,
+//! `p90`, `p99`, `max`. Quantiles are bucket-bound intervals `[lo, hi]`;
+//! the assertion compares the conservative upper bound `hi`, so a passing
+//! SLO holds for the exact (unbucketed) value too. Cells without the
+//! quantile (failed cells, empty histograms) are reported as n/a and do
+//! not violate.
 
-use prodigy_bench::compare::{diff_reports, parse_json};
+use prodigy_bench::compare::{diff_reports, parse_json, Json};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: prodigy-diff OLD.json NEW.json [--threshold FRAC]
+const USAGE: &str = "usage: prodigy-diff OLD.json NEW.json [--threshold FRAC] [--slo SPEC]...
+       prodigy-diff REPORT.json --slo SPEC [--slo SPEC]...
 
   OLD.json / NEW.json   sweep reports (prodigy-eval --json) or metrics
                         dumps (prodigy-eval --metrics FILE); both must be
                         the same kind
   --threshold FRAC      tier-1 regression budget as a fraction
                         (default 0.02 = 2%)
+  --slo SPEC            assert a latency quantile on the report under test
+                        (NEW.json, or the sole report). SPEC is
+                        <hist>_<quantile><=<cycles>, e.g.
+                        load_to_use_p99<=4096; hist: load_to_use,
+                        fill_to_use, dram_round_trip; quantile: p50, p90,
+                        p99, max. Repeatable; every spec must hold on
+                        every cell that reports the quantile.
 
-exit status: 0 ok, 1 regression/checksum mismatch, 2 bad input";
+exit status: 0 ok, 1 regression/checksum mismatch/SLO violation, 2 bad input";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("prodigy-diff: {msg}");
@@ -37,10 +59,119 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// One parsed `--slo` assertion: `<hist>_<quantile><=<bound>`.
+struct Slo {
+    hist: String,
+    quantile: String,
+    bound: u64,
+    raw: String,
+}
+
+const SLO_HISTS: &[&str] = &["load_to_use", "fill_to_use", "dram_round_trip"];
+const SLO_QUANTILES: &[&str] = &["p50", "p90", "p99", "max"];
+
+fn parse_slo(spec: &str) -> Result<Slo, String> {
+    let bad = |why: &str| format!("malformed --slo {spec:?}: {why} (e.g. load_to_use_p99<=4096)");
+    let (lhs, rhs) = spec
+        .split_once("<=")
+        .ok_or_else(|| bad("expected <hist>_<quantile><=<cycles>"))?;
+    let bound = rhs
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| bad("bound must be a non-negative integer cycle count"))?;
+    let lhs = lhs.trim();
+    let (hist, quantile) = lhs
+        .rsplit_once('_')
+        .ok_or_else(|| bad("expected <hist>_<quantile> before <="))?;
+    if !SLO_HISTS.contains(&hist) {
+        return Err(bad(&format!(
+            "unknown histogram {hist:?}; expected one of {SLO_HISTS:?}"
+        )));
+    }
+    if !SLO_QUANTILES.contains(&quantile) {
+        return Err(bad(&format!(
+            "unknown quantile {quantile:?}; expected one of {SLO_QUANTILES:?}"
+        )));
+    }
+    Ok(Slo {
+        hist: hist.to_string(),
+        quantile: quantile.to_string(),
+        bound,
+        raw: spec.to_string(),
+    })
+}
+
+/// Exact u64 from a number's raw source text (the interval bounds include
+/// `u64::MAX`, which `f64` cannot represent exactly).
+fn raw_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::Num(_, raw) => raw.parse::<u64>().ok(),
+        _ => None,
+    }
+}
+
+/// Evaluates every SLO against every cell of a sweep report. Returns the
+/// rendered verdict text and whether any assertion was violated; `Err` when
+/// the report is not a sweep report.
+fn check_slos(report: &Json, slos: &[Slo]) -> Result<(String, bool), String> {
+    let Some(cells) = report.get("cells").and_then(Json::as_arr) else {
+        return Err("--slo needs a sweep report (prodigy-eval --json), not a metrics dump".into());
+    };
+    let mut out = String::new();
+    let mut violated = false;
+    for slo in slos {
+        let mut checked = 0usize;
+        let mut na = 0usize;
+        let mut worst: Option<(u64, String)> = None;
+        let mut offenders: Vec<String> = Vec::new();
+        for cell in cells {
+            let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
+            // stats.<hist> is {"p50":[lo,hi],...} or null.
+            let q = cell
+                .get("stats")
+                .and_then(|s| s.get(&slo.hist))
+                .and_then(|h| h.get(&slo.quantile))
+                .and_then(Json::as_arr)
+                .filter(|a| a.len() == 2)
+                .and_then(|a| raw_u64(&a[1]));
+            let Some(hi) = q else {
+                na += 1;
+                continue;
+            };
+            checked += 1;
+            if worst.as_ref().is_none_or(|(w, _)| hi > *w) {
+                worst = Some((hi, key.to_string()));
+            }
+            if hi > slo.bound {
+                violated = true;
+                offenders.push(format!("    VIOLATED: {key} — {hi} > {}\n", slo.bound));
+            }
+        }
+        let worst_txt = match &worst {
+            Some((w, key)) => format!("worst {w} ({key})"),
+            None => "no cell reports this quantile".to_string(),
+        };
+        out.push_str(&format!(
+            "slo {}: {} — {checked} cells checked, {na} n/a, {worst_txt}\n",
+            slo.raw,
+            if offenders.is_empty() {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
+        ));
+        for line in offenders {
+            out.push_str(&line);
+        }
+    }
+    Ok((out, violated))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut threshold = 0.02f64;
+    let mut slos: Vec<Slo> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +183,16 @@ fn main() -> ExitCode {
                     return fail("--threshold must be a finite fraction >= 0");
                 }
                 threshold = v;
+                i += 2;
+            }
+            "--slo" => {
+                let Some(spec) = args.get(i + 1) else {
+                    return fail("--slo needs a spec like load_to_use_p99<=4096");
+                };
+                match parse_slo(spec) {
+                    Ok(s) => slos.push(s),
+                    Err(e) => return fail(&e),
+                }
                 i += 2;
             }
             "--help" | "-h" => {
@@ -67,8 +208,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    if paths.len() != 2 {
-        return fail("expected exactly two report files");
+    let single_slo_mode = paths.len() == 1 && !slos.is_empty();
+    if paths.len() != 2 && !single_slo_mode {
+        return fail("expected exactly two report files (or one with --slo)");
     }
 
     let mut parsed = Vec::new();
@@ -83,12 +225,26 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match diff_reports(&parsed[0], &parsed[1], threshold) {
-        Ok(r) => r,
-        Err(e) => return fail(&e),
-    };
-    print!("{}", report.render());
-    if report.regressed() {
+    let mut bad = false;
+    if paths.len() == 2 {
+        let report = match diff_reports(&parsed[0], &parsed[1], threshold) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        print!("{}", report.render());
+        bad = report.regressed();
+    }
+    if !slos.is_empty() {
+        // SLOs gate the report under test: the NEW report, or the only one.
+        let under_test = parsed.last().expect("at least one report");
+        let (text, violated) = match check_slos(under_test, &slos) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        print!("{text}");
+        bad = bad || violated;
+    }
+    if bad {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -421,6 +421,7 @@ fn outcome_from_json(p: &Json) -> Result<RunOutcome, String> {
         telemetry: telemetry_from_json(p.get("telemetry").ok_or("missing telemetry")?)?,
         trace: None,
         metrics: None,
+        host_profile: None,
     })
 }
 
@@ -506,6 +507,7 @@ mod tests {
             telemetry,
             trace: None,
             metrics: None,
+            host_profile: None,
         }
     }
 

@@ -71,6 +71,10 @@ pub struct Ctx {
     pub sys: SystemConfig,
     /// Sweep execution knobs (threads, base seed, per-cell timeout).
     pub sweep: SweepConfig,
+    /// Enable per-component host self-profiling for every simulated cell
+    /// (see [`prodigy_sim::hostprof`]). Host telemetry only: simulated
+    /// stats, checksums and telemetry are byte-identical either way.
+    pub host_profile: bool,
     cache: SingleFlightCache<Arc<RunOutcome>>,
     cell_cache: Option<CellCache>,
     code_rev: String,
@@ -84,7 +88,7 @@ pub struct Ctx {
 
 /// Simulates one cell. A free function (not a method) so the isolation
 /// layer can move an owned copy of everything into a `'static` closure.
-fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64) -> RunOutcome {
+fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64, host_profile: bool) -> RunOutcome {
     let mut kernel = cell.spec.instantiate_seeded(base_seed);
     let sys = if cell.cores == 0 {
         sys
@@ -102,6 +106,7 @@ fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64) -> RunOutcome {
         seed: cell.spec.identity_hash() ^ base_seed,
         trace: false,
         metrics: None,
+        host_profile,
     };
     run_workload(kernel.as_mut(), &cfg)
 }
@@ -115,6 +120,7 @@ impl Ctx {
             scale,
             sys: SystemConfig::bench(),
             sweep: SweepConfig::default(),
+            host_profile: false,
             cache: SingleFlightCache::new(),
             cell_cache: None,
             code_rev: code_rev(),
@@ -179,6 +185,10 @@ impl Ctx {
                         stats: Some(CellStats::from_outcome(&o)),
                         error: None,
                         disk_hit: true,
+                        // Disk hits carry no profile: nothing was simulated
+                        // in this process and the cache never persists host
+                        // timing.
+                        host_profile: None,
                     });
                     return Ok(Arc::new(o));
                 }
@@ -186,10 +196,11 @@ impl Ctx {
             let owned = cell.clone();
             let sys = self.sys;
             let base_seed = self.sweep.base_seed;
+            let profile = self.host_profile;
             let out = run_isolated(&key, self.sweep.cell_timeout, move || {
-                execute_cell(&owned, sys, base_seed)
+                execute_cell(&owned, sys, base_seed, profile)
             });
-            let (res, timing, telemetry, stats, error) = match out {
+            let (res, timing, telemetry, stats, host_profile, error) = match out {
                 Ok(o) => {
                     if let Some(cc) = &self.cell_cache {
                         if let Err(e) = cc.store(&self.disk_key(&key), &o) {
@@ -199,7 +210,15 @@ impl Ctx {
                     let timing = o.timing;
                     let telemetry = o.telemetry.clone();
                     let stats = CellStats::from_outcome(&o);
-                    (Ok(Arc::new(o)), timing, Some(telemetry), Some(stats), None)
+                    let host_profile = o.host_profile;
+                    (
+                        Ok(Arc::new(o)),
+                        timing,
+                        Some(telemetry),
+                        Some(stats),
+                        host_profile,
+                        None,
+                    )
                 }
                 Err(e) => {
                     if e.timed_out {
@@ -216,6 +235,7 @@ impl Ctx {
                         prodigy_sim::RunTiming::from_elapsed(t0.elapsed()),
                         None,
                         None,
+                        None,
                         Some(err),
                     )
                 }
@@ -228,6 +248,7 @@ impl Ctx {
                 stats,
                 error: error.map(|e| e.reason),
                 disk_hit: false,
+                host_profile,
             });
             res
         })
@@ -1035,6 +1056,7 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
             seed: 0,
             trace: false,
             metrics: None,
+            host_profile: false,
         },
     );
     let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);

@@ -338,6 +338,13 @@ pub struct CellStats {
     pub prefetch_accuracy: Option<f64>,
     /// Prefetch coverage; `None` when there was nothing to cover.
     pub prefetch_coverage: Option<f64>,
+    /// Load-to-use latency quantiles (bucket-bound intervals, exact and
+    /// deterministic); `None` when the histogram recorded no samples.
+    pub load_to_use: Option<prodigy_sim::HistQuantiles>,
+    /// Fill-to-use timeliness quantiles; `None` when empty.
+    pub fill_to_use: Option<prodigy_sim::HistQuantiles>,
+    /// DRAM round-trip latency quantiles; `None` when empty.
+    pub dram_round_trip: Option<prodigy_sim::HistQuantiles>,
 }
 
 impl CellStats {
@@ -355,6 +362,9 @@ impl CellStats {
             prefetches_issued: s.prefetches_issued,
             prefetch_accuracy: s.prefetch_use.accuracy(),
             prefetch_coverage: s.prefetch_coverage(),
+            load_to_use: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.load_to_use),
+            fill_to_use: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.fill_to_use),
+            dram_round_trip: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.dram_round_trip),
         }
     }
 
@@ -369,10 +379,15 @@ impl CellStats {
             Some(v) => format!("{v:.6}"),
             None => "null".to_string(),
         };
+        let quant = |v: &Option<prodigy_sim::HistQuantiles>| match v {
+            Some(q) => q.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"cycles\":{},\"instructions\":{},\"ipc\":{:.6},\"checksum\":{},\
              \"l1_misses\":{},\"l2_misses\":{},\"l3_misses\":{},\"dram_reads\":{},\
-             \"prefetches_issued\":{},\"prefetch_accuracy\":{},\"prefetch_coverage\":{}}}",
+             \"prefetches_issued\":{},\"prefetch_accuracy\":{},\"prefetch_coverage\":{},\
+             \"load_to_use\":{},\"fill_to_use\":{},\"dram_round_trip\":{}}}",
             self.cycles,
             self.instructions,
             self.ipc(),
@@ -384,6 +399,9 @@ impl CellStats {
             self.prefetches_issued,
             opt(self.prefetch_accuracy),
             opt(self.prefetch_coverage),
+            quant(&self.load_to_use),
+            quant(&self.fill_to_use),
+            quant(&self.dram_round_trip),
         )
     }
 }
@@ -407,6 +425,11 @@ pub struct CellTiming {
     /// Whether the result was loaded from the persistent cell cache rather
     /// than simulated (`timing` then measures the disk load, not a run).
     pub disk_hit: bool,
+    /// Per-component host-time/allocation breakdown; `Some` only when the
+    /// sweep ran with host profiling enabled and the cell was actually
+    /// simulated (disk hits carry no profile). Host telemetry only —
+    /// excluded from determinism comparisons like `timing`.
+    pub host_profile: Option<prodigy_sim::HostProfile>,
 }
 
 /// Aggregated progress/timing report of a sweep, rendered to stderr and
@@ -484,6 +507,24 @@ impl SweepReport {
         v[rank - 1]
     }
 
+    /// Sweep-wide host profile: element-wise sum over every profiled cell,
+    /// plus the summed `host_nanos` of those cells (the denominator for the
+    /// `other` residual). `None` when no cell carried a profile (profiling
+    /// off, or everything came from cache).
+    pub fn aggregate_host_profile(&self) -> Option<(prodigy_sim::HostProfile, u64)> {
+        let mut acc = prodigy_sim::HostProfile::default();
+        let mut total: u64 = 0;
+        let mut any = false;
+        for t in &self.cell_timings {
+            if let Some(hp) = &t.host_profile {
+                acc.merge(hp);
+                total = total.saturating_add(t.timing.host_nanos);
+                any = true;
+            }
+        }
+        any.then_some((acc, total))
+    }
+
     /// The `n` slowest cells, slowest first.
     pub fn slowest(&self, n: usize) -> Vec<&CellTiming> {
         let mut v: Vec<&CellTiming> = self.cell_timings.iter().collect();
@@ -521,6 +562,38 @@ impl SweepReport {
         for e in &self.errors {
             out.push_str(&format!("  error: {} — {}\n", e.key, e.reason));
         }
+        if let Some((hp, total)) = self.aggregate_host_profile() {
+            out.push_str(&format!(
+                "  host profile (where the time goes, {:.1} ms profiled):\n",
+                total as f64 / 1e6
+            ));
+            let pct = |ns: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * ns as f64 / total as f64
+                }
+            };
+            for (comp, ns, allocs) in hp.ranked() {
+                if ns == 0 && allocs == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    {:>5.1}%  {:>10.2} ms  {:>10} allocs  {}\n",
+                    pct(ns),
+                    ns as f64 / 1e6,
+                    allocs,
+                    comp.label()
+                ));
+            }
+            let other = total.saturating_sub(hp.total_self_ns());
+            out.push_str(&format!(
+                "    {:>5.1}%  {:>10.2} ms  {:>10} allocs  other\n",
+                pct(other),
+                other as f64 / 1e6,
+                hp.allocs[prodigy_sim::hostprof::COMPONENTS]
+            ));
+        }
         out
     }
 
@@ -552,6 +625,14 @@ impl SweepReport {
             self.cell_nanos_percentile(0.50),
             self.cell_nanos_percentile(0.99),
         ));
+        // Sweep-wide host profile (host telemetry only, like "host" above;
+        // `prodigy-diff` ignores everything outside `cells`).
+        match self.aggregate_host_profile() {
+            Some((hp, total)) => {
+                s.push_str(&format!("\"host_profile\":{},", hp.to_json(total)));
+            }
+            None => s.push_str("\"host_profile\":null,"),
+        }
         s.push_str("\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -586,11 +667,15 @@ impl SweepReport {
                 t.worker.to_string()
             };
             s.push_str(&format!(
-                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"disk_hit\":{},\"stats\":{},\"telemetry\":{},\"error\":{}}}",
+                "{{\"key\":\"{}\",\"timing\":{},\"worker\":{},\"disk_hit\":{},\"host_profile\":{},\"stats\":{},\"telemetry\":{},\"error\":{}}}",
                 json_escape(&t.key),
                 t.timing.to_json(),
                 worker,
                 t.disk_hit,
+                match &t.host_profile {
+                    Some(hp) => hp.to_json(t.timing.host_nanos),
+                    None => "null".to_string(),
+                },
                 match &t.stats {
                     Some(cs) => cs.to_json(),
                     None => "null".to_string(),
@@ -827,9 +912,21 @@ mod tests {
                     prefetches_issued: 0,
                     prefetch_accuracy: None,
                     prefetch_coverage: Some(0.5),
+                    load_to_use: {
+                        let mut h = prodigy_sim::Log2Hist::default();
+                        h.record(3);
+                        prodigy_sim::HistQuantiles::from_hist(&h)
+                    },
+                    fill_to_use: None,
+                    dram_round_trip: None,
                 }),
                 error: None,
                 disk_hit: false,
+                host_profile: Some({
+                    let mut hp = prodigy_sim::HostProfile::default();
+                    hp.self_ns[prodigy_sim::Component::Kernel as usize] = 30;
+                    hp
+                }),
             }],
         };
         let text = report.render();
@@ -867,6 +964,24 @@ mod tests {
             "host throughput section present"
         );
         assert!(json.contains("\"host_nanos_total\":42"));
+        assert!(
+            json.contains("\"load_to_use\":{\"p50\":[2,3]"),
+            "quantile intervals serialized in per-cell stats: {json}"
+        );
+        assert!(
+            json.contains("\"fill_to_use\":null"),
+            "empty histogram quantiles serialize as null"
+        );
+        assert!(
+            json.contains("\"host_profile\":{\"host_nanos_total\":42"),
+            "per-cell host profile serialized against the cell's host time"
+        );
+        assert!(
+            text.contains("host profile (where the time goes"),
+            "aggregated ranked table rendered: {text}"
+        );
+        assert!(text.contains("kernel"), "ranked row names the component");
+        assert!(text.contains("other"), "residual reported, not dropped");
         assert_eq!(report.total_cell_nanos(), 42);
         assert_eq!(report.cell_nanos_percentile(0.50), 42);
         assert_eq!(report.cell_nanos_percentile(0.99), 42);
@@ -882,6 +997,7 @@ mod tests {
             stats: None,
             error: None,
             disk_hit: false,
+            host_profile: None,
         };
         let report = SweepReport {
             threads: 1,

@@ -35,6 +35,7 @@ pub mod config;
 pub mod core;
 pub mod energy;
 pub mod fxhash;
+pub mod hostprof;
 pub mod mem;
 pub mod metrics;
 pub mod prefetch;
@@ -44,6 +45,7 @@ pub mod telemetry;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use hostprof::{Component, HostProfile, ScopeGuard};
 pub use mem::address_space::AddressSpace;
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use metrics::{MetricSample, MetricsConfig, MetricsRegistry};
@@ -51,8 +53,8 @@ pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetc
 pub use stats::{CpiStack, LevelStats, PrefetchUse, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 pub use telemetry::{
-    chrome_trace_json, source_tag_label, AttributionTable, Log2Hist, MemorySink, NullSink,
-    SourceCounts, SourceTag, TelemetrySummary, Timeliness, TraceCategory, TraceEvent,
+    chrome_trace_json, source_tag_label, AttributionTable, HistQuantiles, Log2Hist, MemorySink,
+    NullSink, SourceCounts, SourceTag, TelemetrySummary, Timeliness, TraceCategory, TraceEvent,
     TraceEventKind, TraceSink, Tracer,
 };
 

@@ -12,6 +12,7 @@ use super::coherence::{Directory, Mesi};
 use super::dram::Dram;
 use super::tlb::Tlb;
 use crate::config::SystemConfig;
+use crate::hostprof::{Component, ScopeGuard};
 use crate::stats::Stats;
 use crate::telemetry::{SourceTag, TelemetrySummary, TraceEvent, TraceEventKind, Tracer};
 use crate::{line_of, LINE_BYTES};
@@ -192,6 +193,7 @@ impl MemorySystem {
     }
 
     fn tlb_latency(&mut self, core: usize, vaddr: u64, now: u64, stats: &mut Stats) -> u64 {
+        let _hp = ScopeGuard::enter(Component::TlbTick);
         if self.tlb[core].access(vaddr) {
             stats.tlb_hits += 1;
             0
@@ -400,6 +402,7 @@ impl MemorySystem {
         now: u64,
         stats: &mut Stats,
     ) -> AccessResult {
+        let _hp = ScopeGuard::enter(Component::HierarchyWalk);
         let line = line_of(vaddr);
         let write = kind == AccessKind::Write;
         let mut lat = self.tlb_latency(core, vaddr, now, stats);
@@ -595,7 +598,10 @@ impl MemorySystem {
 
         // ---- DRAM ----
         let at = now + lat;
-        let dr = self.dram.read(line, at);
+        let dr = {
+            let _hp = ScopeGuard::enter(Component::DramTick);
+            self.dram.read(line, at)
+        };
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel
@@ -664,6 +670,7 @@ impl MemorySystem {
         stats: &mut Stats,
         tag: Option<SourceTag>,
     ) -> Option<PrefetchIssued> {
+        let _hp = ScopeGuard::enter(Component::PrefetchIssue);
         let line = line_of(vaddr);
         if self.l1d[core].contains(line) {
             stats.prefetches_redundant += 1;
@@ -733,7 +740,10 @@ impl MemorySystem {
         // naturally — prefetch transfers occupy DRAM channels and delay
         // demand fills behind them.
         let at = now + lat;
-        let dr = self.dram.read(line, at);
+        let dr = {
+            let _hp = ScopeGuard::enter(Component::DramTick);
+            self.dram.read(line, at)
+        };
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel
@@ -792,6 +802,7 @@ impl MemorySystem {
         stats: &mut Stats,
         tag: Option<SourceTag>,
     ) -> Option<PrefetchIssued> {
+        let _hp = ScopeGuard::enter(Component::PrefetchIssue);
         let line = line_of(vaddr);
         let slice = self.slice_of(line);
         if self.l3[slice].contains(line) {
@@ -801,7 +812,10 @@ impl MemorySystem {
         }
         let lat = self.cfg.l3.tag_latency;
         let at = now + lat;
-        let dr = self.dram.read(line, at);
+        let dr = {
+            let _hp = ScopeGuard::enter(Component::DramTick);
+            self.dram.read(line, at)
+        };
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel

@@ -279,7 +279,12 @@ impl<P: Prefetcher + 'static> System<P> {
                         &mut self.stats,
                         &mut fills[c],
                     );
-                    prefetchers[c].on_demand(&mut ctx, &access);
+                    {
+                        let _hp = crate::hostprof::ScopeGuard::enter(
+                            crate::hostprof::Component::PrefetchTrain,
+                        );
+                        prefetchers[c].on_demand(&mut ctx, &access);
+                    }
                     next_fill[c] = fills[c].peek().map_or(u64::MAX, |r| r.0.at);
                 }
             }
@@ -348,6 +353,7 @@ impl<P: Prefetcher + 'static> System<P> {
                 at: q.at,
             };
             let mut ctx = PrefetchCtx::new(core, q.at, mem, space, stats, queue);
+            let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::PrefetchTrain);
             prefetcher.on_fill(&mut ctx, &event);
         }
     }

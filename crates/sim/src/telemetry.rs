@@ -502,6 +502,107 @@ impl Log2Hist {
             self.count, self.sum
         )
     }
+
+    /// Inclusive value interval `[lo, hi]` covered by `bucket` (the
+    /// half-open [`Log2Hist::bucket_bounds`] with the exclusive edge pulled
+    /// in; the overflow bucket's `u64::MAX` edge is already inclusive).
+    pub fn bucket_interval(bucket: usize) -> (u64, u64) {
+        let (lo, hi) = Self::bucket_bounds(bucket);
+        if bucket >= HIST_BUCKETS - 1 {
+            (lo, hi)
+        } else {
+            (lo, hi - 1)
+        }
+    }
+
+    /// Nearest-rank quantile, reported as the inclusive `[lo, hi]` value
+    /// interval of the bucket holding the rank-`⌈q·count⌉` sample. Exact
+    /// and deterministic: the true quantile of the recorded values always
+    /// lies within the returned interval, and the single-valued buckets
+    /// (values 0 and 1) collapse it to a point. `q` is clamped to
+    /// `[0, 1]`; an empty histogram returns `None`.
+    pub fn quantile(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Some(Self::bucket_interval(b));
+            }
+        }
+        None
+    }
+
+    /// Interval of the highest non-empty bucket (brackets the maximum
+    /// recorded value), or `None` when empty.
+    pub fn max_interval(&self) -> Option<(u64, u64)> {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(Self::bucket_interval)
+    }
+}
+
+/// The standard quantile set (p50/p90/p99/max) of one [`Log2Hist`], each as
+/// an inclusive `[lo, hi]` bucket-bound interval.
+///
+/// Intervals rather than point estimates keep the numbers exact and
+/// deterministic: a log2 histogram only knows which power-of-two bucket a
+/// sample fell in, so interpolating a scalar would manufacture precision
+/// (and make diffs depend on the interpolation). The bounds are gateable:
+/// asserting `hi <= N` is a sound "the true quantile is at most N" check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistQuantiles {
+    /// Median interval.
+    pub p50: (u64, u64),
+    /// 90th-percentile interval.
+    pub p90: (u64, u64),
+    /// 99th-percentile interval.
+    pub p99: (u64, u64),
+    /// Interval of the highest non-empty bucket.
+    pub max: (u64, u64),
+}
+
+impl HistQuantiles {
+    /// Extracts the standard quantiles, or `None` for an empty histogram.
+    pub fn from_hist(h: &Log2Hist) -> Option<HistQuantiles> {
+        Some(HistQuantiles {
+            p50: h.quantile(0.50)?,
+            p90: h.quantile(0.90)?,
+            p99: h.quantile(0.99)?,
+            max: h.max_interval()?,
+        })
+    }
+
+    /// Serializes as `{"p50":[lo,hi],...}` (deterministic field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"p50\":[{},{}],\"p90\":[{},{}],\"p99\":[{},{}],\"max\":[{},{}]}}",
+            self.p50.0,
+            self.p50.1,
+            self.p90.0,
+            self.p90.1,
+            self.p99.0,
+            self.p99.1,
+            self.max.0,
+            self.max.1
+        )
+    }
+
+    /// Renders one interval compactly for human-facing tables: `"v"` for a
+    /// point interval, `"lo..hi"` otherwise.
+    pub fn fmt_interval((lo, hi): (u64, u64)) -> String {
+        if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}..{hi}")
+        }
+    }
 }
 
 /// The Fig. 19 prefetch-timeliness taxonomy.
@@ -873,6 +974,7 @@ impl Tracer {
     /// (use or unused eviction) resolves it.
     #[inline]
     pub fn prefetch_tag_issued(&mut self, line: u64, tag: SourceTag) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
         self.counters.attribution.record_issued(tag);
         self.pending_tags.insert(line, tag);
     }
@@ -889,6 +991,7 @@ impl Tracer {
         line: u64,
         l1_miss: bool,
     ) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
         self.counters.load_to_use.record(latency);
         if served == ServedBy::Dram {
             self.counters.dram_round_trip.record(latency);
@@ -917,6 +1020,7 @@ impl Tracer {
         residual: u64,
         slack: u64,
     ) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
         if residual == 0 {
             self.counters.timeliness.timely += 1;
             self.counters.fill_to_use.record(slack);
@@ -945,6 +1049,7 @@ impl Tracer {
     /// Records a prefetched line leaving the hierarchy unused.
     #[inline]
     pub fn prefetch_evicted_unused(&mut self, now: u64, line: u64) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
         self.counters.timeliness.inaccurate += 1;
         if let Some(tag) = self.pending_tags.remove(&line) {
             self.counters.attribution.record_inaccurate(tag);
@@ -961,6 +1066,7 @@ impl Tracer {
     /// the drop to its static source when the issuer supplied one.
     #[inline]
     pub fn prefetch_dropped(&mut self, core: usize, now: u64, line: u64, tag: Option<SourceTag>) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
         self.counters.timeliness.dropped += 1;
         if let Some(tag) = tag {
             self.counters.attribution.record_dropped(tag);
@@ -1003,6 +1109,49 @@ mod tests {
         let (lo, hi) = Log2Hist::bucket_bounds(HIST_BUCKETS - 1);
         assert_eq!(lo, 1 << (HIST_BUCKETS - 2));
         assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn log2_hist_quantiles_are_bucket_bound_intervals() {
+        assert_eq!(Log2Hist::new().quantile(0.5), None);
+        assert_eq!(Log2Hist::new().max_interval(), None);
+        assert_eq!(HistQuantiles::from_hist(&Log2Hist::new()), None);
+
+        // 100 samples: 50 zeros, 40 ones, 9 in [4,8), 1 at 1024.
+        let mut h = Log2Hist::new();
+        for _ in 0..50 {
+            h.record(0);
+        }
+        for _ in 0..40 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(5);
+        }
+        h.record(1024);
+        assert_eq!(h.quantile(0.50), Some((0, 0)), "rank 50 is a zero");
+        assert_eq!(h.quantile(0.90), Some((1, 1)), "rank 90 is a one");
+        assert_eq!(h.quantile(0.99), Some((4, 7)), "rank 99 in [4,8)");
+        assert_eq!(h.quantile(1.0), Some((1024, 2047)));
+        assert_eq!(h.max_interval(), Some((1024, 2047)));
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+
+        let q = HistQuantiles::from_hist(&h).unwrap();
+        assert_eq!(q.p50, (0, 0));
+        assert_eq!(q.p99, (4, 7));
+        assert_eq!(
+            q.to_json(),
+            "{\"p50\":[0,0],\"p90\":[1,1],\"p99\":[4,7],\"max\":[1024,2047]}"
+        );
+        assert_eq!(HistQuantiles::fmt_interval(q.p50), "0");
+        assert_eq!(HistQuantiles::fmt_interval(q.p99), "4..7");
+
+        // The overflow bucket's interval stays inclusive of u64::MAX.
+        let mut top = Log2Hist::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile(0.5), Some((1 << (HIST_BUCKETS - 2), u64::MAX)));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use prodigy_sim::mem::address_space::AddressSpace;
 use prodigy_sim::mem::dram::Dram;
 use prodigy_sim::mem::tlb::Tlb;
 use prodigy_sim::stats::{CpiStack, StallCause};
-use prodigy_sim::DramConfig;
+use prodigy_sim::{DramConfig, HistQuantiles, Log2Hist};
 use proptest::prelude::*;
 
 proptest! {
@@ -107,5 +107,82 @@ proptest! {
                 prop_assert!((0.0..=1.0).contains(&b), "bucket out of range: {:?}", n);
             }
         }
+    }
+
+    /// Log2Hist quantiles are monotone in q: a higher quantile can never
+    /// report a lower bucket interval (both bounds), and the p50 ≤ p90 ≤
+    /// p99 ≤ max chain of the standard set holds.
+    #[test]
+    fn hist_quantiles_monotone_in_q(
+        samples in prop::collection::vec(0u64..1u64 << 40, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Log2Hist::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let a = h.quantile(lo_q).expect("non-empty");
+        let b = h.quantile(hi_q).expect("non-empty");
+        prop_assert!(a.0 <= b.0 && a.1 <= b.1, "quantile({lo_q}) = {a:?} above quantile({hi_q}) = {b:?}");
+        let q = HistQuantiles::from_hist(&h).expect("non-empty");
+        for (low, high) in [(q.p50, q.p90), (q.p90, q.p99), (q.p99, q.max)] {
+            prop_assert!(low.0 <= high.0 && low.1 <= high.1, "chain broken in {q:?}");
+        }
+    }
+
+    /// A quantile's `[lo, hi]` interval brackets the true nearest-rank
+    /// value of the recorded samples.
+    #[test]
+    fn hist_quantile_brackets_true_value(
+        samples in prop::collection::vec(0u64..1u64 << 40, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Log2Hist::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let (lo, hi) = h.quantile(q).expect("non-empty");
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "true q={q} value {truth} outside reported [{lo}, {hi}]"
+        );
+        let (mlo, mhi) = h.max_interval().expect("non-empty");
+        let max = *sorted.last().expect("non-empty");
+        prop_assert!(mlo <= max && max <= mhi, "max {max} outside [{mlo}, {mhi}]");
+    }
+
+    /// When every sample lands in one bucket, every quantile reports
+    /// exactly that bucket's interval — and the single-valued buckets
+    /// (values 0 and 1) collapse it to an exact point.
+    #[test]
+    fn hist_quantiles_exact_on_single_bucket(v in 0u64..1u64 << 40, n in 1u64..100) {
+        let mut h = Log2Hist::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        let q = HistQuantiles::from_hist(&h).expect("non-empty");
+        prop_assert_eq!(q.p50, q.p90);
+        prop_assert_eq!(q.p90, q.p99);
+        prop_assert_eq!(q.p99, q.max);
+        let (lo, hi) = q.max;
+        prop_assert!(lo <= v && v <= hi, "{v} outside its own bucket [{lo}, {hi}]");
+        if v <= 1 {
+            prop_assert_eq!((lo, hi), (v, v), "buckets 0 and 1 are single-valued");
+        }
+    }
+
+    /// An empty histogram has no quantiles, whatever q is asked for.
+    #[test]
+    fn hist_quantiles_empty_is_none(q in 0.0f64..1.0) {
+        let h = Log2Hist::new();
+        prop_assert!(h.quantile(q).is_none());
+        prop_assert!(h.max_interval().is_none());
+        prop_assert!(HistQuantiles::from_hist(&h).is_none());
     }
 }

@@ -192,7 +192,10 @@ mod tests {
 
     fn canonical(labels: &[u32]) -> Vec<u32> {
         // Renumber labels by first occurrence so representations compare.
-        let mut map = std::collections::HashMap::new();
+        // FxBuildHasher like every other map in the workspace: the default
+        // SipHash state is process-randomized and slower for no benefit.
+        let mut map: std::collections::HashMap<u32, u32, prodigy_sim::fxhash::FxBuildHasher> =
+            std::collections::HashMap::default();
         labels
             .iter()
             .map(|&l| {

@@ -101,6 +101,12 @@ pub struct RunConfig {
     /// tracing, metering never perturbs `Stats`; unmetered runs allocate
     /// nothing.
     pub metrics: Option<MetricsConfig>,
+    /// Profile *host* time per simulator component (see
+    /// [`prodigy_sim::hostprof`]): enables the process-wide profiling
+    /// layer, resets this thread's counters before the run, and snapshots
+    /// them into [`RunOutcome::host_profile`] afterwards. Never perturbs
+    /// simulated `Stats`, telemetry or checksums — only host time grows.
+    pub host_profile: bool,
 }
 
 impl Default for RunConfig {
@@ -113,6 +119,7 @@ impl Default for RunConfig {
             seed: 0,
             trace: false,
             metrics: None,
+            host_profile: false,
         }
     }
 }
@@ -142,6 +149,10 @@ pub struct RunOutcome {
     pub trace: Option<Vec<TraceEvent>>,
     /// Windowed metrics series, when [`RunConfig::metrics`] was set.
     pub metrics: Option<MetricsRegistry>,
+    /// Per-component host-time/allocation breakdown, when
+    /// [`RunConfig::host_profile`] was set. Host telemetry only — excluded
+    /// from determinism comparisons like [`RunOutcome::timing`].
+    pub host_profile: Option<prodigy_sim::HostProfile>,
 }
 
 /// Runs `kernel` once under `cfg`.
@@ -194,7 +205,18 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
     idle: impl FnMut(usize) -> P,
     build: impl Fn(PrefetcherKind, &prodigy::Dig, ProdigyConfig) -> P,
 ) -> RunOutcome {
+    if cfg.host_profile {
+        // Enabling is monotonic for the process lifetime: concurrent
+        // profiled cells each account into their own thread-local store,
+        // and a finishing cell must not turn the layer off under a
+        // still-running sibling.
+        prodigy_sim::hostprof::set_enabled(true);
+        prodigy_sim::hostprof::reset_thread();
+    }
     let host_start = std::time::Instant::now();
+    let setup_scope = cfg
+        .host_profile
+        .then(|| prodigy_sim::ScopeGuard::enter(prodigy_sim::Component::Setup));
     let mut sys: System<P> = System::with_prefetchers(cfg.sys, idle);
     if cfg.trace {
         sys.install_trace_sink(Box::new(MemorySink::new()));
@@ -217,8 +239,14 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
         sys.memory_mut()
             .set_llc_miss_classifier_ranges(program.annotated_ranges());
     }
+    drop(setup_scope);
 
-    let checksum = kernel.run(&mut sys);
+    let checksum = {
+        let _kernel_scope = cfg
+            .host_profile
+            .then(|| prodigy_sim::ScopeGuard::enter(prodigy_sim::Component::Kernel));
+        kernel.run(&mut sys)
+    };
 
     let mut prodigy_stats: Option<ProdigyStats> = None;
     let mut storage_bits = 0;
@@ -239,7 +267,12 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
         }
     });
 
-    let telemetry = sys.telemetry().clone();
+    let telemetry = {
+        let _harvest_scope = cfg
+            .host_profile
+            .then(|| prodigy_sim::ScopeGuard::enter(prodigy_sim::Component::Telemetry));
+        sys.telemetry().clone()
+    };
     let metrics = sys.take_metrics();
     let trace = sys.take_trace_sink().map(|mut s| {
         s.as_any_mut()
@@ -247,6 +280,9 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
             .map(|m| std::mem::take(&mut m.events))
             .unwrap_or_default()
     });
+    let host_profile = cfg
+        .host_profile
+        .then(prodigy_sim::hostprof::snapshot_thread);
 
     RunOutcome {
         summary: sys.summary(),
@@ -258,6 +294,7 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
         telemetry,
         trace,
         metrics,
+        host_profile,
     }
 }
 
@@ -319,6 +356,47 @@ mod tests {
         assert!(ps.single_prefetches > 0);
         assert!(ps.ranged_prefetches > 0);
         assert!(ps.ranged_share() > 0.0 && ps.ranged_share() < 1.0);
+    }
+
+    #[test]
+    fn host_profile_never_perturbs_simulation_and_accounts_time() {
+        let g = rmat(512, 4096, 2, (0.57, 0.19, 0.19));
+        let base = {
+            let mut k = Bfs::new(g.clone(), 0);
+            run_workload(&mut k, &tiny_cfg(PrefetcherKind::Prodigy))
+        };
+        let prof = {
+            let mut k = Bfs::new(g, 0);
+            let mut cfg = tiny_cfg(PrefetcherKind::Prodigy);
+            cfg.host_profile = true;
+            run_workload(&mut k, &cfg)
+        };
+        assert!(base.host_profile.is_none());
+        // The profiling layer reads no simulated state: everything the
+        // determinism contract covers stays bit-identical.
+        assert_eq!(base.checksum, prof.checksum);
+        assert_eq!(base.summary.stats.cycles, prof.summary.stats.cycles);
+        assert_eq!(
+            base.summary.stats.instructions,
+            prof.summary.stats.instructions
+        );
+        assert_eq!(base.summary.stats.dram_reads, prof.summary.stats.dram_reads);
+        assert_eq!(base.telemetry.load_to_use, prof.telemetry.load_to_use);
+        assert_eq!(base.telemetry.timeliness, prof.telemetry.timeliness);
+        // The breakdown attributes the bulk of the measured host time:
+        // every major layer is inside some scope, so the uncovered
+        // residual is only the end-of-run harvest glue.
+        let hp = prof.host_profile.expect("profiled run carries a profile");
+        let kernel = hp.self_ns[prodigy_sim::Component::Kernel as usize];
+        let walk = hp.self_ns[prodigy_sim::Component::HierarchyWalk as usize];
+        let dig = hp.self_ns[prodigy_sim::Component::DigWalk as usize];
+        assert!(kernel > 0 && walk > 0 && dig > 0, "{hp:?}");
+        assert!(
+            hp.total_self_ns() as f64 >= 0.9 * prof.timing.host_nanos as f64,
+            "components must cover >=90% of host time: {} of {}",
+            hp.total_self_ns(),
+            prof.timing.host_nanos
+        );
     }
 
     #[test]
