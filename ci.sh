@@ -118,6 +118,34 @@ set -e
 [ "$rc_malformed" -eq 2 ] || { echo "   malformed SLO: want exit 2, got $rc_malformed"; exit 1; }
 echo "   exit codes 0/1/2: OK"
 
+echo "== far-memory smoke: farmem grid, per-tier rows, SLO gate"
+./target/release/prodigy-eval --scale 64 --threads 2 $timeout \
+    --json "$tmp/far.json" farmem >/dev/null
+# Gated: the far-tier p99 load-to-use tail stays under budget across the
+# whole grid (up to 8x remote latency); single-tier cells would be n/a.
+./target/release/prodigy-diff "$tmp/far.json" \
+    --slo 'far_load_to_use_p99<=65536' --slo 'near_load_to_use_p99<=16384'
+# Gated: every farmem cell is two-tier — |farN key suffix, near/far
+# quantile rows, a tiers telemetry split with real far-tier traffic.
+python3 - "$tmp/far.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+cells = d["cells"]
+assert cells, "farmem sweep produced no cells"
+scales = set()
+for c in cells:
+    key = c["key"]
+    assert "|far" in key, f"farmem cell {key} lacks a |farN key suffix"
+    scales.add(key.rsplit("|far", 1)[1])
+    s = c["stats"]
+    assert s.get("near_load_to_use") and s.get("far_load_to_use"), key
+    t = c["telemetry"]["tiers"]
+    assert t["far"]["demand_reads"] + t["far"]["prefetch_reads"] > 0, (
+        f"{key}: no far-tier traffic despite cold placement")
+assert scales == {"1", "2", "4", "8"}, scales
+print(f"   {len(cells)} two-tier cells, far scales {sorted(scales, key=int)}: OK")
+PY
+
 echo "== shard-merge + cell-cache smoke: fig02 as 2 shards, shared disk cache"
 cache="$tmp/cellcache"
 cold_ns=$(date +%s%N)

@@ -4,67 +4,27 @@
 //! `workload|config|seed|code-rev`: a change to any crate that can affect
 //! simulated results must invalidate previously cached cells. The
 //! fingerprint is an FNV-1a hash over the sources of every such crate
-//! (core, sim, prefetchers, workloads, bench itself), exposed at compile
-//! time as `PRODIGY_BUILD_FINGERPRINT`. Users can override the effective
-//! code rev at runtime with the `PRODIGY_CODE_REV` environment variable
+//! (core, sim, prefetchers, workloads, bench itself, and the vendored
+//! stand-ins under `vendor/`), exposed at compile time as
+//! `PRODIGY_BUILD_FINGERPRINT`. Users can override the effective code
+//! rev at runtime with the `PRODIGY_CODE_REV` environment variable
 //! (e.g. to share a cache across builds known to be result-identical).
+//!
+//! The root list and hash live in `fingerprint.rs`, shared with
+//! `tests/fingerprint.rs` so the covered-roots invariant is testable.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Crate source roots (relative to this crate's manifest dir) whose
-/// contents determine simulation results.
-const SOURCE_ROOTS: &[&str] = &[
-    "src",
-    "../core/src",
-    "../sim/src",
-    "../prefetchers/src",
-    "../compiler/src",
-    "../workloads/src",
-];
+include!("fingerprint.rs");
 
 fn main() {
     let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
-    let mut files: Vec<PathBuf> = Vec::new();
     for root in SOURCE_ROOTS {
-        let dir = manifest.join(root);
-        println!("cargo:rerun-if-changed={}", dir.display());
-        collect_rs(&dir, &mut files);
+        println!("cargo:rerun-if-changed={}", manifest.join(root).display());
     }
-    // Sort by path so the hash is independent of directory-walk order.
-    files.sort();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut fnv = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    for f in &files {
-        // Hash the path relative to the manifest (stable across checkouts)
-        // and the file contents.
-        let rel = f.strip_prefix(&manifest).unwrap_or(f);
-        fnv(rel.to_string_lossy().as_bytes());
-        fnv(&[0]);
-        fnv(&fs::read(f).unwrap_or_default());
-        fnv(&[0]);
-    }
+    println!(
+        "cargo:rerun-if-changed={}",
+        manifest.join("fingerprint.rs").display()
+    );
+    let h = source_fingerprint(&manifest, SOURCE_ROOTS);
     println!("cargo:rustc-env=PRODIGY_BUILD_FINGERPRINT={h:016x}");
     println!("cargo:rerun-if-env-changed=PRODIGY_CODE_REV");
-}
-
-/// Recursively collects `.rs` files under `dir` (missing dirs are fine:
-/// the fingerprint simply covers what exists).
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
 }

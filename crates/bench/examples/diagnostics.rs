@@ -67,6 +67,7 @@ fn main() {
                 trace: false,
                 metrics: None,
                 host_profile: true,
+                cancel: None,
             },
         );
         let s = &out.summary.stats;

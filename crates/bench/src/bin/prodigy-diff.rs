@@ -25,8 +25,10 @@
 //! `--slo "load_to_use_p99<=N"` asserts a simulated-latency quantile
 //! against every cell of the report under test (the NEW report when two
 //! are given; the sole report in single-report mode). Histograms:
-//! `load_to_use`, `fill_to_use`, `dram_round_trip`; quantiles: `p50`,
-//! `p90`, `p99`, `max`. Quantiles are bucket-bound intervals `[lo, hi]`;
+//! `load_to_use`, `fill_to_use`, `dram_round_trip`, plus the per-tier
+//! `near_load_to_use`/`far_load_to_use` rows that two-tier (far-memory)
+//! cells report; quantiles: `p50`, `p90`, `p99`, `max`. Quantiles are
+//! bucket-bound intervals `[lo, hi]`;
 //! the assertion compares the conservative upper bound `hi`, so a passing
 //! SLO holds for the exact (unbucketed) value too. Cells without the
 //! quantile (failed cells, empty histograms) are reported as n/a and do
@@ -46,10 +48,12 @@ const USAGE: &str = "usage: prodigy-diff OLD.json NEW.json [--threshold FRAC] [-
   --slo SPEC            assert a latency quantile on the report under test
                         (NEW.json, or the sole report). SPEC is
                         <hist>_<quantile><=<cycles>, e.g.
-                        load_to_use_p99<=4096; hist: load_to_use,
-                        fill_to_use, dram_round_trip; quantile: p50, p90,
-                        p99, max. Repeatable; every spec must hold on
-                        every cell that reports the quantile.
+                        load_to_use_p99<=4096 or far_load_to_use_p99<=8192;
+                        hist: load_to_use, fill_to_use, dram_round_trip,
+                        near_load_to_use, far_load_to_use; quantile: p50,
+                        p90, p99, max. Repeatable; every spec must hold on
+                        every cell that reports the quantile (single-tier
+                        cells report no near/far rows and count as n/a).
 
 exit status: 0 ok, 1 regression/checksum mismatch/SLO violation, 2 bad input";
 
@@ -67,7 +71,13 @@ struct Slo {
     raw: String,
 }
 
-const SLO_HISTS: &[&str] = &["load_to_use", "fill_to_use", "dram_round_trip"];
+const SLO_HISTS: &[&str] = &[
+    "load_to_use",
+    "fill_to_use",
+    "dram_round_trip",
+    "near_load_to_use",
+    "far_load_to_use",
+];
 const SLO_QUANTILES: &[&str] = &["p50", "p90", "p99", "max"];
 
 fn parse_slo(spec: &str) -> Result<Slo, String> {

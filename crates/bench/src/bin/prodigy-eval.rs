@@ -364,6 +364,7 @@ fn run_single(
                 ..MetricsConfig::default()
             }),
             host_profile,
+            cancel: None,
         },
     );
     if let Some(path) = trace_path {

@@ -5,8 +5,8 @@
 //! DIR`), keyed by the full content address
 //! `cell-key|scale|system-config|base-seed|code-rev`:
 //!
-//! * the **cell key** (`workload|reorder|prefetcher|pfhr|classify|cores`)
-//!   identifies the grid point;
+//! * the **cell key** (`workload|reorder|prefetcher|pfhr|classify|cores`,
+//!   plus a `|farN` suffix for two-tier cells) identifies the grid point;
 //! * **scale** and the **system-config fingerprint** pin the machine the
 //!   cell ran on (the cell key alone does not encode them);
 //! * the **base seed** pins the workload inputs;
@@ -35,7 +35,7 @@ use crate::sweep::{json_escape, stable_key_hash};
 use prodigy::ProdigyStats;
 use prodigy_sim::{
     AttributionTable, CpiStack, EnergyBreakdown, Log2Hist, RunSummary, SourceCounts, Stats,
-    SystemConfig, TelemetrySummary, Timeliness,
+    SystemConfig, TelemetrySummary, TierSplit, TierTelemetry, Timeliness,
 };
 use prodigy_workloads::RunOutcome;
 use std::path::{Path, PathBuf};
@@ -292,8 +292,28 @@ fn hist_from_json(v: &Json, key: &str) -> Result<Log2Hist, String> {
     Log2Hist::from_parts(count, sum, &sparse)
 }
 
+fn tier_telemetry_from_json(v: &Json) -> Result<TierTelemetry, String> {
+    Ok(TierTelemetry {
+        load_to_use: hist_from_json(v, "load_to_use")?,
+        queue_wait: hist_from_json(v, "queue_wait")?,
+        demand_reads: field_u64(v, "demand_reads")?,
+        prefetch_reads: field_u64(v, "prefetch_reads")?,
+        writebacks: field_u64(v, "writebacks")?,
+    })
+}
+
 fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
     let t = v.get("timeliness").ok_or("missing timeliness")?;
+    // `tiers` exists only for two-tier runs; absence round-trips to `None`
+    // so single-tier entries re-serialize byte-identically (the digest
+    // check depends on this).
+    let tiers = match v.get("tiers") {
+        None => None,
+        Some(ts) => Some(TierSplit {
+            near: tier_telemetry_from_json(ts.get("near").ok_or("tiers: missing near")?)?,
+            far: tier_telemetry_from_json(ts.get("far").ok_or("tiers: missing far")?)?,
+        }),
+    };
     let mut attribution = AttributionTable::default();
     for entry in v
         .get("attribution")
@@ -328,6 +348,7 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
         throttle_ups: field_u64(v, "throttle_ups")?,
         throttle_downs: field_u64(v, "throttle_downs")?,
         dig_transitions: field_u64(v, "dig_transitions")?,
+        tiers,
         attribution,
     })
 }
@@ -533,6 +554,36 @@ mod tests {
             back.telemetry.attribution.get((1 << 8) | 2).unwrap().issued,
             512
         );
+    }
+
+    #[test]
+    fn tiered_payload_round_trips_and_persists() {
+        let mut out = sample_outcome();
+        let mut split = TierSplit::default();
+        split.near.demand_reads = 100;
+        split.near.load_to_use.record(150);
+        split.near.queue_wait.record(3);
+        split.far.demand_reads = 40;
+        split.far.prefetch_reads = 9;
+        split.far.writebacks = 2;
+        split.far.load_to_use.record(960);
+        split.far.queue_wait.record(80);
+        out.telemetry.tiers = Some(split);
+        let payload = payload_json(&out);
+        assert!(payload.contains("\"tiers\":{\"near\":"), "{payload}");
+        let back = outcome_from_json(&parse_json(&payload).unwrap()).unwrap();
+        assert_outcomes_equal(&out, &back);
+        assert_eq!(back.telemetry.tiers.unwrap().far.load_to_use.sum(), 960);
+        // And the digest check accepts a stored two-tier entry.
+        let dir =
+            std::env::temp_dir().join(format!("prodigy-cellcache-tier-ut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::open(&dir).unwrap();
+        let key = "cell|far4|scale=1|sys=0|seed=0|rev=r";
+        cache.store(key, &out).unwrap();
+        let loaded = cache.load(key).expect("two-tier entry loads");
+        assert_outcomes_equal(&out, &loaded);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

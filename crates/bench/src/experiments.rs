@@ -32,6 +32,12 @@ pub struct Cell {
     pub classify: bool,
     /// Core count (0 = context default).
     pub cores: u32,
+    /// Far-memory latency scale (0 = single-tier machine, the default; `n ≥
+    /// 1` attaches a far tier at `n×` DRAM latency/occupancy and the
+    /// kernels' cold arrays are placed there). Appended to the cache key
+    /// only when nonzero so legacy single-tier keys — and the disk-cache
+    /// entries derived from them — stay unchanged.
+    pub far: u64,
 }
 
 impl Cell {
@@ -44,12 +50,13 @@ impl Cell {
             pfhr: 16,
             classify: false,
             cores: 0,
+            far: 0,
         }
     }
 
     /// Cache key: every knob that affects the simulation result.
     pub fn key(&self) -> String {
-        format!(
+        let mut k = format!(
             "{}|{}|{}|{}|{}|{}",
             self.spec.name,
             self.spec.reorder,
@@ -57,7 +64,11 @@ impl Cell {
             self.pfhr,
             self.classify,
             self.cores
-        )
+        );
+        if self.far != 0 {
+            k.push_str(&format!("|far{}", self.far));
+        }
+        k
     }
 }
 
@@ -88,13 +99,22 @@ pub struct Ctx {
 
 /// Simulates one cell. A free function (not a method) so the isolation
 /// layer can move an owned copy of everything into a `'static` closure.
-fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64, host_profile: bool) -> RunOutcome {
+fn execute_cell(
+    cell: &Cell,
+    sys: SystemConfig,
+    base_seed: u64,
+    host_profile: bool,
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+) -> RunOutcome {
     let mut kernel = cell.spec.instantiate_seeded(base_seed);
-    let sys = if cell.cores == 0 {
+    let mut sys = if cell.cores == 0 {
         sys
     } else {
         sys.with_cores(cell.cores)
     };
+    if cell.far != 0 {
+        sys = sys.with_far_scale(cell.far);
+    }
     let cfg = RunConfig {
         sys,
         prefetcher: cell.kind,
@@ -107,6 +127,7 @@ fn execute_cell(cell: &Cell, sys: SystemConfig, base_seed: u64, host_profile: bo
         trace: false,
         metrics: None,
         host_profile,
+        cancel: Some(cancel),
     };
     run_workload(kernel.as_mut(), &cfg)
 }
@@ -197,8 +218,8 @@ impl Ctx {
             let sys = self.sys;
             let base_seed = self.sweep.base_seed;
             let profile = self.host_profile;
-            let out = run_isolated(&key, self.sweep.cell_timeout, move || {
-                execute_cell(&owned, sys, base_seed, profile)
+            let out = run_isolated(&key, self.sweep.cell_timeout, move |cancel| {
+                execute_cell(&owned, sys, base_seed, profile, cancel)
             });
             let (res, timing, telemetry, stats, host_profile, error) = match out {
                 Ok(o) => {
@@ -1057,6 +1078,7 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
             trace: false,
             metrics: None,
             host_profile: false,
+            cancel: None,
         },
     );
     let mut t = Table::new(&["variant", "speedup", "prefetch accuracy"]);
@@ -1073,6 +1095,77 @@ pub fn ext_throttle(ctx: &Ctx) -> String {
     ]);
     format!(
         "Extension — feedback-directed throttling (§IV-G future work) on cc-lj\n{}",
+        t.render()
+    )
+}
+
+// ------------------------------------------------------- far-memory tier
+
+/// Far-memory latency scales the `farmem` experiment sweeps. `1` attaches a
+/// far tier with the same timing as DRAM — the latency-tolerance baseline —
+/// while the DRAM-only machine (no far tier at all) is untouched by this
+/// experiment.
+pub const FAR_SCALES: [u64; 4] = [1, 2, 4, 8];
+
+/// Prefetchers compared in the far-memory sweep.
+pub const FAR_KINDS: [PrefetcherKind; 4] = [
+    PrefetcherKind::Prodigy,
+    PrefetcherKind::Stride,
+    PrefetcherKind::GhbGdc,
+    PrefetcherKind::Imp,
+];
+
+/// Far-memory/CXL latency-tolerance sweep (Fig. 12-style table): every GAP
+/// kernel on `lj` under four prefetchers, with the kernels' cold property
+/// arrays placed in a far tier whose latency/occupancy scales 1–8× DRAM.
+/// A prefetcher that hides far-memory latency keeps relative IPC flat as
+/// the scale grows; the per-tier load-to-use quantiles land in the JSON
+/// report for `prodigy-diff --slo far_load_to_use_p99<=N` gating.
+pub fn farmem(ctx: &Ctx) -> String {
+    warm_for(ctx, "farmem");
+    let mut t = Table::new(&[
+        "workload",
+        "prefetcher",
+        "ipc @1x",
+        "2x",
+        "4x",
+        "8x",
+        "far load-to-use p99 @8x",
+    ]);
+    for alg in crate::workload_set::GRAPH_ALGS {
+        let spec = WorkloadSpec::graph(alg, "lj", ctx.scale);
+        for kind in FAR_KINDS {
+            let mut base_ipc = 0.0f64;
+            let mut row = vec![format!("{alg}-lj"), kind.name().into()];
+            let mut far_p99 = "n/a".to_string();
+            for (i, &fs) in FAR_SCALES.iter().enumerate() {
+                let mut c = Cell::new(spec.clone(), kind);
+                c.far = fs;
+                let out = ctx.run(&c);
+                let s = &out.summary.stats;
+                let ipc = s.instructions as f64 / s.cycles.max(1) as f64;
+                if i == 0 {
+                    base_ipc = ipc;
+                    row.push(format!("{ipc:.3}"));
+                } else {
+                    row.push(pct(ipc / base_ipc.max(1e-12)));
+                }
+                if fs == 8 {
+                    if let Some(q) = out
+                        .telemetry
+                        .tiers
+                        .and_then(|tt| prodigy_sim::HistQuantiles::from_hist(&tt.far.load_to_use))
+                    {
+                        far_p99 = format!("{}..{}", q.p99.0, q.p99.1);
+                    }
+                }
+            }
+            row.push(far_p99);
+            t.row(row);
+        }
+    }
+    format!(
+        "Far-memory tier — relative IPC as far latency scales 1x..8x (cold property arrays remote; flat = latency-tolerant)\n{}",
         t.render()
     )
 }
@@ -1101,6 +1194,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "limits_tc",
     "ext_dobfs",
     "ext_throttle",
+    "farmem",
 ];
 
 fn experiment_fn(name: &str) -> fn(&Ctx) -> String {
@@ -1125,6 +1219,7 @@ fn experiment_fn(name: &str) -> fn(&Ctx) -> String {
         "limits_tc" => limits_tc,
         "ext_dobfs" => ext_dobfs,
         "ext_throttle" => ext_throttle,
+        "farmem" => farmem,
         other => panic!("unknown experiment {other:?}"),
     }
 }
@@ -1253,6 +1348,20 @@ pub fn experiment_cells(name: &str, ctx: &Ctx) -> Option<Vec<Cell>> {
         "ext_throttle" => {
             let spec = WorkloadSpec::graph("cc", "lj", scale);
             both.iter().map(|&k| Cell::new(spec.clone(), k)).collect()
+        }
+        "farmem" => {
+            let mut cells = Vec::new();
+            for alg in crate::workload_set::GRAPH_ALGS {
+                let spec = WorkloadSpec::graph(alg, "lj", scale);
+                for kind in FAR_KINDS {
+                    for &fs in &FAR_SCALES {
+                        let mut c = Cell::new(spec.clone(), kind);
+                        c.far = fs;
+                        cells.push(c);
+                    }
+                }
+            }
+            cells
         }
         _ => return None,
     };
@@ -1425,6 +1534,51 @@ mod tests {
         let text = fig02(&ctx);
         for needle in ["none", "ghb-gdc", "droplet", "prodigy", "speedup"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn far_knob_extends_key_and_splits_telemetry() {
+        let ctx = quick_ctx();
+        let base_cell = Cell::new(WorkloadSpec::plain("is", 256), PrefetcherKind::None);
+        assert!(
+            !base_cell.key().contains("far"),
+            "legacy single-tier keys stay unchanged: {}",
+            base_cell.key()
+        );
+        let mut far_cell = base_cell.clone();
+        far_cell.far = 8;
+        assert!(far_cell.key().ends_with("|far8"), "{}", far_cell.key());
+        let base = ctx.run(&base_cell);
+        let far = ctx.run(&far_cell);
+        assert_eq!(base.checksum, far.checksum, "placement is timing-only");
+        assert!(
+            far.summary.stats.cycles > base.summary.stats.cycles,
+            "8x-latency cold arrays must cost cycles: {} vs {}",
+            far.summary.stats.cycles,
+            base.summary.stats.cycles
+        );
+        assert!(base.telemetry.tiers.is_none(), "single-tier: no split");
+        let split = far.telemetry.tiers.expect("two-tier: split recorded");
+        assert!(split.far.demand_reads > 0);
+        let cs = CellStats::from_outcome(&far);
+        assert!(cs.far_load_to_use.is_some(), "SLO row populated");
+        assert!(CellStats::from_outcome(&base).far_load_to_use.is_none());
+    }
+
+    #[test]
+    fn farmem_grid_covers_scales_and_prefetchers() {
+        let ctx = quick_ctx();
+        let cells = experiment_cells("farmem", &ctx).expect("farmem has a grid");
+        assert_eq!(
+            cells.len(),
+            crate::workload_set::GRAPH_ALGS.len() * FAR_KINDS.len() * FAR_SCALES.len()
+        );
+        for fs in FAR_SCALES {
+            assert!(cells.iter().any(|c| c.far == fs));
+        }
+        for kind in FAR_KINDS {
+            assert!(cells.iter().any(|c| c.kind == kind));
         }
     }
 

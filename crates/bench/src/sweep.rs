@@ -22,7 +22,7 @@
 use crossbeam::channel;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -194,31 +194,42 @@ pub struct IsolatedError {
 /// Runs `job`, converting a panic into a structured error and — when
 /// `timeout` is set — abandoning it after the budget elapses.
 ///
+/// The job receives a cooperative cancel flag. Cells thread it into
+/// [`prodigy_workloads::RunConfig::cancel`] so the phase scheduler polls it;
+/// jobs with no cancellation points may ignore it.
+///
 /// The timeout path runs the job on a dedicated named thread and waits with
-/// `recv_timeout`; on expiry the thread is *detached*, not killed (Rust has
-/// no safe thread cancellation), so a truly divergent cell leaks one thread
-/// but the sweep proceeds. The returned error carries `timed_out: true` so
-/// callers can account for the leak ([`SweepReport::threads_leaked`]).
-/// Without a timeout the job runs inline under `catch_unwind` — no extra
-/// thread.
+/// `recv_timeout`; on expiry the cancel flag is raised and the thread is
+/// *detached*, not killed (Rust has no safe thread cancellation). A
+/// cancel-aware job then unwinds at its next scheduler boundary and the
+/// abandoned thread exits promptly instead of simulating to completion; a
+/// truly divergent cell that never reaches a cancellation point still leaks
+/// its thread. The returned error carries `timed_out: true` so callers can
+/// account for the abandonment ([`SweepReport::threads_leaked`]). Without a
+/// timeout the job runs inline under `catch_unwind` — no extra thread.
 pub fn run_isolated<T: Send + 'static>(
     label: &str,
     timeout: Option<Duration>,
-    job: impl FnOnce() -> T + Send + 'static,
+    job: impl FnOnce(Arc<AtomicBool>) -> T + Send + 'static,
 ) -> Result<T, IsolatedError> {
     let panic_err = |p: Box<dyn std::any::Any + Send>| IsolatedError {
         reason: panic_message(p.as_ref()),
         timed_out: false,
     };
+    let cancel = Arc::new(AtomicBool::new(false));
     match timeout {
-        None => catch_unwind(AssertUnwindSafe(job)).map_err(panic_err),
+        None => {
+            let flag = Arc::clone(&cancel);
+            catch_unwind(AssertUnwindSafe(move || job(flag))).map_err(panic_err)
+        }
         Some(budget) => {
             let (tx, rx) = channel::bounded(1);
             let thread_name = format!("cell-{}", label.chars().take(24).collect::<String>());
+            let flag = Arc::clone(&cancel);
             let handle = std::thread::Builder::new()
                 .name(thread_name)
                 .spawn(move || {
-                    let _ = tx.send(catch_unwind(AssertUnwindSafe(job)));
+                    let _ = tx.send(catch_unwind(AssertUnwindSafe(move || job(flag))));
                 })
                 .expect("spawn cell thread");
             match rx.recv_timeout(budget) {
@@ -231,6 +242,11 @@ pub fn run_isolated<T: Send + 'static>(
                     Err(panic_err(p))
                 }
                 Err(_) => {
+                    // Ask the worker to bail at its next cancellation point,
+                    // then detach; its eventual "run cancelled" panic is
+                    // swallowed by the worker's own catch_unwind and the
+                    // send lands in a dropped channel.
+                    cancel.store(true, Ordering::Relaxed);
                     drop(handle); // detach the runaway thread
                     Err(IsolatedError {
                         reason: format!("timed out after {:.1}s", budget.as_secs_f64()),
@@ -345,6 +361,14 @@ pub struct CellStats {
     pub fill_to_use: Option<prodigy_sim::HistQuantiles>,
     /// DRAM round-trip latency quantiles; `None` when empty.
     pub dram_round_trip: Option<prodigy_sim::HistQuantiles>,
+    /// Near-tier (DRAM) demand load-to-use quantiles. `None` on single-tier
+    /// runs — the row is then absent from the JSON too, keeping single-tier
+    /// reports byte-identical to pre-tier baselines.
+    pub near_load_to_use: Option<prodigy_sim::HistQuantiles>,
+    /// Far-tier demand load-to-use quantiles; the `prodigy-diff --slo
+    /// far_load_to_use_p99<=N` gate reads this row. `None` on single-tier
+    /// runs (absent from the JSON).
+    pub far_load_to_use: Option<prodigy_sim::HistQuantiles>,
 }
 
 impl CellStats {
@@ -365,6 +389,14 @@ impl CellStats {
             load_to_use: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.load_to_use),
             fill_to_use: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.fill_to_use),
             dram_round_trip: prodigy_sim::HistQuantiles::from_hist(&out.telemetry.dram_round_trip),
+            near_load_to_use: out
+                .telemetry
+                .tiers
+                .and_then(|t| prodigy_sim::HistQuantiles::from_hist(&t.near.load_to_use)),
+            far_load_to_use: out
+                .telemetry
+                .tiers
+                .and_then(|t| prodigy_sim::HistQuantiles::from_hist(&t.far.load_to_use)),
         }
     }
 
@@ -383,11 +415,11 @@ impl CellStats {
             Some(q) => q.to_json(),
             None => "null".to_string(),
         };
-        format!(
+        let mut s = format!(
             "{{\"cycles\":{},\"instructions\":{},\"ipc\":{:.6},\"checksum\":{},\
              \"l1_misses\":{},\"l2_misses\":{},\"l3_misses\":{},\"dram_reads\":{},\
              \"prefetches_issued\":{},\"prefetch_accuracy\":{},\"prefetch_coverage\":{},\
-             \"load_to_use\":{},\"fill_to_use\":{},\"dram_round_trip\":{}}}",
+             \"load_to_use\":{},\"fill_to_use\":{},\"dram_round_trip\":{}",
             self.cycles,
             self.instructions,
             self.ipc(),
@@ -402,7 +434,19 @@ impl CellStats {
             quant(&self.load_to_use),
             quant(&self.fill_to_use),
             quant(&self.dram_round_trip),
-        )
+        );
+        // Per-tier rows exist only for two-tier runs: single-tier cell JSON
+        // stays byte-identical to pre-tier baselines, so the refreshed
+        // baseline gate (`prodigy-diff`, which treats a field present on one
+        // side as a change) keeps passing.
+        if let Some(q) = &self.near_load_to_use {
+            s.push_str(&format!(",\"near_load_to_use\":{}", q.to_json()));
+        }
+        if let Some(q) = &self.far_load_to_use {
+            s.push_str(&format!(",\"far_load_to_use\":{}", q.to_json()));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -825,25 +869,59 @@ mod tests {
 
     #[test]
     fn run_isolated_captures_panics() {
-        let r: Result<(), _> = run_isolated("t", None, || panic!("kaboom {}", 7));
+        let r: Result<(), _> = run_isolated("t", None, |_| panic!("kaboom {}", 7));
         let e = r.unwrap_err();
         assert!(e.reason.contains("kaboom 7"));
         assert!(!e.timed_out, "a panic is not a timeout");
-        let ok = run_isolated("t", None, || 5u32).unwrap();
+        let ok = run_isolated("t", None, |_| 5u32).unwrap();
         assert_eq!(ok, 5);
     }
 
     #[test]
     fn run_isolated_times_out_divergent_jobs() {
-        let r: Result<(), _> = run_isolated("hang", Some(Duration::from_millis(50)), || {
+        let r: Result<(), _> = run_isolated("hang", Some(Duration::from_millis(50)), |_| {
             std::thread::sleep(Duration::from_secs(30));
         });
         let e = r.unwrap_err();
         assert!(e.reason.contains("timed out"));
         assert!(e.timed_out, "timeout flagged for leak accounting");
         // And a fast job under the same budget succeeds.
-        let ok = run_isolated("quick", Some(Duration::from_secs(5)), || 9u32).unwrap();
+        let ok = run_isolated("quick", Some(Duration::from_secs(5)), |_| 9u32).unwrap();
         assert_eq!(ok, 9);
+    }
+
+    #[test]
+    fn abandoned_workers_observe_the_cancel_flag_and_exit() {
+        // A cancel-aware job (like a real cell, whose phase scheduler polls
+        // `RunConfig::cancel`) must terminate promptly after the timeout
+        // abandons it — the leaked thread exits instead of simulating on.
+        let exited = Arc::new(AtomicBool::new(false));
+        let witness = Arc::clone(&exited);
+        let r: Result<(), _> = run_isolated("coop", Some(Duration::from_millis(50)), move |c| {
+            struct ExitWitness(Arc<AtomicBool>);
+            impl Drop for ExitWitness {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::SeqCst);
+                }
+            }
+            let _w = ExitWitness(witness);
+            while !c.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            panic!("run cancelled");
+        });
+        let e = r.unwrap_err();
+        assert!(e.timed_out, "the job was abandoned on timeout");
+        // The detached worker saw the raised flag, unwound, and dropped its
+        // state — wait (bounded) for the witness.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !exited.load(Ordering::SeqCst) {
+            assert!(
+                Instant::now() < deadline,
+                "abandoned worker must terminate once cancelled"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]
@@ -919,6 +997,8 @@ mod tests {
                     },
                     fill_to_use: None,
                     dram_round_trip: None,
+                    near_load_to_use: None,
+                    far_load_to_use: None,
                 }),
                 error: None,
                 disk_hit: false,
@@ -973,6 +1053,10 @@ mod tests {
             "empty histogram quantiles serialize as null"
         );
         assert!(
+            !json.contains("near_load_to_use") && !json.contains("far_load_to_use"),
+            "single-tier cells serialize no per-tier rows (baseline byte-identity)"
+        );
+        assert!(
             json.contains("\"host_profile\":{\"host_nanos_total\":42"),
             "per-cell host profile serialized against the cell's host time"
         );
@@ -985,6 +1069,37 @@ mod tests {
         assert_eq!(report.total_cell_nanos(), 42);
         assert_eq!(report.cell_nanos_percentile(0.50), 42);
         assert_eq!(report.cell_nanos_percentile(0.99), 42);
+    }
+
+    #[test]
+    fn tiered_cell_stats_serialize_per_tier_quantile_rows() {
+        let q = {
+            let mut h = prodigy_sim::Log2Hist::default();
+            h.record(100);
+            h.record(500);
+            prodigy_sim::HistQuantiles::from_hist(&h)
+        };
+        let cs = CellStats {
+            cycles: 10,
+            instructions: 10,
+            checksum: 0,
+            l1_misses: 0,
+            l2_misses: 0,
+            l3_misses: 0,
+            dram_reads: 0,
+            prefetches_issued: 0,
+            prefetch_accuracy: None,
+            prefetch_coverage: None,
+            load_to_use: q,
+            fill_to_use: None,
+            dram_round_trip: None,
+            near_load_to_use: q,
+            far_load_to_use: q,
+        };
+        let json = cs.to_json();
+        assert!(json.contains("\"near_load_to_use\":{\"p50\":"), "{json}");
+        assert!(json.contains("\"far_load_to_use\":{\"p50\":"), "{json}");
+        assert!(json.ends_with('}'));
     }
 
     #[test]

@@ -75,6 +75,50 @@ pub struct DramConfig {
     pub queue_depth: u32,
 }
 
+/// Far-memory (CXL-style remote pool) controller parameters. Mirrors
+/// [`DramConfig`] but models a second, slower tier: lines whose address
+/// ranges are marked cold in the address-space tier map are filled from
+/// this controller instead of local DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarMemConfig {
+    /// Uncontended access latency in cycles (typically N× the DRAM number).
+    pub access_latency: u64,
+    /// Independent far-pool channels; requests hash across them.
+    pub channels: u32,
+    /// Cycles a channel is occupied per 64 B transfer.
+    pub cycles_per_transfer: u64,
+    /// Controller queue entries per channel.
+    pub queue_depth: u32,
+}
+
+impl FarMemConfig {
+    /// Derives a far tier from the local DRAM numbers with latency and
+    /// per-transfer occupancy scaled by `far_latency_scale` (channel count
+    /// and queue depth carry over). Scale 1 is a pool exactly as fast as
+    /// DRAM — useful for isolating the routing overhead, which must be
+    /// zero.
+    pub fn scaled_from(dram: &DramConfig, far_latency_scale: u64) -> Self {
+        assert!(far_latency_scale >= 1, "far latency scale must be >= 1");
+        FarMemConfig {
+            access_latency: dram.access_latency * far_latency_scale,
+            channels: dram.channels,
+            cycles_per_transfer: dram.cycles_per_transfer * far_latency_scale,
+            queue_depth: dram.queue_depth,
+        }
+    }
+
+    /// View as a [`DramConfig`] so the same controller model serves both
+    /// tiers.
+    pub fn as_dram(&self) -> DramConfig {
+        DramConfig {
+            access_latency: self.access_latency,
+            channels: self.channels,
+            cycles_per_transfer: self.cycles_per_transfer,
+            queue_depth: self.queue_depth,
+        }
+    }
+}
+
 /// Full system configuration (Table I plus prefetcher-neutral knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
@@ -94,6 +138,10 @@ pub struct SystemConfig {
     pub l3_slices: u32,
     /// DRAM parameters.
     pub dram: DramConfig,
+    /// Optional far-memory tier. `None` (the default everywhere) models the
+    /// single-tier Table I machine; simulated results are then byte-identical
+    /// to a build without the tier model at all.
+    pub far: Option<FarMemConfig>,
     /// Demand-miss MSHRs per core (outstanding L1D misses).
     pub mshrs: u32,
     /// Data TLB entries (fully modelled as set-associative, 4-way).
@@ -142,6 +190,7 @@ impl SystemConfig {
                 cycles_per_transfer: 13,
                 queue_depth: 32,
             },
+            far: None,
             mshrs: 10,
             tlb_entries: 64,
             tlb_miss_latency: 35,
@@ -201,6 +250,14 @@ impl SystemConfig {
     pub fn with_l3_slices(mut self, slices: u32) -> Self {
         assert!(slices >= 1, "need at least one L3 slice");
         self.l3_slices = slices;
+        self
+    }
+
+    /// Returns a copy with a far-memory tier whose latency and occupancy
+    /// are `far_latency_scale`× the DRAM numbers (see
+    /// [`FarMemConfig::scaled_from`]).
+    pub fn with_far_scale(mut self, far_latency_scale: u64) -> Self {
+        self.far = Some(FarMemConfig::scaled_from(&self.dram, far_latency_scale));
         self
     }
 
@@ -269,6 +326,26 @@ mod tests {
     #[should_panic(expected = "at least one L3 slice")]
     fn zero_slices_rejected() {
         let _ = SystemConfig::paper().with_l3_slices(0);
+    }
+
+    #[test]
+    fn far_scale_multiplies_latency_and_occupancy() {
+        let c = SystemConfig::paper().with_far_scale(4);
+        let f = c.far.expect("far tier configured");
+        assert_eq!(f.access_latency, 480);
+        assert_eq!(f.cycles_per_transfer, 52);
+        assert_eq!(f.channels, c.dram.channels);
+        assert_eq!(f.queue_depth, c.dram.queue_depth);
+        assert_eq!(f.as_dram().access_latency, 480);
+        // The default machine has no far tier at all.
+        assert_eq!(SystemConfig::paper().far, None);
+        assert_eq!(SystemConfig::bench().far, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be >= 1")]
+    fn zero_far_scale_rejected() {
+        let _ = SystemConfig::paper().with_far_scale(0);
     }
 
     #[test]

@@ -43,10 +43,10 @@ pub mod stats;
 pub mod system;
 pub mod telemetry;
 
-pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
+pub use config::{CacheConfig, CoreConfig, DramConfig, FarMemConfig, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use hostprof::{Component, HostProfile, ScopeGuard};
-pub use mem::address_space::AddressSpace;
+pub use mem::address_space::{AddressSpace, Tier, TierMap};
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use metrics::{MetricSample, MetricsConfig, MetricsRegistry};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
@@ -54,8 +54,8 @@ pub use stats::{CpiStack, LevelStats, PrefetchUse, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 pub use telemetry::{
     chrome_trace_json, source_tag_label, AttributionTable, HistQuantiles, Log2Hist, MemorySink,
-    NullSink, SourceCounts, SourceTag, TelemetrySummary, Timeliness, TraceCategory, TraceEvent,
-    TraceEventKind, TraceSink, Tracer,
+    NullSink, SourceCounts, SourceTag, TelemetrySummary, TierSplit, TierTelemetry, Timeliness,
+    TraceCategory, TraceEvent, TraceEventKind, TraceSink, Tracer,
 };
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).

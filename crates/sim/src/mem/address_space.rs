@@ -15,6 +15,62 @@ pub const PAGE_BYTES: u64 = 4096;
 const PAGE_SHIFT: u32 = 12;
 const PAGE_MASK: u64 = PAGE_BYTES - 1;
 
+/// Which memory tier backs an address: local DRAM or the far pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Local DRAM (the hot tier; the default for every address).
+    Near,
+    /// Far-memory pool (the cold tier; only addresses inside a marked
+    /// range).
+    Far,
+}
+
+/// Range-granular hot/cold placement map: half-open `[lo, hi)` byte ranges
+/// marked cold (far tier); everything else is near. An empty map — the
+/// default — is the single-tier machine.
+///
+/// Placement is metadata only: it never changes where data lives in the
+/// [`AddressSpace`] or what values reads observe, so marking ranges on a
+/// machine without a far tier configured is a no-op for simulated results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierMap {
+    cold: Vec<(u64, u64)>,
+}
+
+impl TierMap {
+    /// Marks `[lo, hi)` as cold (backed by the far tier).
+    ///
+    /// # Panics
+    /// Panics on an empty or inverted range.
+    pub fn mark_far(&mut self, lo: u64, hi: u64) {
+        assert!(lo < hi, "cold range must be non-empty: {lo:#x}..{hi:#x}");
+        self.cold.push((lo, hi));
+    }
+
+    /// The tier backing `addr` (near unless inside a cold range).
+    #[inline]
+    pub fn tier_of(&self, addr: u64) -> Tier {
+        // Linear scan, same shape as the LLC-miss classifier's range check:
+        // workloads mark a handful of arrays, never thousands.
+        for &(lo, hi) in &self.cold {
+            if addr >= lo && addr < hi {
+                return Tier::Far;
+            }
+        }
+        Tier::Near
+    }
+
+    /// Whether any range is marked cold.
+    pub fn is_empty(&self) -> bool {
+        self.cold.is_empty()
+    }
+
+    /// The cold `[lo, hi)` ranges, in marking order.
+    pub fn far_ranges(&self) -> &[(u64, u64)] {
+        &self.cold
+    }
+}
+
 /// A sparse, paged, byte-addressable simulated memory with a bump allocator.
 ///
 /// Hot-path note: the page table is keyed with the fast local hasher
@@ -26,6 +82,7 @@ const PAGE_MASK: u64 = PAGE_BYTES - 1;
 pub struct AddressSpace {
     pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>, FxBuildHasher>,
     brk: u64,
+    tiers: TierMap,
 }
 
 impl AddressSpace {
@@ -35,7 +92,25 @@ impl AddressSpace {
         AddressSpace {
             pages: HashMap::default(),
             brk: 0x0400_0000,
+            tiers: TierMap::default(),
         }
+    }
+
+    /// Marks `[lo, hi)` as cold — backed by the far-memory tier when one is
+    /// configured. Metadata only: values stored there are unaffected.
+    pub fn mark_far(&mut self, lo: u64, hi: u64) {
+        self.tiers.mark_far(lo, hi);
+    }
+
+    /// The tier backing `addr` under the current placement map.
+    #[inline]
+    pub fn tier_of(&self, addr: u64) -> Tier {
+        self.tiers.tier_of(addr)
+    }
+
+    /// The hot/cold placement map accumulated by allocations so far.
+    pub fn tier_map(&self) -> &TierMap {
+        &self.tiers
     }
 
     /// Allocates `size` bytes aligned to `align` and returns the base
@@ -174,6 +249,58 @@ mod tests {
         a.write_uint(addr, 0x1122_3344_5566_7788, 8);
         assert_eq!(a.read_uint(addr, 8), 0x1122_3344_5566_7788);
         assert_eq!(a.read_u8(addr), 0x88);
+    }
+
+    #[test]
+    fn straddling_reads_and_writes_match_byte_composition() {
+        // The byte-loop fallback must agree with the fast path for every
+        // supported size at every offset that crosses the page boundary.
+        let mut a = AddressSpace::new();
+        let boundary = 7 * PAGE_BYTES;
+        for size in [2u8, 4, 8] {
+            for back in 1..size as u64 {
+                let addr = boundary - back;
+                let v = 0x8877_6655_4433_2211u64 & (u64::MAX >> (64 - 8 * size as u32));
+                a.write_uint(addr, v, size);
+                assert_eq!(a.read_uint(addr, size), v, "size {size} back {back}");
+                for i in 0..size as u64 {
+                    assert_eq!(a.read_u8(addr + i), (v >> (8 * i)) as u8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_map_defaults_near_and_marks_far_ranges() {
+        let mut a = AddressSpace::new();
+        assert!(a.tier_map().is_empty());
+        assert_eq!(a.tier_of(0x1234), Tier::Near);
+        a.mark_far(0x8000, 0x9000);
+        assert_eq!(a.tier_of(0x7fff), Tier::Near);
+        assert_eq!(a.tier_of(0x8000), Tier::Far);
+        assert_eq!(a.tier_of(0x8fff), Tier::Far);
+        assert_eq!(a.tier_of(0x9000), Tier::Near, "ranges are half-open");
+        assert_eq!(a.tier_map().far_ranges(), &[(0x8000, 0x9000)]);
+    }
+
+    #[test]
+    fn straddling_access_across_a_tier_boundary_is_value_transparent() {
+        // A write straddling two pages where the second page is cold must
+        // round-trip exactly: placement is metadata, not storage.
+        let mut a = AddressSpace::new();
+        let boundary = 4 * PAGE_BYTES;
+        a.mark_far(boundary, boundary + PAGE_BYTES);
+        let addr = boundary - 3; // bytes 0..3 hot, bytes 3..8 cold
+        a.write_uint(addr, 0xa1b2_c3d4_e5f6_0718, 8);
+        assert_eq!(a.read_uint(addr, 8), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(a.tier_of(addr), Tier::Near);
+        assert_eq!(a.tier_of(addr + 7), Tier::Far);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cold_range_rejected() {
+        AddressSpace::new().mark_far(0x1000, 0x1000);
     }
 
     #[test]

@@ -144,6 +144,24 @@ mod tests {
     }
 
     #[test]
+    fn writeback_storm_trips_the_congestion_predicate() {
+        // A writeback occupies the channel exactly like a read, so a storm
+        // of them must (a) surface in the queue-backlog telemetry and
+        // (b) trip `congested()` — writes cannot starve demand reads
+        // unaccounted.
+        let mut d = Dram::new(cfg());
+        for _ in 0..6 {
+            d.write(0x1000, 0);
+        }
+        let (_, backlog) = d.queue_backlog(0x1000, 0);
+        assert_eq!(backlog, 60, "six queued write transfers at 10 cycles");
+        assert!(d.congested(0x1000, 0), "write backlog counts as congestion");
+        let r = d.read(0x1000, 0);
+        assert_eq!(r.queue_wait, 60, "demand read pays the write backlog");
+        assert!(!d.congested(0x1000, 200), "drains once channels free up");
+    }
+
+    #[test]
     fn queue_backlog_tracks_outstanding_transfers() {
         let mut d = Dram::new(cfg());
         assert_eq!(d.queue_backlog(0x1000, 0).1, 0);

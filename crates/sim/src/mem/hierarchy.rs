@@ -7,9 +7,10 @@
 //! future `ready_at`; any access arriving earlier pays the residual wait.
 //! This models MSHR merges and in-flight prefetches without an event queue.
 
+use super::address_space::{Tier, TierMap};
 use super::cache::{Cache, Evicted, Line};
 use super::coherence::{Directory, Mesi};
-use super::dram::Dram;
+use super::dram::{Dram, DramAccess};
 use super::tlb::Tlb;
 use crate::config::SystemConfig;
 use crate::hostprof::{Component, ScopeGuard};
@@ -80,6 +81,11 @@ pub struct MemorySystem {
     tlb: Vec<Tlb>,
     mshr: Vec<Vec<u64>>,
     dram: Dram,
+    /// Far-memory controller, present only when `cfg.far` is set. With no
+    /// far tier the placement map is never consulted and every miss takes
+    /// the exact pre-tier DRAM path.
+    far: Option<Dram>,
+    tiers: TierMap,
     classifier: Option<Classifier>,
     tel: Tracer,
 }
@@ -139,9 +145,63 @@ impl MemorySystem {
             tlb: (0..n).map(|_| Tlb::new(cfg.tlb_entries)).collect(),
             mshr: vec![Vec::new(); n],
             dram: Dram::new(cfg.dram),
+            far: cfg.far.map(|f| Dram::new(f.as_dram())),
+            tiers: TierMap::default(),
             classifier: None,
             tel: Tracer::new(),
             cfg,
+        }
+    }
+
+    /// Installs the hot/cold placement map. Only consulted on machines with
+    /// a far tier configured; callers may install it unconditionally.
+    pub fn set_tier_map(&mut self, map: TierMap) {
+        self.tiers = map;
+    }
+
+    /// The tier that services misses to `addr` on this machine (always
+    /// near without a far tier configured).
+    #[inline]
+    pub fn tier_of(&self, addr: u64) -> Tier {
+        if self.far.is_some() {
+            self.tiers.tier_of(addr)
+        } else {
+            Tier::Near
+        }
+    }
+
+    /// Routes a line read to the owning tier's controller.
+    #[inline]
+    fn mem_read(&mut self, line: u64, at: u64) -> (DramAccess, Tier) {
+        let _hp = ScopeGuard::enter(Component::DramTick);
+        match self.tier_of(line) {
+            Tier::Far => {
+                let far = self
+                    .far
+                    .as_mut()
+                    .expect("far tier routed implies far configured");
+                (far.read(line, at), Tier::Far)
+            }
+            Tier::Near => (self.dram.read(line, at), Tier::Near),
+        }
+    }
+
+    /// Records one tier-routed read into the per-tier telemetry (no-op on
+    /// single-tier machines, where the split is never materialised).
+    #[inline]
+    fn note_tier_read(&mut self, tier: Tier, queue_wait: u64, demand: bool) {
+        if self.far.is_some() {
+            let split = self.tel.counters_mut().tiers_mut();
+            let t = match tier {
+                Tier::Near => &mut split.near,
+                Tier::Far => &mut split.far,
+            };
+            t.queue_wait.record(queue_wait);
+            if demand {
+                t.demand_reads += 1;
+            } else {
+                t.prefetch_reads += 1;
+            }
         }
     }
 
@@ -234,11 +294,19 @@ impl MemorySystem {
         }
     }
 
-    /// Samples the DRAM controller backlog for `line` at `at` (right after a
-    /// read was enqueued) into the trace.
-    fn sample_dram_queue(&mut self, core: usize, line: u64, at: u64) {
+    /// Samples the owning controller's backlog for `line` at `at` (right
+    /// after a read was enqueued) into the trace. Far-tier channels reuse
+    /// the same event shape with their index offset by the DRAM channel
+    /// count, so single-tier traces are byte-identical.
+    fn sample_dram_queue(&mut self, core: usize, line: u64, at: u64, tier: Tier) {
         if self.tel.is_tracing() {
-            let (channel, backlog) = self.dram.queue_backlog(line, at);
+            let (channel, backlog) = match (tier, &self.far) {
+                (Tier::Far, Some(far)) => {
+                    let (ch, backlog) = far.queue_backlog(line, at);
+                    (ch + self.cfg.dram.channels, backlog)
+                }
+                _ => self.dram.queue_backlog(line, at),
+            };
             self.tel.emit(|| TraceEvent {
                 cycle: at,
                 dur: 0,
@@ -248,12 +316,15 @@ impl MemorySystem {
         }
     }
 
-    /// Feeds the windowed metrics registry (when installed) with one DRAM
+    /// Feeds the windowed metrics registry (when installed) with one memory
     /// read: total service latency for the MLP accumulator, and controller
     /// backlog depth in pending line transfers (queueing delay over the
-    /// per-line transfer time).
-    fn observe_dram_metrics(&mut self, latency: u64, queue_wait: u64) {
-        let per_xfer = self.cfg.dram.cycles_per_transfer.max(1);
+    /// owning tier's per-line transfer time).
+    fn observe_dram_metrics(&mut self, latency: u64, queue_wait: u64, tier: Tier) {
+        let per_xfer = match (tier, &self.cfg.far) {
+            (Tier::Far, Some(f)) => f.cycles_per_transfer.max(1),
+            _ => self.cfg.dram.cycles_per_transfer.max(1),
+        };
         if let Some(m) = self.tel.metrics_mut() {
             m.observe_dram(latency, queue_wait / per_xfer);
         }
@@ -363,7 +434,24 @@ impl MemorySystem {
         if dirty {
             stats.l3.writebacks += 1;
             stats.dram_writes += 1;
-            self.dram.write(ev.addr, now);
+            let tier = self.tier_of(ev.addr);
+            match tier {
+                Tier::Far => {
+                    let far = self
+                        .far
+                        .as_mut()
+                        .expect("far tier routed implies far configured");
+                    far.write(ev.addr, now);
+                }
+                Tier::Near => self.dram.write(ev.addr, now),
+            }
+            if self.far.is_some() {
+                let split = self.tel.counters_mut().tiers_mut();
+                match tier {
+                    Tier::Near => split.near.writebacks += 1,
+                    Tier::Far => split.far.writebacks += 1,
+                }
+            }
         }
         if prefetched_unused {
             stats.prefetch_use.evicted_unused += 1;
@@ -596,21 +684,26 @@ impl MemorySystem {
             }
         }
 
-        // ---- DRAM ----
+        // ---- memory (DRAM or far tier) ----
         let at = now + lat;
-        let dr = {
-            let _hp = ScopeGuard::enter(Component::DramTick);
-            self.dram.read(line, at)
-        };
+        let (dr, tier) = self.mem_read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel
             .counters_mut()
             .dram_queue_wait
             .record(dr.queue_wait);
-        self.sample_dram_queue(core, line, at);
-        self.observe_dram_metrics(dr.latency, dr.queue_wait);
+        self.note_tier_read(tier, dr.queue_wait, true);
+        self.sample_dram_queue(core, line, at, tier);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait, tier);
         lat += dr.latency;
+        if self.far.is_some() {
+            let split = self.tel.counters_mut().tiers_mut();
+            match tier {
+                Tier::Near => split.near.load_to_use.record(lat),
+                Tier::Far => split.far.load_to_use.record(lat),
+            }
+        }
         let ready = now + lat;
         let served = ServedBy::Dram;
 
@@ -646,9 +739,10 @@ impl MemorySystem {
     /// Issues a non-binding prefetch of the line containing `vaddr` into
     /// `core`'s L1D (the paper places prefetch fills in the L1D, §I).
     ///
-    /// Returns `None` when the prefetch is dropped: line already resident or
-    /// in flight in the L1 ("redundant"), or the target DRAM channel is
-    /// congested ("throttled").
+    /// Returns `None` when the prefetch is dropped: the line is already
+    /// resident or in flight in the L1 ("redundant"). There is no
+    /// memory-controller throttle (§IV-G defers throttling to future work);
+    /// congestion is felt through channel occupancy instead.
     pub fn prefetch(
         &mut self,
         core: usize,
@@ -737,21 +831,19 @@ impl MemorySystem {
 
         // No memory-controller prefetch throttle: the paper explicitly
         // leaves throttling to future work (§IV-G). Contention is modelled
-        // naturally — prefetch transfers occupy DRAM channels and delay
+        // naturally — prefetch transfers occupy memory channels and delay
         // demand fills behind them.
         let at = now + lat;
-        let dr = {
-            let _hp = ScopeGuard::enter(Component::DramTick);
-            self.dram.read(line, at)
-        };
+        let (dr, tier) = self.mem_read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel
             .counters_mut()
             .dram_queue_wait
             .record(dr.queue_wait);
-        self.sample_dram_queue(core, line, at);
-        self.observe_dram_metrics(dr.latency, dr.queue_wait);
+        self.note_tier_read(tier, dr.queue_wait, false);
+        self.sample_dram_queue(core, line, at, tier);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait, tier);
         lat += dr.latency;
         let ready = now + lat;
 
@@ -812,18 +904,16 @@ impl MemorySystem {
         }
         let lat = self.cfg.l3.tag_latency;
         let at = now + lat;
-        let dr = {
-            let _hp = ScopeGuard::enter(Component::DramTick);
-            self.dram.read(line, at)
-        };
+        let (dr, tier) = self.mem_read(line, at);
         stats.dram_reads += 1;
         stats.dram_queue_cycles += dr.queue_wait;
         self.tel
             .counters_mut()
             .dram_queue_wait
             .record(dr.queue_wait);
-        self.sample_dram_queue(core, line, at);
-        self.observe_dram_metrics(dr.latency, dr.queue_wait);
+        self.note_tier_read(tier, dr.queue_wait, false);
+        self.sample_dram_queue(core, line, at, tier);
+        self.observe_dram_metrics(dr.latency, dr.queue_wait, tier);
         let ready = now + lat + dr.latency;
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.prefetched = true;
@@ -994,6 +1084,76 @@ mod tests {
         }
         assert_eq!(s.prefetch_use.evicted_unused, 1);
         assert_eq!(s.prefetch_use.hit_l1, 0);
+    }
+
+    #[test]
+    fn far_tier_misses_pay_scaled_latency_and_split_telemetry() {
+        let cfg = SystemConfig::scaled(64).with_cores(2).with_far_scale(4);
+        let mut m = MemorySystem::new(cfg);
+        let mut map = TierMap::default();
+        map.mark_far(0x10_0000, 0x20_0000);
+        m.set_tier_map(map);
+        let mut s = Stats::default();
+        let near = m.demand_access(0, 0x1_0000, AccessKind::Read, 0, &mut s);
+        let far = m.demand_access(0, 0x10_0000, AccessKind::Read, 0, &mut s);
+        assert_eq!(near.served, ServedBy::Dram);
+        assert_eq!(far.served, ServedBy::Dram);
+        assert!(
+            far.latency >= near.latency + 3 * cfg.dram.access_latency,
+            "cold miss pays the 4x pool latency: near {} far {}",
+            near.latency,
+            far.latency
+        );
+        // Aggregate stats see both reads; the split attributes them.
+        assert_eq!(s.dram_reads, 2);
+        let t = m.telemetry().tiers.expect("tiered machine records a split");
+        assert_eq!(t.near.demand_reads, 1);
+        assert_eq!(t.far.demand_reads, 1);
+        assert_eq!(t.far.load_to_use.count(), 1);
+        assert!(t.far.load_to_use.sum() >= cfg.far.unwrap().access_latency);
+        // Prefetches route and are attributed per tier too.
+        m.prefetch(1, 0x11_0000, 0, &mut s).expect("issued");
+        assert_eq!(m.telemetry().tiers.unwrap().far.prefetch_reads, 1);
+    }
+
+    #[test]
+    fn single_tier_machine_ignores_tier_map_and_records_no_split() {
+        // Marking ranges cold without a far tier configured must change
+        // nothing: same latencies as an unmarked machine, no tier split.
+        let (mut m, mut s) = tiny();
+        let mut map = TierMap::default();
+        map.mark_far(0x10_0000, 0x20_0000);
+        m.set_tier_map(map);
+        let (mut plain, mut s2) = tiny();
+        let a = m.demand_access(0, 0x10_0000, AccessKind::Read, 0, &mut s);
+        let b = plain.demand_access(0, 0x10_0000, AccessKind::Read, 0, &mut s2);
+        assert_eq!(a, b);
+        assert_eq!(m.tier_of(0x10_0000), Tier::Near, "no far tier configured");
+        assert_eq!(m.telemetry().tiers, None);
+        assert_eq!(format!("{s:?}"), format!("{s2:?}"));
+    }
+
+    #[test]
+    fn far_writebacks_route_to_the_far_controller() {
+        // Tiny caches, all addresses cold: dirty L3 evictions must land in
+        // the far tier's writeback counter.
+        let cfg = SystemConfig::scaled(1024).with_cores(1).with_far_scale(2);
+        let lines_in_llc = cfg.llc_capacity() / LINE_BYTES;
+        let mut m = MemorySystem::new(cfg);
+        let mut map = TierMap::default();
+        map.mark_far(0, u64::MAX);
+        m.set_tier_map(map);
+        let mut s = Stats::default();
+        let mut t = 0;
+        for i in 0..(lines_in_llc * 4) {
+            m.demand_access(0, i * LINE_BYTES * 3, AccessKind::Write, t, &mut s);
+            t += 2000;
+        }
+        assert!(s.dram_writes > 0, "stream of dirty lines forces writebacks");
+        let split = m.telemetry().tiers.expect("split present");
+        assert_eq!(split.far.writebacks, s.dram_writes);
+        assert_eq!(split.near.writebacks, 0);
+        assert_eq!(split.near.demand_reads, 0);
     }
 
     #[test]

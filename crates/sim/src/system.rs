@@ -19,6 +19,8 @@ use crate::metrics::{MetricsConfig, MetricsRegistry};
 use crate::prefetch::{FillEvent, FillQueue, NullPrefetcher, PrefetchCtx, Prefetcher};
 use crate::stats::Stats;
 use crate::telemetry::{TelemetrySummary, TraceEvent, TraceEventKind, TraceSink};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Statistics of a single phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +60,7 @@ pub struct System<P: Prefetcher = Box<dyn Prefetcher>> {
     time: u64,
     phase_idx: u64,
     energy_model: EnergyModel,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<P: Prefetcher> std::fmt::Debug for System<P> {
@@ -92,8 +95,18 @@ impl<P: Prefetcher + 'static> System<P> {
             time: 0,
             phase_idx: 0,
             energy_model: EnergyModel::default(),
+            cancel: None,
             cfg,
         }
+    }
+
+    /// Installs a cooperative cancellation flag. The phase scheduler polls
+    /// it at its event-loop boundary and aborts the run (by panicking with
+    /// `"run cancelled"`) once the flag is raised — sweep drivers that
+    /// abandon a timed-out cell use this to make the detached worker exit
+    /// promptly instead of simulating on.
+    pub fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Installs an event sink on the memory system's tracer; every
@@ -239,6 +252,14 @@ impl<P: Prefetcher + 'static> System<P> {
                 }
             }
             let Some((t, c)) = best else { break };
+            // Cooperative cancellation: abandoning callers (sweep timeouts)
+            // raise the flag and this unwinds out of the run. The driver
+            // catches the panic; nobody observes partial results.
+            if let Some(flag) = &self.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    panic!("run cancelled");
+                }
+            }
             // The earliest-core timestamp is monotone across iterations, so
             // it is a sound clock for closing metric windows.
             if t >= next_window {
@@ -479,6 +500,19 @@ mod tests {
         let s = sys.summary();
         assert_eq!(s.prefetcher, "none");
         assert!(s.energy.total() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "run cancelled")]
+    fn raised_cancel_flag_aborts_the_phase() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(1));
+        let flag = Arc::new(AtomicBool::new(true));
+        sys.set_cancel(Arc::clone(&flag));
+        let mut b = StreamBuilder::new();
+        for i in 0..100u64 {
+            b.load_at(1, i * 64, 8, &[]);
+        }
+        sys.run_phase(vec![b.finish()]);
     }
 
     #[test]

@@ -807,6 +807,75 @@ impl AttributionTable {
     }
 }
 
+/// Memory-controller telemetry for one tier (near DRAM or the far pool).
+/// Recorded only on machines with a far tier configured, so single-tier
+/// runs carry no per-tier section at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTelemetry {
+    /// Latency of demand accesses filled from this tier, issue → data.
+    pub load_to_use: Log2Hist,
+    /// Controller queueing delay per read on this tier.
+    pub queue_wait: Log2Hist,
+    /// Demand line reads serviced by this tier.
+    pub demand_reads: u64,
+    /// Prefetch line reads serviced by this tier.
+    pub prefetch_reads: u64,
+    /// Writeback transfers absorbed by this tier's controller queues.
+    pub writebacks: u64,
+}
+
+impl TierTelemetry {
+    /// Accumulates another run's counters for the same tier.
+    pub fn merge(&mut self, o: &TierTelemetry) {
+        self.load_to_use.merge(&o.load_to_use);
+        self.queue_wait.merge(&o.queue_wait);
+        self.demand_reads += o.demand_reads;
+        self.prefetch_reads += o.prefetch_reads;
+        self.writebacks += o.writebacks;
+    }
+
+    /// Serializes to a JSON object (deterministic field order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"load_to_use\":{},\"queue_wait\":{},",
+                "\"demand_reads\":{},\"prefetch_reads\":{},\"writebacks\":{}}}"
+            ),
+            self.load_to_use.to_json(),
+            self.queue_wait.to_json(),
+            self.demand_reads,
+            self.prefetch_reads,
+            self.writebacks,
+        )
+    }
+}
+
+/// The near/far split of memory-controller telemetry on a tiered machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSplit {
+    /// Local DRAM (hot tier).
+    pub near: TierTelemetry,
+    /// Far-memory pool (cold tier).
+    pub far: TierTelemetry,
+}
+
+impl TierSplit {
+    /// Accumulates another run's split.
+    pub fn merge(&mut self, o: &TierSplit) {
+        self.near.merge(&o.near);
+        self.far.merge(&o.far);
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"near\":{},\"far\":{}}}",
+            self.near.to_json(),
+            self.far.to_json()
+        )
+    }
+}
+
 /// Always-on telemetry counters for one run: latency histograms plus the
 /// timeliness breakdown. Kept outside [`crate::Stats`] so the determinism
 /// fingerprint of existing reports never changes.
@@ -834,6 +903,11 @@ pub struct TelemetrySummary {
     pub dig_transitions: u64,
     /// Per-source (DIG node/edge or stream/table) prefetch attribution.
     pub attribution: AttributionTable,
+    /// Near/far memory-controller split, present only on machines with a
+    /// far tier configured. `None` — always the case on single-tier runs —
+    /// serializes to nothing, keeping those reports byte-identical to
+    /// pre-tier builds.
+    pub tiers: Option<TierSplit>,
 }
 
 impl TelemetrySummary {
@@ -849,10 +923,27 @@ impl TelemetrySummary {
         self.throttle_downs += o.throttle_downs;
         self.dig_transitions += o.dig_transitions;
         self.attribution.merge(&o.attribution);
+        match (&mut self.tiers, &o.tiers) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.tiers = Some(*b),
+            _ => {}
+        }
+    }
+
+    /// The per-tier split, created on first touch. Only the tier-routing
+    /// code in the hierarchy calls this, and only on tiered machines.
+    pub fn tiers_mut(&mut self) -> &mut TierSplit {
+        self.tiers.get_or_insert_with(TierSplit::default)
     }
 
     /// Serializes to the JSON object embedded per cell in sweep reports.
+    /// The `tiers` field is emitted only when present, so single-tier runs
+    /// serialize exactly as before the tier model existed.
     pub fn to_json(&self) -> String {
+        let tiers = match &self.tiers {
+            Some(t) => format!("\"tiers\":{},", t.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"timeliness\":{},",
@@ -862,7 +953,7 @@ impl TelemetrySummary {
                 "\"dram_round_trip\":{},",
                 "\"dram_queue_wait\":{},",
                 "\"throttle_ups\":{},\"throttle_downs\":{},\"dig_transitions\":{},",
-                "\"attribution\":{}}}"
+                "{}\"attribution\":{}}}"
             ),
             self.timeliness.to_json(),
             self.load_to_use.to_json(),
@@ -873,6 +964,7 @@ impl TelemetrySummary {
             self.throttle_ups,
             self.throttle_downs,
             self.dig_transitions,
+            tiers,
             self.attribution.to_json(),
         )
     }
@@ -1333,5 +1425,40 @@ mod tests {
         let j = a.to_json();
         assert!(j.contains("\"timeliness\":{\"timely\":2,"));
         assert!(j.contains("\"dig_transitions\":9"));
+        assert!(
+            !j.contains("\"tiers\""),
+            "single-tier summaries must not serialize a tiers field"
+        );
+    }
+
+    #[test]
+    fn tier_split_merges_and_serializes_only_when_present() {
+        let mut a = TelemetrySummary::default();
+        a.tiers_mut().far.load_to_use.record(500);
+        a.tiers_mut().far.demand_reads = 1;
+        a.tiers_mut().near.writebacks = 2;
+        let mut b = TelemetrySummary::default();
+        b.tiers_mut().far.demand_reads = 3;
+        b.tiers_mut().far.prefetch_reads = 4;
+        a.merge(&b);
+        let t = a.tiers.expect("merged split present");
+        assert_eq!(t.far.demand_reads, 4);
+        assert_eq!(t.far.prefetch_reads, 4);
+        assert_eq!(t.near.writebacks, 2);
+        assert_eq!(t.far.load_to_use.count(), 1);
+        let j = a.to_json();
+        assert!(
+            j.contains("\"tiers\":{\"near\":{\"load_to_use\""),
+            "tiers field precedes attribution: {j}"
+        );
+        assert!(j.contains("\"demand_reads\":4,\"prefetch_reads\":4"));
+        // Merging tiers into a tierless summary adopts them wholesale.
+        let mut c = TelemetrySummary::default();
+        c.merge(&a);
+        assert_eq!(c.tiers.expect("adopted").far.demand_reads, 4);
+        // And merging a tierless summary changes nothing.
+        let mut d = TelemetrySummary::default();
+        d.merge(&TelemetrySummary::default());
+        assert_eq!(d.tiers, None);
     }
 }

@@ -134,9 +134,9 @@ impl Kernel for Bc {
         let n = self.graph.n() as u64;
         let img = load_csr(space, &self.graph);
         let wq = ArrayHandle::alloc(space, n, 4);
-        let depth = ArrayHandle::alloc(space, n, 4);
-        let sigma = ArrayHandle::alloc(space, n, 8);
-        let delta = ArrayHandle::alloc(space, n, 8);
+        let depth = ArrayHandle::alloc_cold(space, n, 4);
+        let sigma = ArrayHandle::alloc_cold(space, n, 8);
+        let delta = ArrayHandle::alloc_cold(space, n, 8);
         for v in 0..n {
             space.write_u32(depth.addr(v), u32::MAX);
         }

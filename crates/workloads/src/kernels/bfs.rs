@@ -85,7 +85,7 @@ impl Kernel for Bfs {
         let n = self.graph.n() as u64;
         let img = load_csr(space, &self.graph);
         let wq = ArrayHandle::alloc(space, n, 4);
-        let vis = ArrayHandle::alloc(space, n, 4);
+        let vis = ArrayHandle::alloc_cold(space, n, 4);
         wq.write(space, 0, self.source as u64);
         vis.write(space, self.source as u64, 1);
         self.handles = Some(Handles {

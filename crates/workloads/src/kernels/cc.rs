@@ -88,7 +88,7 @@ impl Kernel for Cc {
     fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
         let n = self.graph.n() as u64;
         let img = load_csr(space, &self.graph);
-        let comp = ArrayHandle::alloc(space, n, 4);
+        let comp = ArrayHandle::alloc_cold(space, n, 4);
         for v in 0..n {
             space.write_u32(comp.addr(v), v as u32);
         }

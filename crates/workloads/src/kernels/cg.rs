@@ -164,11 +164,11 @@ impl Kernel for Cg {
         let n = self.matrix.n() as u64;
         let m = self.matrix.m().max(1);
         let img = load_csr(space, &self.matrix);
-        let val = ArrayHandle::alloc(space, m, 8);
-        let p = ArrayHandle::alloc(space, n, 8);
-        let q = ArrayHandle::alloc(space, n, 8);
-        let r = ArrayHandle::alloc(space, n, 8);
-        let x = ArrayHandle::alloc(space, n, 8);
+        let val = ArrayHandle::alloc_cold(space, m, 8);
+        let p = ArrayHandle::alloc_cold(space, n, 8);
+        let q = ArrayHandle::alloc_cold(space, n, 8);
+        let r = ArrayHandle::alloc_cold(space, n, 8);
+        let x = ArrayHandle::alloc_cold(space, n, 8);
         for (k, &v) in self.values.iter().enumerate() {
             space.write_f64(val.addr(k as u64), v);
         }

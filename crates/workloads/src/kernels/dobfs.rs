@@ -128,8 +128,8 @@ impl Kernel for DoBfs {
         let n = self.graph.n() as u64;
         let img = load_csr(space, &self.graph);
         let wq = ArrayHandle::alloc(space, n, 4);
-        let depth = ArrayHandle::alloc(space, n, 4);
-        let fbm = ArrayHandle::alloc(space, n, 4);
+        let depth = ArrayHandle::alloc_cold(space, n, 4);
+        let fbm = ArrayHandle::alloc_cold(space, n, 4);
         for v in 0..n {
             space.write_u32(depth.addr(v), u32::MAX);
         }

@@ -78,9 +78,9 @@ impl Kernel for IntSort {
 
     fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
         let n = self.keys.len() as u64;
-        let keys = ArrayHandle::alloc(space, n, 4);
+        let keys = ArrayHandle::alloc_cold(space, n, 4);
         let count = ArrayHandle::alloc(space, self.buckets as u64, 4);
-        let rank = ArrayHandle::alloc(space, n, 4);
+        let rank = ArrayHandle::alloc_cold(space, n, 4);
         keys.write_all_u32(space, &self.keys);
         self.handles = Some(Handles { keys, count, rank });
 

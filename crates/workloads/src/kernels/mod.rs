@@ -149,6 +149,11 @@ pub struct CsrImage {
 }
 
 /// Allocates and writes a CSR graph into simulated memory.
+///
+/// The traversal skeleton (offsets and edge indices) is always placed hot
+/// (near tier): every kernel's pointer chase starts here, and the tier
+/// placement policy keeps it at DRAM latency while per-vertex/per-edge
+/// property arrays go cold via [`ArrayHandle::alloc_cold`].
 pub fn load_csr(space: &mut AddressSpace, g: &Csr) -> CsrImage {
     let off = ArrayHandle::alloc(space, g.offsets.len() as u64, 4);
     let edg = ArrayHandle::alloc(space, g.edges.len().max(1) as u64, 4);

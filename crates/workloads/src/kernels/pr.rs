@@ -110,9 +110,9 @@ impl Kernel for PageRank {
     fn prepare(&mut self, space: &mut AddressSpace) -> Dig {
         let n = self.csr.n() as u64;
         let img = load_csr(space, &self.csc);
-        let contrib = ArrayHandle::alloc(space, n, 8);
-        let scores = ArrayHandle::alloc(space, n, 8);
-        let degrees = ArrayHandle::alloc(space, n, 4);
+        let contrib = ArrayHandle::alloc_cold(space, n, 8);
+        let scores = ArrayHandle::alloc_cold(space, n, 8);
+        let degrees = ArrayHandle::alloc_cold(space, n, 4);
         let init = 1.0 / n as f64;
         for v in 0..n {
             space.write_f64(scores.addr(v), init);

@@ -100,11 +100,11 @@ impl Kernel for Sssp {
         let n = self.graph.csr.n() as u64;
         let m = self.graph.csr.m().max(1);
         let img = load_csr(space, &self.graph.csr);
-        let wgt = ArrayHandle::alloc(space, m, 4);
+        let wgt = ArrayHandle::alloc_cold(space, m, 4);
         wgt.write_all_u32(space, &self.graph.weights);
         // Work queue sized for re-relaxations (vertices re-enter).
         let wq = ArrayHandle::alloc(space, (n * 4).max(16), 4);
-        let dist = ArrayHandle::alloc(space, n, 4);
+        let dist = ArrayHandle::alloc_cold(space, n, 4);
         for v in 0..n {
             space.write_u32(dist.addr(v), INF);
         }

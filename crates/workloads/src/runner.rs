@@ -15,6 +15,8 @@ use prodigy_sim::{
     MemorySink, MetricsConfig, MetricsRegistry, NullPrefetcher, RunSummary, System, SystemConfig,
     TelemetrySummary, TraceEvent,
 };
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Which prefetcher to attach to every core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,7 +77,7 @@ impl PrefetcherKind {
 }
 
 /// One run's configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Machine configuration.
     pub sys: SystemConfig,
@@ -107,6 +109,12 @@ pub struct RunConfig {
     /// them into [`RunOutcome::host_profile`] afterwards. Never perturbs
     /// simulated `Stats`, telemetry or checksums — only host time grows.
     pub host_profile: bool,
+    /// Cooperative cancellation flag, polled at the phase scheduler's
+    /// event-loop boundary. Sweep drivers that abandon a timed-out cell
+    /// raise it so the detached worker unwinds promptly (with a
+    /// `"run cancelled"` panic, caught by the isolation layer) instead of
+    /// simulating to completion. `None` (the default) costs nothing.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunConfig {
@@ -120,6 +128,7 @@ impl Default for RunConfig {
             trace: false,
             metrics: None,
             host_profile: false,
+            cancel: None,
         }
     }
 }
@@ -224,7 +233,17 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
     if let Some(mcfg) = cfg.metrics {
         sys.install_metrics(mcfg);
     }
+    if let Some(flag) = &cfg.cancel {
+        sys.set_cancel(Arc::clone(flag));
+    }
     let dig = kernel.prepare(sys.address_space_mut());
+    if cfg.sys.far.is_some() {
+        // Two-tier machine: adopt the kernel's hot/cold placement so the
+        // miss path routes line fills to the owning tier's controller.
+        // Single-tier machines never consult the map (byte-identity).
+        let tiers = sys.address_space().tier_map().clone();
+        sys.memory_mut().set_tier_map(tiers);
+    }
     let program = DigProgram::from_dig(&dig);
 
     let prodigy_cfg = cfg.prodigy;
