@@ -197,7 +197,63 @@ assert d["windows_closed"] >= 1 and len(d["samples"]) == d["windows_closed"]
 assert all("ipc" in s and "throttle_level" in s for s in d["samples"])
 assert d["attribution"], "Prodigy run must attribute prefetches to DIG nodes"
 assert any("->" in a["label"] for a in d["attribution"]), "edge tags expected"
-print(f"   {len(d['samples'])} windows, {len(d['attribution'])} sources: OK")
+# Occupancy gauge: every closed window carries a per-source occupancy
+# snapshot whose buckets (demand + untagged + tagged sources) sum to the
+# level's resident-line total.
+for s in d["samples"]:
+    occ = s.get("occupancy")
+    assert occ, "window sample lacks an occupancy snapshot"
+    for lvl in ("l1", "l2", "l3"):
+        o = occ[lvl]
+        total = o["demand"] + o["untagged"] + sum(e["lines"] for e in o["sources"])
+        assert total == o["total"], f"{lvl}: buckets {total} != total {o['total']}"
+print(f"   {len(d['samples'])} windows, {len(d['attribution'])} sources, occupancy sums: OK")
+PY
+
+echo "== pollution smoke: provenance columns, occupancy payload, scalar SLO gate"
+./target/release/prodigy-eval --scale 64 --threads 2 $timeout \
+    --out "$tmp/pol.txt" --json "$tmp/pol.json" pollution >/dev/null
+grep -q "pollution" "$tmp/pol.txt"
+# Gated end-to-end: the scalar SLO path parses, evaluates and passes on a
+# real report (generous bounds — a rate is a fraction of LLC demand
+# misses; an occupancy share is a fraction of resident lines).
+./target/release/prodigy-diff "$tmp/pol.json" \
+    --slo 'pollution_rate<=1' --slo 'l3_top_source_occupancy<=1'
+# Gated: exceeding a scalar bound must exit 1 like the quantile SLOs.
+set +e
+./target/release/prodigy-diff "$tmp/pol.json" --slo 'l3_prefetch_occupancy<=0' >/dev/null
+rc_scalar=$?
+set -e
+[ "$rc_scalar" -eq 1 ] || { echo "   scalar SLO violation: want exit 1, got $rc_scalar"; exit 1; }
+python3 - "$tmp/pol.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+cells = d["cells"]
+assert cells, "pollution sweep produced no cells"
+keys = ("pollution_rate", "l1_prefetch_occupancy", "l2_prefetch_occupancy",
+        "l3_prefetch_occupancy", "l3_top_source_occupancy")
+rated = 0
+for c in cells:
+    s = c["stats"]
+    for k in keys:
+        assert k in s, f"{c['key']}: missing {k}"
+    kind = c["key"].split("|")[2]
+    if kind == "none":
+        # n/a convention: no prefetches issued -> null, never 0.
+        assert s["pollution_rate"] is None, f"{c['key']}: baseline must be n/a"
+    if s["pollution_rate"] is not None:
+        rated += 1
+        assert 0.0 <= s["pollution_rate"] <= 1.0, c["key"]
+    t = c["telemetry"]
+    assert "pollution" in t and set(t["pollution"]) == {"l1", "l2", "l3"}, c["key"]
+    occ = t.get("occupancy")
+    assert occ, f"{c['key']}: missing final occupancy snapshot"
+    for lvl in ("l1", "l2", "l3"):
+        o = occ[lvl]
+        total = o["demand"] + o["untagged"] + sum(e["lines"] for e in o["sources"])
+        assert total == o["total"], f"{c['key']} {lvl}: buckets don't sum"
+assert rated > 0, "no cell reported a pollution rate"
+print(f"   {len(cells)} cells, {rated} with a pollution rate, occupancy sums: OK")
 PY
 
 echo "CI green."

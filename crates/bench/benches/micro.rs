@@ -8,6 +8,7 @@ use prodigy::{Dig, DigProgram, EdgeKind, PfhrFile, ProdigyPrefetcher, TriggerSpe
 use prodigy_sim::core::{Gshare, StreamBuilder};
 use prodigy_sim::mem::cache::{demand_line, Cache};
 use prodigy_sim::mem::coherence::Mesi;
+use prodigy_sim::Provenance;
 use prodigy_sim::{CacheConfig, ServedBy, System, SystemConfig};
 
 fn bench_pfhr(c: &mut Criterion) {
@@ -40,7 +41,10 @@ fn bench_cache(c: &mut Criterion) {
             || Cache::new(&cfg),
             |mut cache| {
                 for i in 0..512u64 {
-                    cache.insert(demand_line(i * 64, Mesi::Exclusive, 0, ServedBy::Dram));
+                    cache.insert(
+                        demand_line(i * 64, Mesi::Exclusive, 0, ServedBy::Dram),
+                        Provenance::demand(0),
+                    );
                 }
                 let mut hits = 0;
                 for i in 0..512u64 {

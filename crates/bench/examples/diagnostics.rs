@@ -122,7 +122,7 @@ fn main() {
             println!("  worst sources (late+inaccurate+dropped share of issue volume):");
             for (tag, c, wasted) in worst.iter().take(3) {
                 println!(
-                    "    {:<10} {:>5.1}% wasted  issued {:>8}  timely {:>8}  late {:>7}  inaccurate {:>7}  dropped {:>7}",
+                    "    {:<10} {:>5.1}% wasted  issued {:>8}  timely {:>8}  late {:>7}  inaccurate {:>7}  dropped {:>7}  pollution {}",
                     source_tag_label(*tag),
                     wasted * 100.0,
                     c.issued,
@@ -130,8 +130,43 @@ fn main() {
                     c.late,
                     c.inaccurate,
                     c.dropped,
+                    // n/a (not 0) when the source never issued, matching the
+                    // accuracy()/coverage() Option convention.
+                    pct(c.pollution()),
                 );
             }
+            // Top polluters: sources whose prefetches evicted demand lines
+            // that later re-missed (victim-table hits), ranked by count.
+            let mut polluters: Vec<_> = attr.iter().filter(|(_, c)| c.polluting > 0).collect();
+            polluters.sort_by(|a, b| b.1.polluting.cmp(&a.1.polluting).then(a.0.cmp(&b.0)));
+            if !polluters.is_empty() {
+                let pol = &out.telemetry.pollution;
+                println!(
+                    "  top polluters (victim-table demand re-misses; L1/L2/L3 {}/{}/{}):",
+                    pol.l1, pol.l2, pol.l3,
+                );
+                for (tag, c) in polluters.iter().take(3) {
+                    println!(
+                        "    {:<10} polluting {:>7}  rate {}  issued {:>8}",
+                        source_tag_label(*tag),
+                        c.polluting,
+                        pct(c.pollution()),
+                        c.issued,
+                    );
+                }
+            }
+        }
+        // Final cache-contents provenance: who owns the resident lines.
+        if let Some(occ) = &out.telemetry.occupancy {
+            let l3 = &occ.levels[2];
+            println!(
+                "  llc occupancy: {} lines — demand {}  prefetched {} (untagged {}, {} tagged sources)",
+                l3.total(),
+                l3.demand,
+                l3.prefetched(),
+                l3.untagged,
+                l3.sources.len(),
+            );
         }
         // Host self-profile: where this run's *host* time went, ranked by
         // scope self-time (children excluded, so rows never double-count).

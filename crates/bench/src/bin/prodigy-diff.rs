@@ -33,6 +33,15 @@
 //! SLO holds for the exact (unbucketed) value too. Cells without the
 //! quantile (failed cells, empty histograms) are reported as n/a and do
 //! not violate.
+//!
+//! ## Scalar SLOs
+//!
+//! `--slo "pollution_rate<=0.05"` asserts a per-cell scalar stat with a
+//! fractional bound. Scalars: `pollution_rate` and the per-source occupancy
+//! shares `l1_prefetch_occupancy`, `l2_prefetch_occupancy`,
+//! `l3_prefetch_occupancy`, `l3_top_source_occupancy`. A `null` stat (e.g.
+//! a cell whose prefetcher issued nothing) is n/a and does not violate,
+//! matching the quantile convention.
 
 use prodigy_bench::compare::{diff_reports, parse_json, Json};
 use std::process::ExitCode;
@@ -45,15 +54,18 @@ const USAGE: &str = "usage: prodigy-diff OLD.json NEW.json [--threshold FRAC] [-
                         the same kind
   --threshold FRAC      tier-1 regression budget as a fraction
                         (default 0.02 = 2%)
-  --slo SPEC            assert a latency quantile on the report under test
-                        (NEW.json, or the sole report). SPEC is
-                        <hist>_<quantile><=<cycles>, e.g.
+  --slo SPEC            assert a latency quantile or scalar stat on the
+                        report under test (NEW.json, or the sole report).
+                        Quantile SPEC is <hist>_<quantile><=<cycles>, e.g.
                         load_to_use_p99<=4096 or far_load_to_use_p99<=8192;
                         hist: load_to_use, fill_to_use, dram_round_trip,
                         near_load_to_use, far_load_to_use; quantile: p50,
-                        p90, p99, max. Repeatable; every spec must hold on
-                        every cell that reports the quantile (single-tier
-                        cells report no near/far rows and count as n/a).
+                        p90, p99, max. Scalar SPEC is <stat><=<fraction>,
+                        e.g. pollution_rate<=0.05; stat: pollution_rate,
+                        l1/l2/l3_prefetch_occupancy,
+                        l3_top_source_occupancy. Repeatable; every spec
+                        must hold on every cell that reports the value
+                        (null/absent counts as n/a, not a violation).
 
 exit status: 0 ok, 1 regression/checksum mismatch/SLO violation, 2 bad input";
 
@@ -63,11 +75,23 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// One parsed `--slo` assertion: `<hist>_<quantile><=<bound>`.
+/// One parsed `--slo` assertion: a latency-quantile bound
+/// (`<hist>_<quantile><=<cycles>`) or a scalar-stat bound
+/// (`<stat><=<fraction>`).
+enum SloKind {
+    Quantile {
+        hist: String,
+        quantile: String,
+        bound: u64,
+    },
+    Scalar {
+        key: String,
+        bound: f64,
+    },
+}
+
 struct Slo {
-    hist: String,
-    quantile: String,
-    bound: u64,
+    kind: SloKind,
     raw: String,
 }
 
@@ -79,23 +103,51 @@ const SLO_HISTS: &[&str] = &[
     "far_load_to_use",
 ];
 const SLO_QUANTILES: &[&str] = &["p50", "p90", "p99", "max"];
+/// Gateable per-cell scalar stats (fractions in `[0, 1]`-ish space, so the
+/// bound parses as f64 rather than integer cycles).
+const SLO_SCALARS: &[&str] = &[
+    "pollution_rate",
+    "l1_prefetch_occupancy",
+    "l2_prefetch_occupancy",
+    "l3_prefetch_occupancy",
+    "l3_top_source_occupancy",
+];
 
 fn parse_slo(spec: &str) -> Result<Slo, String> {
-    let bad = |why: &str| format!("malformed --slo {spec:?}: {why} (e.g. load_to_use_p99<=4096)");
+    let bad = |why: &str| {
+        format!(
+            "malformed --slo {spec:?}: {why} (e.g. load_to_use_p99<=4096 or pollution_rate<=0.05)"
+        )
+    };
     let (lhs, rhs) = spec
         .split_once("<=")
-        .ok_or_else(|| bad("expected <hist>_<quantile><=<cycles>"))?;
+        .ok_or_else(|| bad("expected <hist>_<quantile><=<cycles> or <stat><=<fraction>"))?;
+    let lhs = lhs.trim();
+    if SLO_SCALARS.contains(&lhs) {
+        let bound = rhs
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|b| b.is_finite() && *b >= 0.0)
+            .ok_or_else(|| bad("bound must be a finite non-negative fraction"))?;
+        return Ok(Slo {
+            kind: SloKind::Scalar {
+                key: lhs.to_string(),
+                bound,
+            },
+            raw: spec.to_string(),
+        });
+    }
     let bound = rhs
         .trim()
         .parse::<u64>()
         .map_err(|_| bad("bound must be a non-negative integer cycle count"))?;
-    let lhs = lhs.trim();
     let (hist, quantile) = lhs
         .rsplit_once('_')
         .ok_or_else(|| bad("expected <hist>_<quantile> before <="))?;
     if !SLO_HISTS.contains(&hist) {
         return Err(bad(&format!(
-            "unknown histogram {hist:?}; expected one of {SLO_HISTS:?}"
+            "unknown histogram {hist:?}; expected one of {SLO_HISTS:?} (or a scalar of {SLO_SCALARS:?})"
         )));
     }
     if !SLO_QUANTILES.contains(&quantile) {
@@ -104,9 +156,11 @@ fn parse_slo(spec: &str) -> Result<Slo, String> {
         )));
     }
     Ok(Slo {
-        hist: hist.to_string(),
-        quantile: quantile.to_string(),
-        bound,
+        kind: SloKind::Quantile {
+            hist: hist.to_string(),
+            quantile: quantile.to_string(),
+            bound,
+        },
         raw: spec.to_string(),
     })
 }
@@ -132,35 +186,69 @@ fn check_slos(report: &Json, slos: &[Slo]) -> Result<(String, bool), String> {
     for slo in slos {
         let mut checked = 0usize;
         let mut na = 0usize;
-        let mut worst: Option<(u64, String)> = None;
         let mut offenders: Vec<String> = Vec::new();
-        for cell in cells {
-            let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
-            // stats.<hist> is {"p50":[lo,hi],...} or null.
-            let q = cell
-                .get("stats")
-                .and_then(|s| s.get(&slo.hist))
-                .and_then(|h| h.get(&slo.quantile))
-                .and_then(Json::as_arr)
-                .filter(|a| a.len() == 2)
-                .and_then(|a| raw_u64(&a[1]));
-            let Some(hi) = q else {
-                na += 1;
-                continue;
-            };
-            checked += 1;
-            if worst.as_ref().is_none_or(|(w, _)| hi > *w) {
-                worst = Some((hi, key.to_string()));
+        let mut worst_txt = "no cell reports this value".to_string();
+        match &slo.kind {
+            SloKind::Quantile {
+                hist,
+                quantile,
+                bound,
+            } => {
+                let mut worst: Option<(u64, String)> = None;
+                for cell in cells {
+                    let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
+                    // stats.<hist> is {"p50":[lo,hi],...} or null.
+                    let q = cell
+                        .get("stats")
+                        .and_then(|s| s.get(hist))
+                        .and_then(|h| h.get(quantile))
+                        .and_then(Json::as_arr)
+                        .filter(|a| a.len() == 2)
+                        .and_then(|a| raw_u64(&a[1]));
+                    let Some(hi) = q else {
+                        na += 1;
+                        continue;
+                    };
+                    checked += 1;
+                    if worst.as_ref().is_none_or(|(w, _)| hi > *w) {
+                        worst = Some((hi, key.to_string()));
+                    }
+                    if hi > *bound {
+                        violated = true;
+                        offenders.push(format!("    VIOLATED: {key} — {hi} > {bound}\n"));
+                    }
+                }
+                if let Some((w, key)) = worst {
+                    worst_txt = format!("worst {w} ({key})");
+                }
             }
-            if hi > slo.bound {
-                violated = true;
-                offenders.push(format!("    VIOLATED: {key} — {hi} > {}\n", slo.bound));
+            SloKind::Scalar { key: stat, bound } => {
+                let mut worst: Option<(f64, String)> = None;
+                for cell in cells {
+                    let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
+                    // stats.<stat> is a fraction or null (n/a).
+                    let v = cell
+                        .get("stats")
+                        .and_then(|s| s.get(stat))
+                        .and_then(Json::as_f64);
+                    let Some(v) = v else {
+                        na += 1;
+                        continue;
+                    };
+                    checked += 1;
+                    if worst.as_ref().is_none_or(|(w, _)| v > *w) {
+                        worst = Some((v, key.to_string()));
+                    }
+                    if v > *bound {
+                        violated = true;
+                        offenders.push(format!("    VIOLATED: {key} — {v:.6} > {bound}\n"));
+                    }
+                }
+                if let Some((w, key)) = worst {
+                    worst_txt = format!("worst {w:.6} ({key})");
+                }
             }
         }
-        let worst_txt = match &worst {
-            Some((w, key)) => format!("worst {w} ({key})"),
-            None => "no cell reports this quantile".to_string(),
-        };
         out.push_str(&format!(
             "slo {}: {} — {checked} cells checked, {na} n/a, {worst_txt}\n",
             slo.raw,

@@ -34,8 +34,9 @@ use crate::compare::{parse_json, Json};
 use crate::sweep::{json_escape, stable_key_hash};
 use prodigy::ProdigyStats;
 use prodigy_sim::{
-    AttributionTable, CpiStack, EnergyBreakdown, Log2Hist, RunSummary, SourceCounts, Stats,
-    SystemConfig, TelemetrySummary, TierSplit, TierTelemetry, Timeliness,
+    AttributionTable, CpiStack, EnergyBreakdown, LevelOccupancy, Log2Hist, OccupancySnapshot,
+    PollutionCounts, RunSummary, SourceCounts, Stats, SystemConfig, TelemetrySummary, TierSplit,
+    TierTelemetry, Timeliness,
 };
 use prodigy_workloads::RunOutcome;
 use std::path::{Path, PathBuf};
@@ -302,6 +303,41 @@ fn tier_telemetry_from_json(v: &Json) -> Result<TierTelemetry, String> {
     })
 }
 
+fn level_occupancy_from_json(v: &Json) -> Result<LevelOccupancy, String> {
+    let mut occ = LevelOccupancy {
+        demand: field_u64(v, "demand")?,
+        untagged: field_u64(v, "untagged")?,
+        ..LevelOccupancy::default()
+    };
+    // `total` is derived (demand + prefetched) and recomputed on
+    // re-serialization, so it need not be stored back.
+    for entry in v
+        .get("sources")
+        .and_then(Json::as_arr)
+        .ok_or("occupancy: missing sources")?
+    {
+        let tag = field_u64(entry, "tag")?;
+        let tag = u16::try_from(tag).map_err(|_| format!("occupancy tag {tag} out of range"))?;
+        occ.sources.insert(tag, field_u64(entry, "lines")?);
+    }
+    Ok(occ)
+}
+
+fn occupancy_from_json(v: &Json) -> Result<OccupancySnapshot, String> {
+    let levels = [
+        level_occupancy_from_json(v.get("l1").ok_or("occupancy: missing l1")?)?,
+        level_occupancy_from_json(v.get("l2").ok_or("occupancy: missing l2")?)?,
+        level_occupancy_from_json(v.get("l3").ok_or("occupancy: missing l3")?)?,
+    ];
+    // `near`/`far` exist only for two-tier runs; absence round-trips to
+    // `None`, mirroring the `tiers` telemetry section.
+    let tiers = match (v.get("near"), v.get("far")) {
+        (Some(n), Some(f)) => Some([level_occupancy_from_json(n)?, level_occupancy_from_json(f)?]),
+        _ => None,
+    };
+    Ok(OccupancySnapshot { levels, tiers })
+}
+
 fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
     let t = v.get("timeliness").ok_or("missing timeliness")?;
     // `tiers` exists only for two-tier runs; absence round-trips to `None`
@@ -330,9 +366,11 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
                 late: field_u64(entry, "late")?,
                 inaccurate: field_u64(entry, "inaccurate")?,
                 dropped: field_u64(entry, "dropped")?,
+                polluting: field_u64(entry, "polluting")?,
             },
         );
     }
+    let pv = v.get("pollution").ok_or("missing pollution")?;
     Ok(TelemetrySummary {
         timeliness: Timeliness {
             timely: field_u64(t, "timely")?,
@@ -348,6 +386,15 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySummary, String> {
         throttle_ups: field_u64(v, "throttle_ups")?,
         throttle_downs: field_u64(v, "throttle_downs")?,
         dig_transitions: field_u64(v, "dig_transitions")?,
+        pollution: PollutionCounts {
+            l1: field_u64(pv, "l1")?,
+            l2: field_u64(pv, "l2")?,
+            l3: field_u64(pv, "l3")?,
+        },
+        occupancy: match v.get("occupancy") {
+            None => None,
+            Some(o) => Some(occupancy_from_json(o)?),
+        },
         tiers,
         attribution,
     })
@@ -497,8 +544,21 @@ mod tests {
                 late: 10,
                 inaccurate: 100,
                 dropped: 17,
+                polluting: 6,
             },
         );
+        telemetry.pollution = PollutionCounts {
+            l1: 1,
+            l2: 2,
+            l3: 3,
+        };
+        let mut occ = OccupancySnapshot::default();
+        occ.levels[0].demand = 30;
+        occ.levels[0].untagged = 2;
+        occ.levels[0].sources.insert((1 << 8) | 2, 5);
+        occ.levels[2].demand = 900;
+        occ.levels[2].sources.insert(4, 17);
+        telemetry.occupancy = Some(occ);
         RunOutcome {
             summary: RunSummary {
                 stats,
@@ -554,6 +614,21 @@ mod tests {
             back.telemetry.attribution.get((1 << 8) | 2).unwrap().issued,
             512
         );
+        // Provenance payload survives the round trip exactly.
+        assert_eq!(
+            back.telemetry
+                .attribution
+                .get((1 << 8) | 2)
+                .unwrap()
+                .polluting,
+            6
+        );
+        assert_eq!(back.telemetry.pollution.total(), 6);
+        let occ = back.telemetry.occupancy.as_ref().expect("occupancy stored");
+        assert_eq!(occ.levels[0].total(), 37);
+        assert_eq!(occ.levels[0].sources.get(&((1 << 8) | 2)), Some(&5));
+        assert_eq!(occ.levels[2].sources.get(&4), Some(&17));
+        assert_eq!(occ.tiers, None);
     }
 
     #[test]
@@ -569,11 +644,26 @@ mod tests {
         split.far.load_to_use.record(960);
         split.far.queue_wait.record(80);
         out.telemetry.tiers = Some(split);
+        // Tiered occupancy: the L3 split must survive storage too.
+        let occ = out.telemetry.occupancy.as_mut().unwrap();
+        let near = LevelOccupancy {
+            demand: 800,
+            ..LevelOccupancy::default()
+        };
+        let mut far = LevelOccupancy {
+            demand: 100,
+            ..LevelOccupancy::default()
+        };
+        far.sources.insert(4, 17);
+        occ.tiers = Some([near, far]);
         let payload = payload_json(&out);
         assert!(payload.contains("\"tiers\":{\"near\":"), "{payload}");
+        assert!(payload.contains("\"occupancy\":{\"l1\":"), "{payload}");
         let back = outcome_from_json(&parse_json(&payload).unwrap()).unwrap();
         assert_outcomes_equal(&out, &back);
         assert_eq!(back.telemetry.tiers.unwrap().far.load_to_use.sum(), 960);
+        let [_, far_back] = back.telemetry.occupancy.unwrap().tiers.unwrap();
+        assert_eq!(far_back.sources.get(&4), Some(&17));
         // And the digest check accepts a stored two-tier entry.
         let dir =
             std::env::temp_dir().join(format!("prodigy-cellcache-tier-ut-{}", std::process::id()));

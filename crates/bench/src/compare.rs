@@ -310,6 +310,24 @@ const EXCLUDED: &[&str] = &[
     "host_profile",
 ];
 
+/// Provenance/observability fields excluded from the numeric diff. These
+/// are deterministic, but they were introduced after baselines such as
+/// `BENCH_pr8_scale1.json` were checked in, and the flattener treats a
+/// field present on one side only as a change — so diffing a new report
+/// against an old baseline would flag every cell. Simulated *timing* is
+/// unaffected by provenance tracking (observe-only sidecar), which is
+/// exactly what the baseline gate must keep proving.
+const EXCLUDED_PROVENANCE: &[&str] = &[
+    "polluting",
+    "pollution",
+    "occupancy",
+    "pollution_rate",
+    "l1_prefetch_occupancy",
+    "l2_prefetch_occupancy",
+    "l3_prefetch_occupancy",
+    "l3_top_source_occupancy",
+];
+
 /// One changed metric in one aligned unit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffEntry {
@@ -365,7 +383,8 @@ pub struct DiffReport {
 }
 
 /// Flattens numeric leaves of `v` into `out` under dotted `prefix` paths,
-/// skipping [`EXCLUDED`] fields. Array elements use their index; `null`
+/// skipping [`EXCLUDED`] and [`EXCLUDED_PROVENANCE`] fields. Array
+/// elements use their index; `null`
 /// (e.g. an `n/a` accuracy) is recorded as NaN so presence changes are
 /// visible.
 fn flatten(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
@@ -387,7 +406,7 @@ fn flatten(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
         }
         Json::Obj(m) => {
             for (k, item) in m {
-                if EXCLUDED.contains(&k.as_str()) {
+                if EXCLUDED.contains(&k.as_str()) || EXCLUDED_PROVENANCE.contains(&k.as_str()) {
                     continue;
                 }
                 let p = if prefix.is_empty() {
@@ -1073,6 +1092,33 @@ mod tests {
                 "\"worker\":0,\"host_profile\":{\"host_nanos_total\":777,\"other_ns\":9,\
                  \"components\":{\"kernel\":{\"self_ns\":768,\"allocs\":3}}},",
             );
+        let b = parse_json(&txt).unwrap();
+        let d = diff_reports(&a, &b, 0.02).unwrap();
+        assert!(d.changes.is_empty(), "{:?}", d.changes);
+        assert!(!d.regressed());
+    }
+
+    #[test]
+    fn provenance_fields_never_produce_changes() {
+        // Reports produced by a provenance-aware build gain occupancy and
+        // pollution columns the checked-in baselines predate. The flattener
+        // treats a field present on one side as a change, so these keys must
+        // be excluded or every old-vs-new diff would flag every cell.
+        let a = parse_json(&sweep_json(1000, 2000)).unwrap();
+        let txt = sweep_json(1000, 2000)
+            .replace(
+                "\"prefetch_coverage\":null}",
+                "\"prefetch_coverage\":null,\"pollution_rate\":0.25,\
+                 \"l1_prefetch_occupancy\":0.5,\"l2_prefetch_occupancy\":null,\
+                 \"l3_prefetch_occupancy\":0.125,\"l3_top_source_occupancy\":0.1}",
+            )
+            .replace(
+                "\"telemetry\":null",
+                "\"telemetry\":{\"polluting\":6,\
+                 \"pollution\":{\"l1\":1,\"l2\":2,\"l3\":3},\
+                 \"occupancy\":{\"l1\":{\"demand\":3,\"untagged\":0,\"total\":3,\"sources\":[]}}}",
+            );
+        assert_ne!(txt, sweep_json(1000, 2000), "replacements must have hit");
         let b = parse_json(&txt).unwrap();
         let d = diff_reports(&a, &b, 0.02).unwrap();
         assert!(d.changes.is_empty(), "{:?}", d.changes);

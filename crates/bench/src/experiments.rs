@@ -242,7 +242,10 @@ impl Ctx {
                     )
                 }
                 Err(e) => {
-                    if e.timed_out {
+                    // Only truly stuck workers count: a timed-out cell whose
+                    // thread honoured the cancel flag inside the grace
+                    // window was joined, not leaked.
+                    if e.leaked {
                         self.threads_leaked.fetch_add(1, Ordering::Relaxed);
                     }
                     let err = CellError {
@@ -1170,6 +1173,64 @@ pub fn farmem(ctx: &Ctx) -> String {
     )
 }
 
+// ------------------------------------------------------- cache pollution
+
+/// Cache-pollution sweep (paper Fig. 13 triple): every GAP kernel on `lj`
+/// under every prefetcher, reporting prefetch accuracy, coverage and the
+/// LLC pollution rate (victim-table demand misses per LLC demand miss)
+/// side by side. Sources that issued no prefetches render `n/a`, matching
+/// the `accuracy()`/`coverage()` Option convention; the worst per-DIG-edge
+/// polluter of each cell is named so a bad DIG annotation is attributable
+/// directly from the table. The per-cell `pollution_rate` lands in the
+/// JSON report for `prodigy-diff --slo "pollution_rate<=N"` gating.
+pub fn pollution(ctx: &Ctx) -> String {
+    warm_for(ctx, "pollution");
+    let mut t = Table::new(&[
+        "workload",
+        "prefetcher",
+        "accuracy",
+        "coverage",
+        "pollution",
+        "worst source",
+    ]);
+    for alg in crate::workload_set::GRAPH_ALGS {
+        let spec = WorkloadSpec::graph(alg, "lj", ctx.scale);
+        for kind in PrefetcherKind::ALL {
+            let out = ctx.run(&Cell::new(spec.clone(), kind));
+            let s = &out.summary.stats;
+            let cs = CellStats::from_outcome(&out);
+            // Heaviest polluter by absolute victim-table hits; ties break
+            // toward the lower tag (attribution iterates in tag order).
+            let worst = out
+                .telemetry
+                .attribution
+                .iter()
+                .filter(|(_, c)| c.polluting > 0)
+                .max_by_key(|(tag, c)| (c.polluting, std::cmp::Reverse(*tag)))
+                .map(|(tag, c)| {
+                    format!(
+                        "{} ({})",
+                        prodigy_sim::source_tag_label(tag),
+                        pct_opt(c.pollution())
+                    )
+                })
+                .unwrap_or_else(|| "n/a".to_string());
+            t.row(vec![
+                format!("{alg}-lj"),
+                kind.name().into(),
+                pct_opt(s.prefetch_use.accuracy()),
+                pct_opt(s.prefetch_coverage()),
+                pct_opt(cs.pollution_rate),
+                worst,
+            ]);
+        }
+    }
+    format!(
+        "Cache pollution — accuracy/coverage/pollution per GAP kernel and prefetcher (paper Fig. 13; pollution = prefetch-evicted demand lines re-missed at the LLC)\n{}",
+        t.render()
+    )
+}
+
 // ---------------------------------------------------- enumeration / shards
 
 /// Every experiment name accepted by [`run_all`]'s filters, in run order.
@@ -1195,6 +1256,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "ext_dobfs",
     "ext_throttle",
     "farmem",
+    "pollution",
 ];
 
 fn experiment_fn(name: &str) -> fn(&Ctx) -> String {
@@ -1220,6 +1282,7 @@ fn experiment_fn(name: &str) -> fn(&Ctx) -> String {
         "ext_dobfs" => ext_dobfs,
         "ext_throttle" => ext_throttle,
         "farmem" => farmem,
+        "pollution" => pollution,
         other => panic!("unknown experiment {other:?}"),
     }
 }
@@ -1359,6 +1422,16 @@ pub fn experiment_cells(name: &str, ctx: &Ctx) -> Option<Vec<Cell>> {
                         c.far = fs;
                         cells.push(c);
                     }
+                }
+            }
+            cells
+        }
+        "pollution" => {
+            let mut cells = Vec::new();
+            for alg in crate::workload_set::GRAPH_ALGS {
+                let spec = WorkloadSpec::graph(alg, "lj", scale);
+                for kind in PrefetcherKind::ALL {
+                    cells.push(Cell::new(spec.clone(), kind));
                 }
             }
             cells
@@ -1579,6 +1652,29 @@ mod tests {
         }
         for kind in FAR_KINDS {
             assert!(cells.iter().any(|c| c.kind == kind));
+        }
+    }
+
+    #[test]
+    fn pollution_grid_covers_kernels_and_all_prefetchers() {
+        let ctx = quick_ctx();
+        let cells = experiment_cells("pollution", &ctx).expect("pollution has a grid");
+        assert_eq!(
+            cells.len(),
+            crate::workload_set::GRAPH_ALGS.len() * PrefetcherKind::ALL.len()
+        );
+        for kind in PrefetcherKind::ALL {
+            assert!(cells.iter().any(|c| c.kind == kind));
+        }
+        assert!(cells.iter().all(|c| c.far == 0), "single-tier machines");
+    }
+
+    #[test]
+    fn pollution_report_renders_triple_with_na_baseline() {
+        let ctx = quick_ctx();
+        let text = pollution(&ctx);
+        for needle in ["accuracy", "coverage", "pollution", "worst source", "n/a"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }
 

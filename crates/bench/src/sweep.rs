@@ -186,10 +186,23 @@ impl<T: Clone> SingleFlightCache<T> {
 pub struct IsolatedError {
     /// Human-readable cause (panic message or timeout notice).
     pub reason: String,
-    /// True when the job exceeded its wall-clock budget and its thread was
-    /// detached. The caller should count this toward `threads_leaked`.
+    /// True when the job exceeded its wall-clock budget. The error stays a
+    /// timeout (transient, never cached) even when the worker honoured the
+    /// cancel flag and exited inside the grace window.
     pub timed_out: bool,
+    /// True when the timed-out worker was still running after the
+    /// post-cancel grace window and had to be detached. Only these threads
+    /// keep burning a core; the caller counts them toward
+    /// `threads_leaked`.
+    pub leaked: bool,
 }
+
+/// How long [`run_isolated`] waits after raising the cancel flag before
+/// declaring a timed-out worker truly stuck. A cancel-aware cell unwinds at
+/// its next phase-scheduler poll — microseconds of simulated work — so this
+/// window is generous; a divergent cell that never polls blows through it
+/// and is counted as leaked.
+const CANCEL_GRACE: Duration = Duration::from_millis(200);
 
 /// Runs `job`, converting a panic into a structured error and — when
 /// `timeout` is set — abandoning it after the budget elapses.
@@ -199,14 +212,15 @@ pub struct IsolatedError {
 /// jobs with no cancellation points may ignore it.
 ///
 /// The timeout path runs the job on a dedicated named thread and waits with
-/// `recv_timeout`; on expiry the cancel flag is raised and the thread is
-/// *detached*, not killed (Rust has no safe thread cancellation). A
-/// cancel-aware job then unwinds at its next scheduler boundary and the
-/// abandoned thread exits promptly instead of simulating to completion; a
-/// truly divergent cell that never reaches a cancellation point still leaks
-/// its thread. The returned error carries `timed_out: true` so callers can
-/// account for the abandonment ([`SweepReport::threads_leaked`]). Without a
-/// timeout the job runs inline under `catch_unwind` — no extra thread.
+/// `recv_timeout`; on expiry the cancel flag is raised and the worker gets a
+/// short grace window ([`CANCEL_GRACE`]) to honour it. A cancel-aware job
+/// unwinds at its next scheduler boundary, lands inside the window, and is
+/// joined — the error then carries `timed_out: true, leaked: false`. A
+/// truly divergent cell that never reaches a cancellation point is
+/// *detached*, not killed (Rust has no safe thread cancellation), and the
+/// error carries `leaked: true` so callers can account for the abandonment
+/// ([`SweepReport::threads_leaked`]). Without a timeout the job runs inline
+/// under `catch_unwind` — no extra thread.
 pub fn run_isolated<T: Send + 'static>(
     label: &str,
     timeout: Option<Duration>,
@@ -215,6 +229,7 @@ pub fn run_isolated<T: Send + 'static>(
     let panic_err = |p: Box<dyn std::any::Any + Send>| IsolatedError {
         reason: panic_message(p.as_ref()),
         timed_out: false,
+        leaked: false,
     };
     let cancel = Arc::new(AtomicBool::new(false));
     match timeout {
@@ -243,14 +258,27 @@ pub fn run_isolated<T: Send + 'static>(
                 }
                 Err(_) => {
                     // Ask the worker to bail at its next cancellation point,
-                    // then detach; its eventual "run cancelled" panic is
-                    // swallowed by the worker's own catch_unwind and the
-                    // send lands in a dropped channel.
+                    // then give it a short grace window to do so. A
+                    // cancel-aware cell unwinds promptly (its "run
+                    // cancelled" panic arrives on the channel and is
+                    // discarded) and its thread is joined — no leak. Only a
+                    // worker still running after the grace window is
+                    // detached and counted as leaked.
                     cancel.store(true, Ordering::Relaxed);
-                    drop(handle); // detach the runaway thread
+                    let leaked = match rx.recv_timeout(CANCEL_GRACE) {
+                        Ok(_) => {
+                            let _ = handle.join();
+                            false
+                        }
+                        Err(_) => {
+                            drop(handle); // detach the runaway thread
+                            true
+                        }
+                    };
                     Err(IsolatedError {
                         reason: format!("timed out after {:.1}s", budget.as_secs_f64()),
                         timed_out: true,
+                        leaked,
                     })
                 }
             }
@@ -369,6 +397,25 @@ pub struct CellStats {
     /// far_load_to_use_p99<=N` gate reads this row. `None` on single-tier
     /// runs (absent from the JSON).
     pub far_load_to_use: Option<prodigy_sim::HistQuantiles>,
+    /// Pollution rate: LLC demand misses manufactured by prefetch
+    /// displacement (shadow-victim-table hits) over all LLC demand misses.
+    /// `None` when the cell issued no prefetches (matching the
+    /// accuracy/coverage n/a convention); gateable via `prodigy-diff --slo
+    /// "pollution_rate<=N"`.
+    pub pollution_rate: Option<f64>,
+    /// Fraction of resident L1 lines that are still-unused prefetches at
+    /// run end; `None` when no occupancy snapshot was captured or the
+    /// level is empty.
+    pub l1_prefetch_occupancy: Option<f64>,
+    /// As above, for the L2.
+    pub l2_prefetch_occupancy: Option<f64>,
+    /// As above, for the LLC.
+    pub l3_prefetch_occupancy: Option<f64>,
+    /// Largest single tagged source's share of resident LLC lines — the
+    /// per-source occupancy assertion `prodigy-diff --slo
+    /// "l3_top_source_occupancy<=N"` bounds how much cache any one DIG
+    /// node/edge may hold. `None` when no tagged prefetch is resident.
+    pub l3_top_source_occupancy: Option<f64>,
 }
 
 impl CellStats {
@@ -397,6 +444,30 @@ impl CellStats {
                 .telemetry
                 .tiers
                 .and_then(|t| prodigy_sim::HistQuantiles::from_hist(&t.far.load_to_use)),
+            pollution_rate: if s.prefetches_issued == 0 {
+                None
+            } else {
+                Some(out.telemetry.pollution.l3 as f64 / s.l3.misses.max(1) as f64)
+            },
+            l1_prefetch_occupancy: Self::prefetch_share(&out.telemetry.occupancy, 0),
+            l2_prefetch_occupancy: Self::prefetch_share(&out.telemetry.occupancy, 1),
+            l3_prefetch_occupancy: Self::prefetch_share(&out.telemetry.occupancy, 2),
+            l3_top_source_occupancy: out.telemetry.occupancy.as_ref().and_then(|o| {
+                let lvl = &o.levels[2];
+                let top = lvl.sources.values().max().copied()?;
+                Some(top as f64 / lvl.total().max(1) as f64)
+            }),
+        }
+    }
+
+    /// Still-unused-prefetch share of one level's resident lines; `None`
+    /// when no snapshot exists or the level holds no lines.
+    fn prefetch_share(occ: &Option<prodigy_sim::OccupancySnapshot>, level: usize) -> Option<f64> {
+        let lvl = &occ.as_ref()?.levels[level];
+        if lvl.total() == 0 {
+            None
+        } else {
+            Some(lvl.prefetched() as f64 / lvl.total() as f64)
         }
     }
 
@@ -419,7 +490,10 @@ impl CellStats {
             "{{\"cycles\":{},\"instructions\":{},\"ipc\":{:.6},\"checksum\":{},\
              \"l1_misses\":{},\"l2_misses\":{},\"l3_misses\":{},\"dram_reads\":{},\
              \"prefetches_issued\":{},\"prefetch_accuracy\":{},\"prefetch_coverage\":{},\
-             \"load_to_use\":{},\"fill_to_use\":{},\"dram_round_trip\":{}",
+             \"load_to_use\":{},\"fill_to_use\":{},\"dram_round_trip\":{},\
+             \"pollution_rate\":{},\"l1_prefetch_occupancy\":{},\
+             \"l2_prefetch_occupancy\":{},\"l3_prefetch_occupancy\":{},\
+             \"l3_top_source_occupancy\":{}",
             self.cycles,
             self.instructions,
             self.ipc(),
@@ -434,6 +508,11 @@ impl CellStats {
             quant(&self.load_to_use),
             quant(&self.fill_to_use),
             quant(&self.dram_round_trip),
+            opt(self.pollution_rate),
+            opt(self.l1_prefetch_occupancy),
+            opt(self.l2_prefetch_occupancy),
+            opt(self.l3_prefetch_occupancy),
+            opt(self.l3_top_source_occupancy),
         );
         // Per-tier rows exist only for two-tier runs: single-tier cell JSON
         // stays byte-identical to pre-tier baselines, so the refreshed
@@ -884,7 +963,11 @@ mod tests {
         });
         let e = r.unwrap_err();
         assert!(e.reason.contains("timed out"));
-        assert!(e.timed_out, "timeout flagged for leak accounting");
+        assert!(e.timed_out, "timeout flagged");
+        assert!(
+            e.leaked,
+            "a job that ignores the cancel flag outlives the grace window"
+        );
         // And a fast job under the same budget succeeds.
         let ok = run_isolated("quick", Some(Duration::from_secs(5)), |_| 9u32).unwrap();
         assert_eq!(ok, 9);
@@ -911,17 +994,17 @@ mod tests {
             panic!("run cancelled");
         });
         let e = r.unwrap_err();
-        assert!(e.timed_out, "the job was abandoned on timeout");
-        // The detached worker saw the raised flag, unwound, and dropped its
-        // state — wait (bounded) for the witness.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while !exited.load(Ordering::SeqCst) {
-            assert!(
-                Instant::now() < deadline,
-                "abandoned worker must terminate once cancelled"
-            );
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        assert!(e.timed_out, "the job still exceeded its budget");
+        assert!(
+            !e.leaked,
+            "a cancel-honouring worker exits in the grace window and is joined, not leaked"
+        );
+        // The worker saw the raised flag, unwound, and dropped its state
+        // before `run_isolated` returned (it was joined).
+        assert!(
+            exited.load(Ordering::SeqCst),
+            "cancelled worker terminated before return"
+        );
     }
 
     #[test]
@@ -999,6 +1082,11 @@ mod tests {
                     dram_round_trip: None,
                     near_load_to_use: None,
                     far_load_to_use: None,
+                    pollution_rate: None,
+                    l1_prefetch_occupancy: Some(0.25),
+                    l2_prefetch_occupancy: None,
+                    l3_prefetch_occupancy: Some(0.125),
+                    l3_top_source_occupancy: None,
                 }),
                 error: None,
                 disk_hit: false,
@@ -1037,6 +1125,15 @@ mod tests {
             json.contains("\"prefetch_accuracy\":null"),
             "unresolved accuracy serializes as null"
         );
+        assert!(
+            json.contains("\"pollution_rate\":null"),
+            "no-prefetch cells render pollution n/a, not 0"
+        );
+        assert!(
+            json.contains("\"l1_prefetch_occupancy\":0.250000"),
+            "occupancy share serialized: {json}"
+        );
+        assert!(json.contains("\"l3_top_source_occupancy\":null"));
         assert!((report.utilization() - 0.5).abs() < 1e-9);
         assert!((report.cells_per_sec() - 5.0 / 1.5).abs() < 1e-9);
         assert!(
@@ -1095,6 +1192,11 @@ mod tests {
             dram_round_trip: None,
             near_load_to_use: q,
             far_load_to_use: q,
+            pollution_rate: None,
+            l1_prefetch_occupancy: None,
+            l2_prefetch_occupancy: None,
+            l3_prefetch_occupancy: None,
+            l3_top_source_occupancy: None,
         };
         let json = cs.to_json();
         assert!(json.contains("\"near_load_to_use\":{\"p50\":"), "{json}");

@@ -47,15 +47,17 @@ pub use config::{CacheConfig, CoreConfig, DramConfig, FarMemConfig, SystemConfig
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use hostprof::{Component, HostProfile, ScopeGuard};
 pub use mem::address_space::{AddressSpace, Tier, TierMap};
+pub use mem::cache::{Provenance, VictimHit};
 pub use mem::hierarchy::{AccessKind, AccessResult, MemorySystem, ServedBy};
 pub use metrics::{MetricSample, MetricsConfig, MetricsRegistry};
 pub use prefetch::{DemandAccess, FillEvent, NullPrefetcher, PrefetchCtx, Prefetcher};
 pub use stats::{CpiStack, LevelStats, PrefetchUse, RunTiming, Stats};
 pub use system::{PhaseStats, RunSummary, System};
 pub use telemetry::{
-    chrome_trace_json, source_tag_label, AttributionTable, HistQuantiles, Log2Hist, MemorySink,
-    NullSink, SourceCounts, SourceTag, TelemetrySummary, TierSplit, TierTelemetry, Timeliness,
-    TraceCategory, TraceEvent, TraceEventKind, TraceSink, Tracer,
+    chrome_trace_json, source_tag_label, AttributionTable, HistQuantiles, LevelOccupancy, Log2Hist,
+    MemorySink, NullSink, OccupancySnapshot, PollutionCounts, SourceCounts, SourceTag,
+    TelemetrySummary, TierSplit, TierTelemetry, Timeliness, TraceCategory, TraceEvent,
+    TraceEventKind, TraceSink, Tracer,
 };
 
 /// Size of a cache line in bytes throughout the simulator (Table I: 64 B).

@@ -8,14 +8,17 @@
 //! This models MSHR merges and in-flight prefetches without an event queue.
 
 use super::address_space::{Tier, TierMap};
-use super::cache::{Cache, Evicted, Line};
+use super::cache::{Cache, Evicted, Line, Provenance};
 use super::coherence::{Directory, Mesi};
 use super::dram::{Dram, DramAccess};
 use super::tlb::Tlb;
 use crate::config::SystemConfig;
 use crate::hostprof::{Component, ScopeGuard};
 use crate::stats::Stats;
-use crate::telemetry::{SourceTag, TelemetrySummary, TraceEvent, TraceEventKind, Tracer};
+use crate::telemetry::{
+    LevelOccupancy, OccupancySnapshot, SourceTag, TelemetrySummary, TraceEvent, TraceEventKind,
+    Tracer,
+};
 use crate::{line_of, LINE_BYTES};
 
 /// Which level ultimately serviced an access (used for CPI-stack
@@ -459,21 +462,44 @@ impl MemorySystem {
         }
     }
 
-    fn insert_l1(&mut self, core: usize, line: Line, stats: &mut Stats) {
-        if let Some(ev) = self.l1d[core].insert(line) {
+    fn insert_l1(&mut self, core: usize, line: Line, prov: Provenance, stats: &mut Stats) {
+        if let Some(ev) = self.l1d[core].insert(line, prov) {
             self.on_l1_evict(core, ev, stats);
         }
     }
 
-    fn insert_l2(&mut self, core: usize, line: Line, stats: &mut Stats) {
-        if let Some(ev) = self.l2[core].insert(line) {
+    fn insert_l2(&mut self, core: usize, line: Line, prov: Provenance, stats: &mut Stats) {
+        if let Some(ev) = self.l2[core].insert(line, prov) {
             self.on_l2_evict(core, ev, stats);
         }
     }
 
-    fn insert_l3(&mut self, slice: usize, line: Line, now: u64, stats: &mut Stats) {
-        if let Some(ev) = self.l3[slice].insert(line) {
+    fn insert_l3(
+        &mut self,
+        slice: usize,
+        line: Line,
+        prov: Provenance,
+        now: u64,
+        stats: &mut Stats,
+    ) {
+        if let Some(ev) = self.l3[slice].insert(line, prov) {
             self.on_l3_evict(ev, now, stats);
+        }
+    }
+
+    /// Probes one cache's shadow victim table on a demand miss: a hit
+    /// means a prefetch insert displaced this line earlier, so the miss is
+    /// a pollution event credited to the evicting source. `level` is
+    /// 0/1/2 for L1/L2/L3.
+    #[inline]
+    fn probe_victim(&mut self, level: usize, cache_idx: usize, line: u64) {
+        let cache = match level {
+            0 => &mut self.l1d[cache_idx],
+            1 => &mut self.l2[cache_idx],
+            _ => &mut self.l3[cache_idx],
+        };
+        if let Some(v) = cache.take_victim(line) {
+            self.tel.prefetch_polluted(level, v.evictor);
         }
     }
 
@@ -532,6 +558,7 @@ impl MemorySystem {
             return AccessResult { latency, served };
         }
         stats.l1d.misses += 1;
+        self.probe_victim(0, core, line);
         lat += self.cfg.l1d.tag_latency;
 
         // ---- demand MSHRs (loads only) ----
@@ -588,7 +615,7 @@ impl MemorySystem {
             let new_state = if write { Mesi::Modified } else { state };
             let mut fill = super::cache::demand_line(line, new_state, ready, served);
             fill.dirty = write;
-            self.insert_l1(core, fill, stats);
+            self.insert_l1(core, fill, Provenance::demand(ready), stats);
             if !write {
                 self.mshr[core].push(ready);
             }
@@ -599,6 +626,7 @@ impl MemorySystem {
             };
         }
         stats.l2.misses += 1;
+        self.probe_victim(1, core, line);
         lat += self.cfg.l2.tag_latency;
 
         // ---- L3 ----
@@ -663,8 +691,8 @@ impl MemorySystem {
             };
             let mut fill = super::cache::demand_line(line, state, ready, served);
             fill.dirty = write;
-            self.insert_l2(core, fill, stats);
-            self.insert_l1(core, fill, stats);
+            self.insert_l2(core, fill, Provenance::demand(ready), stats);
+            self.insert_l1(core, fill, Provenance::demand(ready), stats);
             if !write {
                 self.mshr[core].push(ready);
             }
@@ -675,6 +703,7 @@ impl MemorySystem {
             };
         }
         stats.l3.misses += 1;
+        self.probe_victim(2, slice, line);
         lat += self.cfg.l3.tag_latency;
         if let Some(c) = &self.classifier {
             if c.matches(vaddr) {
@@ -715,7 +744,7 @@ impl MemorySystem {
         }
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, served);
         l3fill.dir = dir;
-        self.insert_l3(slice, l3fill, now, stats);
+        self.insert_l3(slice, l3fill, Provenance::demand(ready), now, stats);
 
         let state = if write {
             Mesi::Modified
@@ -724,8 +753,8 @@ impl MemorySystem {
         };
         let mut fill = super::cache::demand_line(line, state, ready, served);
         fill.dirty = write;
-        self.insert_l2(core, fill, stats);
-        self.insert_l1(core, fill, stats);
+        self.insert_l2(core, fill, Provenance::demand(ready), stats);
+        self.insert_l1(core, fill, Provenance::demand(ready), stats);
         if !write {
             self.mshr[core].push(ready);
         }
@@ -781,7 +810,7 @@ impl MemorySystem {
             let ready = now + lat;
             let mut fill = super::cache::demand_line(line, state, ready, ServedBy::L2);
             fill.prefetched = true;
-            self.insert_l1(core, fill, stats);
+            self.insert_l1(core, fill, Provenance::prefetch(tag, ready), stats);
             stats.prefetches_issued += 1;
             if let Some(t) = tag {
                 self.tel.prefetch_tag_issued(line, t);
@@ -814,8 +843,8 @@ impl MemorySystem {
             self.l3[slice].slot_mut(slot).dir.add_sharer(core);
             let mut fill = super::cache::demand_line(line, Mesi::Shared, ready, ServedBy::L3);
             fill.prefetched = true;
-            self.insert_l2(core, fill, stats);
-            self.insert_l1(core, fill, stats);
+            self.insert_l2(core, fill, Provenance::prefetch(tag, ready), stats);
+            self.insert_l1(core, fill, Provenance::prefetch(tag, ready), stats);
             stats.prefetches_issued += 1;
             if let Some(t) = tag {
                 self.tel.prefetch_tag_issued(line, t);
@@ -852,11 +881,11 @@ impl MemorySystem {
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.dir = dir;
         l3fill.prefetched = true;
-        self.insert_l3(slice, l3fill, now, stats);
+        self.insert_l3(slice, l3fill, Provenance::prefetch(tag, ready), now, stats);
         let mut fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         fill.prefetched = true;
-        self.insert_l2(core, fill, stats);
-        self.insert_l1(core, fill, stats);
+        self.insert_l2(core, fill, Provenance::prefetch(tag, ready), stats);
+        self.insert_l1(core, fill, Provenance::prefetch(tag, ready), stats);
         stats.prefetches_issued += 1;
         if let Some(t) = tag {
             self.tel.prefetch_tag_issued(line, t);
@@ -918,7 +947,7 @@ impl MemorySystem {
         let mut l3fill = super::cache::demand_line(line, Mesi::Exclusive, ready, ServedBy::Dram);
         l3fill.prefetched = true;
         l3fill.dir = Directory::empty();
-        self.insert_l3(slice, l3fill, now, stats);
+        self.insert_l3(slice, l3fill, Provenance::prefetch(tag, ready), now, stats);
         stats.prefetches_issued += 1;
         if let Some(t) = tag {
             self.tel.prefetch_tag_issued(line, t);
@@ -951,6 +980,61 @@ impl MemorySystem {
     /// Peak DRAM bandwidth in bytes per cycle (for §VI-F).
     pub fn peak_dram_bytes_per_cycle(&self) -> f64 {
         self.dram.peak_bytes_per_cycle()
+    }
+
+    /// Scans every cache's provenance sidecar into a point-in-time
+    /// occupancy snapshot: resident lines per level split by installing
+    /// source (demand vs. each prefetcher source), plus a near/far split
+    /// of the L3 on tiered machines. Read-only and allocation-light (one
+    /// map entry per distinct live source), so the metrics sampler can
+    /// call it every window.
+    pub fn occupancy(&self) -> OccupancySnapshot {
+        let _hp = ScopeGuard::enter(Component::Telemetry);
+        let mut snap = OccupancySnapshot::default();
+        for c in &self.l1d {
+            c.for_each_resident(|l, p| snap.levels[0].count(l.prefetched, p.src));
+        }
+        for c in &self.l2 {
+            c.for_each_resident(|l, p| snap.levels[1].count(l.prefetched, p.src));
+        }
+        if self.far.is_some() {
+            let mut tiers = [LevelOccupancy::default(), LevelOccupancy::default()];
+            for c in &self.l3 {
+                c.for_each_resident(|l, p| {
+                    snap.levels[2].count(l.prefetched, p.src);
+                    let t = match self.tiers.tier_of(l.addr) {
+                        Tier::Near => &mut tiers[0],
+                        Tier::Far => &mut tiers[1],
+                    };
+                    t.count(l.prefetched, p.src);
+                });
+            }
+            snap.tiers = Some(tiers);
+        } else {
+            for c in &self.l3 {
+                c.for_each_resident(|l, p| snap.levels[2].count(l.prefetched, p.src));
+            }
+        }
+        snap
+    }
+
+    /// Total resident lines per level (`[L1, L2, L3]`), independent of the
+    /// provenance sidecar — the occupancy property test cross-checks the
+    /// snapshot's per-source totals against these counts.
+    pub fn resident_lines(&self) -> [u64; 3] {
+        [
+            self.l1d.iter().map(|c| c.len() as u64).sum(),
+            self.l2.iter().map(|c| c.len() as u64).sum(),
+            self.l3.iter().map(|c| c.len() as u64).sum(),
+        ]
+    }
+
+    /// Captures the current occupancy snapshot into the telemetry summary,
+    /// so end-of-run reports carry the final cache contents. Runners call
+    /// this once just before harvesting [`MemorySystem::telemetry`].
+    pub fn capture_occupancy(&mut self) {
+        let snap = self.occupancy();
+        self.tel.counters_mut().occupancy = Some(snap);
     }
 }
 
@@ -1084,6 +1168,87 @@ mod tests {
         }
         assert_eq!(s.prefetch_use.evicted_unused, 1);
         assert_eq!(s.prefetch_use.hit_l1, 0);
+    }
+
+    #[test]
+    fn prefetch_evicting_a_hot_demand_line_is_charged_as_pollution() {
+        // A deliberately inaccurate stride-like stream of tagged
+        // prefetches floods every set and displaces a hot demand line;
+        // the next demand miss on that line must be credited to the
+        // evicting source's `polluting` column.
+        let cfg = SystemConfig::scaled(1024).with_cores(1);
+        let lines_in_llc = cfg.llc_capacity() / LINE_BYTES;
+        let mut m = MemorySystem::new(cfg);
+        let mut s = Stats::default();
+        let hot = 0x40;
+        let r = m.demand_access(0, hot, AccessKind::Read, 0, &mut s);
+        let mut t = r.latency + 1;
+        let tag: SourceTag = 7;
+        for i in 2..=(lines_in_llc * 4) {
+            m.prefetch_tagged(0, i * LINE_BYTES, t, &mut s, Some(tag));
+            t += 200;
+        }
+        assert!(!m.l1_contains(0, hot), "flood displaced the hot line");
+        assert_eq!(
+            m.telemetry().pollution.total(),
+            0,
+            "no demand miss probed the victim table yet"
+        );
+        m.demand_access(0, hot, AccessKind::Read, t, &mut s);
+        let total = m.telemetry().pollution.total();
+        assert!(total >= 1, "the displaced hot line is a pollution event");
+        let c = *m.telemetry().attribution.get(tag).expect("tag issued");
+        assert_eq!(
+            c.polluting, total,
+            "every event credited to the evicting source"
+        );
+        assert!(c.pollution().unwrap() > 0.0);
+        // Victim entries are one-shot and the line is resident again: a
+        // repeat demand adds nothing.
+        m.demand_access(0, hot, AccessKind::Read, t + 1, &mut s);
+        assert_eq!(m.telemetry().pollution.total(), total);
+    }
+
+    #[test]
+    fn occupancy_snapshot_matches_resident_lines_and_sources() {
+        let (mut m, mut s) = tiny();
+        m.demand_access(0, 0x1_0000, AccessKind::Read, 0, &mut s);
+        m.prefetch_tagged(0, 0x2_0000, 0, &mut s, Some(3));
+        m.prefetch_tagged(1, 0x3_0000, 0, &mut s, Some((1 << 8) | 2));
+        m.prefetch(1, 0x4_0000, 0, &mut s);
+        let snap = m.occupancy();
+        let resident = m.resident_lines();
+        for (lvl, occ) in snap.levels.iter().enumerate() {
+            assert_eq!(occ.total(), resident[lvl], "level {lvl} totals agree");
+        }
+        // L1s across both cores: 1 demand line + 3 unused prefetches.
+        assert_eq!(snap.levels[0].demand, 1);
+        assert_eq!(snap.levels[0].untagged, 1);
+        assert_eq!(snap.levels[0].sources.get(&3), Some(&1));
+        assert_eq!(snap.levels[0].sources.get(&((1 << 8) | 2)), Some(&1));
+        assert_eq!(snap.tiers, None, "single-tier machine has no split");
+        // Demanding a prefetched line moves it to the demand bucket.
+        m.demand_access(0, 0x2_0000, AccessKind::Read, 10_000, &mut s);
+        let snap = m.occupancy();
+        assert_eq!(snap.levels[0].demand, 2);
+        assert_eq!(snap.levels[0].sources.get(&3), None);
+    }
+
+    #[test]
+    fn tiered_occupancy_splits_the_l3_by_tier() {
+        let cfg = SystemConfig::scaled(64).with_cores(1).with_far_scale(4);
+        let mut m = MemorySystem::new(cfg);
+        let mut map = TierMap::default();
+        map.mark_far(0x10_0000, 0x20_0000);
+        m.set_tier_map(map);
+        let mut s = Stats::default();
+        m.demand_access(0, 0x1_0000, AccessKind::Read, 0, &mut s);
+        m.prefetch_tagged(0, 0x11_0000, 0, &mut s, Some(9));
+        let snap = m.occupancy();
+        let [near, far] = snap.tiers.expect("tiered machine splits the L3");
+        assert_eq!(near.total() + far.total(), snap.levels[2].total());
+        assert_eq!(near.demand, 1);
+        assert_eq!(far.sources.get(&9), Some(&1));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! [`crate::Stats`] stays byte-identical to an unmetered run.
 
 use crate::stats::Stats;
+use crate::telemetry::OccupancySnapshot;
 
 /// Configuration of the windowed sampler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +38,7 @@ impl Default for MetricsConfig {
 
 /// One windowed snapshot. All rates are computed from the counter deltas of
 /// the window that just closed, not cumulative run totals.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricSample {
     /// Cycle at which the window closed (multiple of `window_cycles`).
     pub cycle: u64,
@@ -67,6 +68,11 @@ pub struct MetricSample {
     /// Feedback-throttle aggressiveness (sequences per trigger) at window
     /// close; 0 when no throttle ever reported.
     pub throttle_level: u32,
+    /// Per-source cache occupancy at window close (a gauge published by the
+    /// memory system); `None` until the first publication, and always
+    /// `None` on runs without the occupancy probe, so older dumps keep
+    /// their exact shape.
+    pub occupancy: Option<OccupancySnapshot>,
 }
 
 impl MetricSample {
@@ -79,13 +85,17 @@ impl MetricSample {
                 None => "null".to_string(),
             }
         }
+        let occupancy = match &self.occupancy {
+            Some(o) => format!(",\"occupancy\":{}", o.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"cycle\":{},\"instructions\":{},\"ipc\":{:.6},",
                 "\"l1_miss_rate\":{},\"l2_miss_rate\":{},\"l3_miss_rate\":{},",
                 "\"mlp\":{:.6},\"dram_queue_depth\":{:.6},",
                 "\"prefetch_accuracy\":{},\"prefetch_coverage\":{},",
-                "\"throttle_level\":{}}}"
+                "\"throttle_level\":{}{}}}"
             ),
             self.cycle,
             self.instructions,
@@ -98,6 +108,7 @@ impl MetricSample {
             opt(self.prefetch_accuracy),
             opt(self.prefetch_coverage),
             self.throttle_level,
+            occupancy,
         )
     }
 }
@@ -158,6 +169,7 @@ pub struct MetricsRegistry {
     dram_busy_cycles: u64,
     dram_depth_sum: u64,
     dram_depth_count: u64,
+    occupancy: Option<OccupancySnapshot>,
 }
 
 impl MetricsRegistry {
@@ -180,6 +192,7 @@ impl MetricsRegistry {
             dram_busy_cycles: 0,
             dram_depth_sum: 0,
             dram_depth_count: 0,
+            occupancy: None,
         }
     }
 
@@ -208,6 +221,14 @@ impl MetricsRegistry {
     #[inline]
     pub fn set_throttle_level(&mut self, level: u32) {
         self.throttle_level = level;
+    }
+
+    /// Publishes the per-source cache-occupancy gauge. Like the throttle
+    /// gauge it holds its last value: each window closed after the first
+    /// publication carries the snapshot current at close time.
+    #[inline]
+    pub fn set_occupancy(&mut self, snapshot: OccupancySnapshot) {
+        self.occupancy = Some(snapshot);
     }
 
     /// The cycle at which the next window closes. [`maybe_sample`] is a
@@ -275,6 +296,7 @@ impl MetricsRegistry {
                 Some(d_useful as f64 / (d_useful + d_l3_miss) as f64)
             },
             throttle_level: self.throttle_level,
+            occupancy: self.occupancy.clone(),
         };
         self.push(sample);
         self.base = Baseline::capture(stats, self);
@@ -404,6 +426,29 @@ mod tests {
         assert_eq!(s[1].mlp, 0.0);
         assert_eq!(s[1].dram_queue_depth, 0.0);
         assert_eq!(s[1].throttle_level, 3, "gauge holds its last value");
+    }
+
+    #[test]
+    fn occupancy_gauge_holds_and_serializes_only_when_published() {
+        let mut reg = MetricsRegistry::new(MetricsConfig {
+            window_cycles: 10,
+            capacity: 4,
+        });
+        let stats = Stats::default();
+        reg.maybe_sample(10, &stats);
+        let mut snap = OccupancySnapshot::default();
+        snap.levels[0].count(false, None);
+        snap.levels[0].count(true, Some(5));
+        reg.set_occupancy(snap);
+        reg.maybe_sample(30, &stats);
+        let s = reg.samples();
+        assert_eq!(s[0].occupancy, None, "window closed before publication");
+        let o1 = s[1].occupancy.as_ref().expect("gauge present");
+        assert_eq!(o1.levels[0].total(), 2);
+        assert_eq!(s[2].occupancy, s[1].occupancy, "gauge holds its value");
+        let j = reg.to_json();
+        assert!(j.contains("\"throttle_level\":0}"), "pre-gauge sample bare");
+        assert!(j.contains("\"throttle_level\":0,\"occupancy\":{\"l1\":"));
     }
 
     #[test]

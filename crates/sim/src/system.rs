@@ -261,9 +261,14 @@ impl<P: Prefetcher + 'static> System<P> {
                 }
             }
             // The earliest-core timestamp is monotone across iterations, so
-            // it is a sound clock for closing metric windows.
+            // it is a sound clock for closing metric windows. The occupancy
+            // gauge is refreshed first (it needs the shared borrow of the
+            // memory system) so every closing window sees current cache
+            // contents; unmetered runs never reach this branch.
             if t >= next_window {
+                let occupancy = self.mem.occupancy();
                 if let Some(m) = self.mem.tracer_mut().metrics_mut() {
+                    m.set_occupancy(occupancy);
                     m.maybe_sample(t, &self.stats);
                     next_window = m.next_sample_at();
                 }
@@ -487,6 +492,31 @@ mod tests {
         );
         assert!(pf.stats().prefetches_issued > 1000);
         assert!(pf.stats().prefetch_use.hit_l1 > 500);
+    }
+
+    #[test]
+    fn metered_runs_sample_occupancy_at_window_close() {
+        let mut sys = System::new(SystemConfig::scaled(64).with_cores(1));
+        sys.install_metrics(MetricsConfig {
+            window_cycles: 1_000,
+            capacity: 64,
+        });
+        let mut b = StreamBuilder::new();
+        for i in 0..2000u64 {
+            b.load_at(1, i * 64, 8, &[]);
+        }
+        sys.run_phase(vec![b.finish()]);
+        let reg = sys.take_metrics().expect("installed");
+        let samples = reg.samples();
+        assert!(!samples.is_empty(), "run spans at least one window");
+        let occ = samples
+            .last()
+            .unwrap()
+            .occupancy
+            .as_ref()
+            .expect("gauge published at window close");
+        assert!(occ.levels[0].total() > 0, "demand lines resident");
+        assert_eq!(occ.levels[0].prefetched(), 0, "no prefetcher configured");
     }
 
     #[test]

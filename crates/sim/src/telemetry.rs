@@ -682,6 +682,9 @@ pub struct SourceCounts {
     pub inaccurate: u64,
     /// Dropped before issue (redundant or backlogged).
     pub dropped: u64,
+    /// Pollution events: demand misses on lines this source's prefetches
+    /// displaced (shadow-victim-table hits, paper Fig. 13 pollution).
+    pub polluting: u64,
 }
 
 impl SourceCounts {
@@ -698,6 +701,17 @@ impl SourceCounts {
             None
         } else {
             Some(self.useful() as f64 / resolved as f64)
+        }
+    }
+
+    /// Pollution rate: victim-table demand misses caused per issued
+    /// prefetch. `None` when the source never issued (matching the
+    /// `accuracy()`/`coverage()` n/a convention).
+    pub fn pollution(&self) -> Option<f64> {
+        if self.issued == 0 {
+            None
+        } else {
+            Some(self.polluting as f64 / self.issued as f64)
         }
     }
 }
@@ -743,6 +757,16 @@ impl AttributionTable {
         self.entries.entry(tag).or_default().dropped += 1;
     }
 
+    /// Counts one pollution event against `tag` (a demand miss on a line
+    /// one of its prefetches displaced). Only tagged sources are charged
+    /// here, and a tagged source always has an entry by the time it can
+    /// pollute (its `record_issued` precedes any eviction it causes), so
+    /// pollution alone never creates a new attribution row.
+    #[inline]
+    pub fn record_polluting(&mut self, tag: SourceTag) {
+        self.entries.entry(tag).or_default().polluting += 1;
+    }
+
     /// Whether no source ever issued a prefetch.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -767,17 +791,13 @@ impl AttributionTable {
         e.late += counts.late;
         e.inaccurate += counts.inaccurate;
         e.dropped += counts.dropped;
+        e.polluting += counts.polluting;
     }
 
     /// Element-wise accumulation of another table.
     pub fn merge(&mut self, o: &AttributionTable) {
         for (tag, c) in &o.entries {
-            let e = self.entries.entry(*tag).or_default();
-            e.issued += c.issued;
-            e.timely += c.timely;
-            e.late += c.late;
-            e.inaccurate += c.inaccurate;
-            e.dropped += c.dropped;
+            self.insert_counts(*tag, *c);
         }
     }
 
@@ -791,7 +811,7 @@ impl AttributionTable {
             out.push_str(&format!(
                 concat!(
                     "{{\"tag\":{},\"label\":\"{}\",\"issued\":{},\"timely\":{},",
-                    "\"late\":{},\"inaccurate\":{},\"dropped\":{}}}"
+                    "\"late\":{},\"inaccurate\":{},\"dropped\":{},\"polluting\":{}}}"
                 ),
                 tag,
                 source_tag_label(*tag),
@@ -799,10 +819,142 @@ impl AttributionTable {
                 c.timely,
                 c.late,
                 c.inaccurate,
-                c.dropped
+                c.dropped,
+                c.polluting
             ));
         }
         out.push(']');
+        out
+    }
+}
+
+/// Pollution events per cache level: demand misses that hit the shadow
+/// victim table, i.e. misses a prefetch insert manufactured by displacing
+/// a useful line. Untagged prefetches count here even though they carry no
+/// attribution row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollutionCounts {
+    /// Victim-table hits on L1 demand misses.
+    pub l1: u64,
+    /// Victim-table hits on L2 demand misses.
+    pub l2: u64,
+    /// Victim-table hits on L3 demand misses.
+    pub l3: u64,
+}
+
+impl PollutionCounts {
+    /// Total pollution events across levels.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &PollutionCounts) {
+        self.l1 += o.l1;
+        self.l2 += o.l2;
+        self.l3 += o.l3;
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"l1\":{},\"l2\":{},\"l3\":{}}}",
+            self.l1, self.l2, self.l3
+        )
+    }
+}
+
+/// Resident-line counts of one cache level (or one memory tier's share of
+/// the L3), split by installing source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelOccupancy {
+    /// Lines installed by demand fills, plus prefetched lines already
+    /// demanded at least once (their prefetch bit is cleared on first use).
+    pub demand: u64,
+    /// Still-unused prefetched lines installed without a source tag.
+    pub untagged: u64,
+    /// Still-unused prefetched lines per tagged source.
+    pub sources: BTreeMap<SourceTag, u64>,
+}
+
+impl LevelOccupancy {
+    /// Still-unused prefetched lines, tagged or not.
+    pub fn prefetched(&self) -> u64 {
+        self.untagged + self.sources.values().sum::<u64>()
+    }
+
+    /// Total resident lines.
+    pub fn total(&self) -> u64 {
+        self.demand + self.prefetched()
+    }
+
+    /// Counts one resident line installed by `src`.
+    pub fn count(&mut self, prefetched: bool, src: Option<SourceTag>) {
+        if !prefetched {
+            self.demand += 1;
+        } else {
+            match src {
+                Some(tag) => *self.sources.entry(tag).or_insert(0) += 1,
+                None => self.untagged += 1,
+            }
+        }
+    }
+
+    /// Serializes to a JSON object with a tag-sorted source array.
+    pub fn to_json(&self) -> String {
+        let mut srcs = String::from("[");
+        for (i, (tag, n)) in self.sources.iter().enumerate() {
+            if i > 0 {
+                srcs.push(',');
+            }
+            srcs.push_str(&format!(
+                "{{\"tag\":{},\"label\":\"{}\",\"lines\":{}}}",
+                tag,
+                source_tag_label(*tag),
+                n
+            ));
+        }
+        srcs.push(']');
+        format!(
+            "{{\"demand\":{},\"untagged\":{},\"total\":{},\"sources\":{}}}",
+            self.demand,
+            self.untagged,
+            self.total(),
+            srcs
+        )
+    }
+}
+
+/// A point-in-time scan of cache contents by installing source: one
+/// [`LevelOccupancy`] per cache level, plus a near/far split of the L3 on
+/// tiered machines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Per-level occupancy, index 0 = L1 (all cores), 1 = L2, 2 = L3.
+    pub levels: [LevelOccupancy; 3],
+    /// L3 occupancy split by backing memory tier (`[near, far]`), present
+    /// only when a far tier is configured.
+    pub tiers: Option<[LevelOccupancy; 2]>,
+}
+
+impl OccupancySnapshot {
+    /// Serializes to a JSON object (`l1`/`l2`/`l3`, then `near`/`far` on
+    /// tiered machines).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"l1\":{},\"l2\":{},\"l3\":{}",
+            self.levels[0].to_json(),
+            self.levels[1].to_json(),
+            self.levels[2].to_json()
+        );
+        if let Some([near, far]) = &self.tiers {
+            out.push_str(&format!(
+                ",\"near\":{},\"far\":{}",
+                near.to_json(),
+                far.to_json()
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -901,6 +1053,9 @@ pub struct TelemetrySummary {
     pub throttle_downs: u64,
     /// DIG edge transitions walked by the Prodigy prefetcher.
     pub dig_transitions: u64,
+    /// Per-level pollution events (shadow-victim-table hits on demand
+    /// misses).
+    pub pollution: PollutionCounts,
     /// Per-source (DIG node/edge or stream/table) prefetch attribution.
     pub attribution: AttributionTable,
     /// Near/far memory-controller split, present only on machines with a
@@ -908,6 +1063,10 @@ pub struct TelemetrySummary {
     /// serializes to nothing, keeping those reports byte-identical to
     /// pre-tier builds.
     pub tiers: Option<TierSplit>,
+    /// End-of-run cache-contents scan by installing source, captured by
+    /// the runner just before telemetry is harvested. `None` until then
+    /// (and on merged summaries that never ran).
+    pub occupancy: Option<OccupancySnapshot>,
 }
 
 impl TelemetrySummary {
@@ -922,11 +1081,17 @@ impl TelemetrySummary {
         self.throttle_ups += o.throttle_ups;
         self.throttle_downs += o.throttle_downs;
         self.dig_transitions += o.dig_transitions;
+        self.pollution.merge(&o.pollution);
         self.attribution.merge(&o.attribution);
         match (&mut self.tiers, &o.tiers) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.tiers = Some(*b),
             _ => {}
+        }
+        // Occupancy is a point-in-time snapshot, not an accumulator: the
+        // most recent run's scan wins.
+        if o.occupancy.is_some() {
+            self.occupancy.clone_from(&o.occupancy);
         }
     }
 
@@ -937,11 +1102,18 @@ impl TelemetrySummary {
     }
 
     /// Serializes to the JSON object embedded per cell in sweep reports.
-    /// The `tiers` field is emitted only when present, so single-tier runs
-    /// serialize exactly as before the tier model existed.
+    /// The `tiers` and `occupancy` fields are emitted only when present,
+    /// so single-tier (and occupancy-less) runs serialize those sections
+    /// exactly as before the respective models existed. The always-present
+    /// `pollution` object is a diff-excluded provenance field (see the
+    /// bench crate's comparison exclusions).
     pub fn to_json(&self) -> String {
         let tiers = match &self.tiers {
             Some(t) => format!("\"tiers\":{},", t.to_json()),
+            None => String::new(),
+        };
+        let occupancy = match &self.occupancy {
+            Some(o) => format!("\"occupancy\":{},", o.to_json()),
             None => String::new(),
         };
         format!(
@@ -953,7 +1125,8 @@ impl TelemetrySummary {
                 "\"dram_round_trip\":{},",
                 "\"dram_queue_wait\":{},",
                 "\"throttle_ups\":{},\"throttle_downs\":{},\"dig_transitions\":{},",
-                "{}\"attribution\":{}}}"
+                "\"pollution\":{},",
+                "{}{}\"attribution\":{}}}"
             ),
             self.timeliness.to_json(),
             self.load_to_use.to_json(),
@@ -964,7 +1137,9 @@ impl TelemetrySummary {
             self.throttle_ups,
             self.throttle_downs,
             self.dig_transitions,
+            self.pollution.to_json(),
             tiers,
+            occupancy,
             self.attribution.to_json(),
         )
     }
@@ -1152,6 +1327,25 @@ impl Tracer {
             core: 0,
             kind: TraceEventKind::PrefetchEvictedUnused { line },
         });
+    }
+
+    /// Records a pollution event: a demand miss at cache level `level`
+    /// (0 = L1, 1 = L2, 2 = L3) hit the shadow victim table, meaning the
+    /// missing line was displaced earlier by a prefetch from `src`. The
+    /// per-level counter always advances; the per-source `polluting`
+    /// column only for tagged sources (untagged prefetches have no
+    /// attribution row, and pollution must not create one).
+    #[inline]
+    pub fn prefetch_polluted(&mut self, level: usize, src: Option<SourceTag>) {
+        let _hp = crate::hostprof::ScopeGuard::enter(crate::hostprof::Component::Telemetry);
+        match level {
+            0 => self.counters.pollution.l1 += 1,
+            1 => self.counters.pollution.l2 += 1,
+            _ => self.counters.pollution.l3 += 1,
+        }
+        if let Some(tag) = src {
+            self.counters.attribution.record_polluting(tag);
+        }
     }
 
     /// Records a prefetch request dropped before issue; `tag` attributes
@@ -1460,5 +1654,71 @@ mod tests {
         let mut d = TelemetrySummary::default();
         d.merge(&TelemetrySummary::default());
         assert_eq!(d.tiers, None);
+    }
+
+    #[test]
+    fn pollution_is_counted_per_level_and_per_tagged_source() {
+        let mut t = Tracer::new();
+        t.prefetch_tag_issued(0x1000, 7);
+        t.prefetch_polluted(0, Some(7));
+        t.prefetch_polluted(2, Some(7));
+        t.prefetch_polluted(1, None); // untagged: level counter only
+        let c = t.counters();
+        assert_eq!((c.pollution.l1, c.pollution.l2, c.pollution.l3), (1, 1, 1));
+        assert_eq!(c.pollution.total(), 3);
+        assert_eq!(c.attribution.get(7).unwrap().polluting, 2);
+        assert_eq!(
+            c.attribution.iter().count(),
+            1,
+            "untagged pollution must not create an attribution row"
+        );
+        // Per-source pollution rate follows the accuracy() n/a convention.
+        assert_eq!(c.attribution.get(7).unwrap().pollution(), Some(2.0));
+        assert_eq!(SourceCounts::default().pollution(), None);
+        let j = c.attribution.to_json();
+        assert!(j.contains("\"dropped\":0,\"polluting\":2"), "{j}");
+        let j = c.to_json();
+        assert!(
+            j.contains("\"pollution\":{\"l1\":1,\"l2\":1,\"l3\":1}"),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn occupancy_snapshot_counts_and_serializes() {
+        let mut o = OccupancySnapshot::default();
+        o.levels[0].count(false, None);
+        o.levels[0].count(true, Some(7));
+        o.levels[0].count(true, Some(7));
+        o.levels[0].count(true, None);
+        assert_eq!(o.levels[0].demand, 1);
+        assert_eq!(o.levels[0].prefetched(), 3);
+        assert_eq!(o.levels[0].total(), 4);
+        let j = o.to_json();
+        assert!(
+            j.starts_with(
+                "{\"l1\":{\"demand\":1,\"untagged\":1,\"total\":4,\
+                 \"sources\":[{\"tag\":7,\"label\":\"7\",\"lines\":2}]}"
+            ),
+            "{j}"
+        );
+        assert!(!j.contains("\"near\""), "tierless snapshot has no tiers");
+        // Tiered snapshots append the near/far L3 split.
+        o.tiers = Some([LevelOccupancy::default(), LevelOccupancy::default()]);
+        let j = o.to_json();
+        assert!(j.contains("\"near\":{\"demand\":0"), "{j}");
+        assert!(j.contains("\"far\":{\"demand\":0"), "{j}");
+
+        // A summary serializes occupancy only once captured, and merge
+        // adopts the newest snapshot.
+        let mut s = TelemetrySummary::default();
+        assert!(!s.to_json().contains("\"occupancy\""));
+        let other = TelemetrySummary {
+            occupancy: Some(o.clone()),
+            ..TelemetrySummary::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.occupancy, Some(o));
+        assert!(s.to_json().contains("\"occupancy\":{\"l1\""));
     }
 }

@@ -4,7 +4,9 @@ use prodigy_sim::mem::address_space::AddressSpace;
 use prodigy_sim::mem::dram::Dram;
 use prodigy_sim::mem::tlb::Tlb;
 use prodigy_sim::stats::{CpiStack, StallCause};
-use prodigy_sim::{DramConfig, HistQuantiles, Log2Hist};
+use prodigy_sim::{
+    AccessKind, DramConfig, HistQuantiles, Log2Hist, MemorySystem, Stats, SystemConfig,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -184,5 +186,45 @@ proptest! {
         prop_assert!(h.quantile(q).is_none());
         prop_assert!(h.max_interval().is_none());
         prop_assert!(HistQuantiles::from_hist(&h).is_none());
+    }
+
+    /// Provenance accounting: at every metrics-style sample point of an
+    /// arbitrary interleaving of demand accesses and tagged/untagged
+    /// prefetches, each level's per-source occupancy buckets (demand +
+    /// untagged + every tagged source) sum to exactly the level's resident
+    /// line count — the sidecar never loses or double-counts a line.
+    #[test]
+    fn occupancy_buckets_always_sum_to_resident_lines(
+        ops in prop::collection::vec(
+            // (op selector, line index, source tag)
+            (0u8..4, 0u64..1u64 << 12, 0u16..6), 1..300),
+    ) {
+        let mut m = MemorySystem::new(SystemConfig::scaled(64).with_cores(2));
+        let mut s = Stats::default();
+        let mut now = 0u64;
+        for (i, &(op, line, tag)) in ops.iter().enumerate() {
+            let vaddr = line * 64;
+            let core = (line % 2) as usize;
+            match op {
+                0 => { m.demand_access(core, vaddr, AccessKind::Read, now, &mut s); }
+                1 => { m.demand_access(core, vaddr, AccessKind::Write, now, &mut s); }
+                2 => { m.prefetch(core, vaddr, now, &mut s); }
+                _ => { m.prefetch_tagged(core, vaddr, now, &mut s, Some(tag)); }
+            }
+            now += 50;
+            // Sample at a metrics-window cadence, not only at the end, so
+            // intermediate (mid-eviction) states are checked too.
+            if i % 16 == 0 || i == ops.len() - 1 {
+                let snap = m.occupancy();
+                let resident = m.resident_lines();
+                for (lvl, occ) in snap.levels.iter().enumerate() {
+                    let bucket_sum =
+                        occ.demand + occ.untagged + occ.sources.values().sum::<u64>();
+                    prop_assert_eq!(bucket_sum, occ.total(), "level {} buckets", lvl);
+                    prop_assert_eq!(occ.total(), resident[lvl], "level {} vs resident", lvl);
+                }
+                prop_assert!(snap.tiers.is_none(), "single-tier machine");
+            }
+        }
     }
 }

@@ -290,6 +290,9 @@ fn run_workload_with<P: prodigy_sim::prefetch::Prefetcher + 'static>(
         let _harvest_scope = cfg
             .host_profile
             .then(|| prodigy_sim::ScopeGuard::enter(prodigy_sim::Component::Telemetry));
+        // Stamp the end-of-run cache occupancy into the summary before
+        // harvesting: reports carry the final per-source cache contents.
+        sys.memory_mut().capture_occupancy();
         sys.telemetry().clone()
     };
     let metrics = sys.take_metrics();
@@ -375,6 +378,20 @@ mod tests {
         assert!(ps.single_prefetches > 0);
         assert!(ps.ranged_prefetches > 0);
         assert!(ps.ranged_share() > 0.0 && ps.ranged_share() < 1.0);
+    }
+
+    #[test]
+    fn outcome_carries_final_occupancy_snapshot() {
+        let g = rmat(512, 4096, 2, (0.57, 0.19, 0.19));
+        let mut k = Bfs::new(g, 0);
+        let out = run_workload(&mut k, &tiny_cfg(PrefetcherKind::Stride));
+        let occ = out
+            .telemetry
+            .occupancy
+            .as_ref()
+            .expect("harvest stamps the final cache contents");
+        assert!(occ.levels[2].total() > 0, "LLC holds lines at run end");
+        assert_eq!(occ.tiers, None, "single-tier machine has no split");
     }
 
     #[test]
